@@ -1,0 +1,1 @@
+bench/ablations.ml: Array List Mde Printf Util

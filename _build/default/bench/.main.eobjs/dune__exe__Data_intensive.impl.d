@@ -1,0 +1,1 @@
+bench/data_intensive.ml: Algebra Array Catalog Expr Float Format Hashtbl List Mde Plan Printf Query Schema Table Util Value

@@ -1,0 +1,1 @@
+bench/figures.ml: Array Float Format List Mde Printf String Util

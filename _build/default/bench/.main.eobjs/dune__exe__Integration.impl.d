@@ -1,0 +1,1 @@
+bench/integration.ml: Array Float List Mde Util

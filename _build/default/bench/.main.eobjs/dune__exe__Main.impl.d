@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Data_intensive Figures Format Integration List Metamodeling Perf Sys Util

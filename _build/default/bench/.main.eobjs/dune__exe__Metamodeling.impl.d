@@ -1,0 +1,1 @@
+bench/metamodeling.ml: Array Int List Mde Printf String Util

@@ -1,0 +1,1 @@
+bench/perf.ml: Algebra Analyze Array Bechamel Benchmark Catalog Expr Hashtbl Lazy List Mde Measure Plan Printf Schema Staged String Table Test Time Util Value

@@ -1,0 +1,1 @@
+bench/util.ml: Array Float Format List Printf String Sys

@@ -1,0 +1,148 @@
+(* Section 3 experiments: MSM calibration of the herding market and
+   particle-filter wildfire assimilation (Algorithm 2), plus the traffic
+   motivation from Section 1. *)
+
+module Market = Mde.Calibrate.Market
+module Msm = Mde.Calibrate.Msm
+module Assimilation = Mde.Assimilate.Assimilation
+module Wildfire = Mde.Assimilate.Wildfire
+module Traffic = Mde.Abs.Traffic
+module Rng = Mde.Prob.Rng
+
+(* TRAFFIC — the Section 1 motivation: rule-based agents reproduce jams. *)
+let traffic () =
+  Util.section "TRAFFIC" "behavioural rules reproduce jam formation (Section 1)";
+  let params = Traffic.default_params in
+  let densities = Array.init 12 (fun i -> 0.05 +. (0.07 *. float_of_int i)) in
+  let points = Traffic.density_sweep ~seed:4 params ~densities ~warmup:150 ~measure:60 in
+  Util.table
+    [ "density"; "flow"; "mean speed"; "jammed" ]
+    (Array.to_list
+       (Array.map
+          (fun (p : Traffic.sweep_point) ->
+            [ Util.f3 p.Traffic.density; Util.f4 p.Traffic.mean_flow;
+              Util.f3 p.Traffic.mean_speed_pt; Util.pct p.Traffic.jammed ])
+          points));
+  let flows = Array.map (fun (p : Traffic.sweep_point) -> p.Traffic.mean_flow) points in
+  Util.note "";
+  Util.note "flow vs density: %s" (Util.spark flows);
+  Util.note
+    "Paper shape: the fundamental diagram rises, peaks near the critical";
+  Util.note
+    "density, then falls as spontaneous jams absorb the flow — emergent from";
+  Util.note "three behavioural rules, not from any fitted correlation."
+
+(* MSM — calibration back-ends compared on the herding market. *)
+let msm () =
+  Util.section "MSM" "calibrating the herding ABS by simulated moments (Section 3.1)";
+  let steps = 1500 and burn_in = 300 and n_agents = 50 and noise = 0.002 in
+  let truth = [| 0.002; 0.3 |] in
+  let data_rng = Rng.create ~seed:2024 () in
+  let observed =
+    Array.init 60 (fun _ ->
+        Market.simulate_moments ~steps ~burn_in ~n_agents ~noise data_rng truth)
+  in
+  let problem =
+    {
+      Msm.simulate_moments = Market.simulate_moments ~steps ~burn_in ~n_agents ~noise;
+      observed;
+      bounds = [| (0.0005, 0.01); (0.0, 0.5) |];
+      replications = 10;
+      regularization = None;
+    }
+  in
+  let y = Msm.observed_mean problem in
+  Util.note "true theta = (a=%.4f, b=%.2f); observed moments: var=%.3g kurt=%.2f acf|r|=%.3f"
+    truth.(0) truth.(1) y.(0) y.(1) y.(2);
+  Util.note "";
+  let row (result : Msm.result) =
+    [ result.Msm.method_name; Util.f4 result.Msm.theta.(0); Util.f3 result.Msm.theta.(1);
+      Util.g3 result.Msm.j_value; Util.i result.Msm.simulations ]
+  in
+  let ga = { Mde.Optimize.Genetic.default_params with population = 24; generations = 15 } in
+  let ga_result = Msm.calibrate ~seed:2 problem (Msm.Genetic ga) in
+  Util.table
+    [ "method"; "a-hat"; "b-hat"; "J"; "ABS simulations" ]
+    [
+      row (Msm.calibrate ~seed:1 problem Msm.Nelder_mead);
+      row ga_result;
+      row (Msm.calibrate ~seed:3 problem (Msm.Random_search 120));
+      row
+        (Msm.calibrate ~seed:4 problem
+           (Msm.Kriging_surrogate { design_points = 21; refine = true }));
+    ];
+  (* The [51] equifinality caveat: calibrations with similar J can still
+     disagree on statistics outside the moment vector. *)
+  let prediction theta =
+    (* Out-of-moment prediction: the 99th percentile of |returns|. *)
+    let rng = Rng.create ~seed:5 () in
+    let qs =
+      Array.init 10 (fun _ ->
+          let params =
+            { Market.n_agents; a = theta.(0); b = theta.(1); noise }
+          in
+          let r = Market.simulate_returns rng params ~steps ~burn_in in
+          Mde.Prob.Stats.quantile (Array.map Float.abs r) 0.99)
+    in
+    Mde.Prob.Stats.mean qs
+  in
+  let ga_theta = ga_result.Msm.theta in
+  let alt_theta = [| 0.004; 0.45 |] in
+  let w = Msm.weight_matrix problem in
+  let j_of theta = Msm.objective problem (Rng.create ~seed:6 ()) w theta in
+  Util.note "";
+  Util.note
+    "equifinality check ([51]): two acceptable calibrations, different tails:";
+  Util.note "  GA fit      (a=%.4f, b=%.2f): J=%.2f, predicted q99|r| = %.4f"
+    ga_theta.(0) ga_theta.(1) (j_of ga_theta) (prediction ga_theta);
+  Util.note "  alternative (a=%.4f, b=%.2f): J=%.2f, predicted q99|r| = %.4f"
+    alt_theta.(0) alt_theta.(1) (j_of alt_theta) (prediction alt_theta);
+  Util.note "";
+  Util.note
+    "Paper shape: heuristic global optimizers (GA) and the DOE+kriging";
+  Util.note
+    "surrogate recover theta; plain simplex search gets trapped on the rugged";
+  Util.note
+    "simulated objective — the pattern reported by Fabretti [17] and";
+  Util.note
+    "Salle-Yildizoglu [45]. Near-equal J values can still hide different";
+  Util.note
+    "out-of-moment behaviour — the calibration-range caution of [51] that";
+  Util.note "motivates the paper's call for finer-grained calibration."
+
+(* ALG2 — the wildfire particle filter, bootstrap vs sensor-aware. *)
+let alg2 () =
+  Util.section "ALG2" "wildfire data assimilation by particle filtering (Section 3.2)";
+  let params = Wildfire.default_params ~width:20 ~height:20 in
+  let run proposal =
+    Assimilation.run_experiment ~seed:31 ~n_particles:120 ~params ~ignition:[ (10, 10) ]
+      ~sensor_spacing:4 ~steps:14 ~proposal ()
+  in
+  let bootstrap = run `Bootstrap in
+  let aware = run `Sensor_aware in
+  Util.table
+    [ "step"; "open-loop err"; "PF bootstrap err"; "PF sensor-aware err" ]
+    (List.map
+       (fun s ->
+         let b = bootstrap.Assimilation.errors.(s - 1) in
+         let a = aware.Assimilation.errors.(s - 1) in
+         [ Util.i s; Util.i b.Assimilation.open_loop_error;
+           Util.i b.Assimilation.filter_error; Util.i a.Assimilation.filter_error ])
+       [ 2; 4; 6; 8; 10; 12; 14 ]);
+  Util.note "";
+  Util.note "mean error: open-loop %.1f, bootstrap PF %.1f, sensor-aware PF %.1f"
+    bootstrap.Assimilation.mean_open_loop_error bootstrap.Assimilation.mean_filter_error
+    aware.Assimilation.mean_filter_error;
+  Util.note "";
+  Util.note
+    "Paper shape: assimilating the sensor stream keeps the state estimate close";
+  Util.note
+    "to the true fire while the unassimilated simulation drifts; the [57]";
+  Util.note
+    "sensor-aware proposal improves further on the bootstrap filter of [56]."
+
+let all = [
+  ("traffic", "jam formation (Section 1)", traffic);
+  ("msm", "MSM calibration of the herding ABS (Section 3.1)", msm);
+  ("alg2", "wildfire particle filter (Section 3.2, Algorithm 2)", alg2);
+]

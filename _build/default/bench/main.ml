@@ -1,0 +1,37 @@
+(* The experiment harness: regenerates every figure, algorithm and
+   quantitative claim indexed in DESIGN.md / EXPERIMENTS.md.
+
+     dune exec bench/main.exe            -- run every experiment
+     dune exec bench/main.exe -- --list  -- list experiment ids
+     dune exec bench/main.exe -- fig2 alg1
+     dune exec bench/main.exe -- --perf  -- Bechamel microbenchmarks *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  Figures.all @ Data_intensive.all @ Integration.all @ Metamodeling.all
+  @ Ablations.all
+
+let list_experiments () =
+  Format.printf "available experiments:@.";
+  List.iter (fun (id, desc, _) -> Format.printf "  %-8s %s@." id desc) experiments;
+  Format.printf "  %-8s %s@." "--perf" "Bechamel microbenchmarks"
+
+let run_one id =
+  match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+  | Some (_, _, fn) ->
+    let (), elapsed = Util.time_it fn in
+    Format.printf "@.  [%s completed in %.1fs]@." id elapsed
+  | None ->
+    Format.eprintf "unknown experiment %S (use --list)@." id;
+    exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] -> list_experiments ()
+  | [ "--perf" ] -> Perf.run ()
+  | [] ->
+    Format.printf
+      "Model-data ecosystems: reproducing every figure and experiment of@.";
+    Format.printf "Haas, \"Model-Data Ecosystems\" (PODS 2014). See EXPERIMENTS.md.@.";
+    List.iter (fun (id, _, _) -> run_one id) experiments
+  | ids -> List.iter run_one ids

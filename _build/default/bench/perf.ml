@@ -1,0 +1,219 @@
+(* Bechamel microbenchmarks for the performance-sensitive kernels: one
+   Test.make per operation, all run from the single bench executable
+   (enable with --perf). *)
+
+open Bechamel
+module Instance = Bechamel.Toolkit.Instance
+open Mde.Relational
+module Rng = Mde.Prob.Rng
+module Mcdb = Mde.Mcdb
+
+let bundle_fixture =
+  lazy
+    (let customers =
+       Table.create
+         (Schema.of_list [ ("cid", Value.Tint); ("region", Value.Tstring) ])
+         (List.init 1_000 (fun idx ->
+              [| Value.Int idx; Value.String (if idx mod 2 = 0 then "east" else "west") |]))
+     in
+     let param =
+       Table.create
+         (Schema.of_list [ ("mean", Value.Tfloat); ("std", Value.Tfloat) ])
+         [ [| Value.Float 50.; Value.Float 12. |] ]
+     in
+     let st =
+       Mcdb.Stochastic_table.define ~name:"SALES"
+         ~schema:
+           (Schema.of_list
+              [ ("cid", Value.Tint); ("region", Value.Tstring); ("amount", Value.Tfloat) ])
+         ~driver:customers ~vg:Mcdb.Vg.normal
+         ~params:(fun _ -> [ param ])
+         ~combine:(fun d v -> [| d.(0); d.(1); v.(0) |])
+     in
+     let rng = Rng.create ~seed:1 () in
+     (st, Mcdb.Bundle.of_stochastic_table st rng ~n_reps:50))
+
+let pred = Expr.(col "region" = string "east" && col "amount" > float 60.)
+
+let test_bundle_query =
+  Test.make ~name:"mcdb/bundle-query-50reps"
+    (Staged.stage (fun () ->
+         let _, bundle = Lazy.force bundle_fixture in
+         let selected = Mcdb.Bundle.select pred bundle in
+         Mcdb.Bundle.aggregate [ ("s", Mcdb.Bundle.Sum (Expr.col "amount")) ] selected))
+
+let test_naive_query =
+  Test.make ~name:"mcdb/naive-query-50reps"
+    (Staged.stage (fun () ->
+         let st, _ = Lazy.force bundle_fixture in
+         let rng = Rng.create ~seed:1 () in
+         for _ = 1 to 50 do
+           let instance = Mcdb.Stochastic_table.instantiate st rng in
+           ignore
+             (Algebra.group_by ~keys:[]
+                ~aggs:[ ("s", Algebra.Sum (Expr.col "amount")) ]
+                (Algebra.select pred instance))
+         done))
+
+let join_fixture =
+  lazy
+    (let rng = Rng.create ~seed:2 () in
+     let schema k v = Schema.of_list [ (k, Value.Tint); (v, Value.Tfloat) ] in
+     let make k v =
+       Table.create (schema k v)
+         (List.init 5_000 (fun _ ->
+              [| Value.Int (Rng.int rng 1000); Value.Float (Rng.float rng) |]))
+     in
+     (make "a" "x", make "b" "y"))
+
+let test_hash_join =
+  Test.make ~name:"relational/hash-join-5kx5k"
+    (Staged.stage (fun () ->
+         let left, right = Lazy.force join_fixture in
+         Algebra.equi_join ~on:[ ("a", "b") ] left right))
+
+let tridiag_fixture =
+  lazy
+    (let series = Mde.Timeseries.Synthetic.smooth_signal ~seed:3 ~knots:5_000 ~span:100. () in
+     Mde.Timeseries.Spline.system series)
+
+let test_thomas =
+  Test.make ~name:"spline/thomas-5k"
+    (Staged.stage (fun () ->
+         let a, b = Lazy.force tridiag_fixture in
+         Mde.Linalg.Tridiag.solve a b))
+
+let test_dsgd_subepochs =
+  Test.make ~name:"spline/dsgd-30-subepochs-5k"
+    (Staged.stage (fun () ->
+         let a, b = Lazy.force tridiag_fixture in
+         let problem = Mde.Timeseries.Sgd.of_tridiag a b in
+         let rng = Rng.create ~seed:4 () in
+         Mde.Timeseries.Sgd.dsgd ~rng
+           ~schedule:(Mde.Timeseries.Sgd.Row_normalized 1.0)
+           ~sub_epochs:30
+           ~strata:(Mde.Timeseries.Sgd.tridiagonal_strata ~dim:problem.Mde.Timeseries.Sgd.dim)
+           problem))
+
+let fire_fixture =
+  lazy
+    (let params = Mde.Assimilate.Wildfire.default_params ~width:32 ~height:32 in
+     let state = Mde.Assimilate.Wildfire.ignite params [ (16, 16) ] in
+     let rng = Rng.create ~seed:5 () in
+     let state = ref state in
+     for _ = 1 to 10 do
+       state := Mde.Assimilate.Wildfire.step rng !state
+     done;
+     !state)
+
+let test_wildfire_step =
+  Test.make ~name:"wildfire/step-32x32"
+    (Staged.stage (fun () ->
+         let rng = Rng.create ~seed:6 () in
+         Mde.Assimilate.Wildfire.step rng (Lazy.force fire_fixture)))
+
+let gp_fixture =
+  lazy
+    (let rng = Rng.create ~seed:7 () in
+     let design = Array.init 40 (fun _ -> Array.init 2 (fun _ -> Rng.float rng)) in
+     let response = Array.map (fun x -> sin (3. *. x.(0)) +. x.(1)) design in
+     Mde.Metamodel.Kriging.fit ~theta:[| 5.; 5. |] ~tau2:1. ~design ~response ())
+
+let test_gp_predict =
+  Test.make ~name:"kriging/predict-40pts"
+    (Staged.stage (fun () ->
+         Mde.Metamodel.Kriging.predict (Lazy.force gp_fixture) [| 0.33; 0.77 |]))
+
+let traffic_fixture =
+  lazy
+    (let rng = Rng.create ~seed:8 () in
+     Mde.Abs.Traffic.create Mde.Abs.Traffic.default_params ~density:0.3 rng)
+
+let test_traffic_step =
+  Test.make ~name:"traffic/nasch-step-300cells"
+    (Staged.stage (fun () -> Mde.Abs.Traffic.step (Lazy.force traffic_fixture)))
+
+let plan_fixture =
+  lazy
+    (let rng = Rng.create ~seed:9 () in
+     let cat = Catalog.create () in
+     Catalog.register cat "a"
+       (Table.create
+          (Schema.of_list [ ("ka", Value.Tint); ("va", Value.Tfloat) ])
+          (List.init 5_000 (fun i -> [| Value.Int (i mod 100); Value.Float (Rng.float rng) |])));
+     Catalog.register cat "b"
+       (Table.create
+          (Schema.of_list [ ("kb", Value.Tint); ("vb", Value.Tfloat) ])
+          (List.init 200 (fun i -> [| Value.Int (i mod 100); Value.Float (Rng.float rng) |])));
+     let plan =
+       Plan.select
+         Expr.(col "vb" > float 0.9 && col "va" > float 0.5)
+         (Plan.join ~on:[ ("ka", "kb") ] (Plan.scan "a") (Plan.scan "b"))
+     in
+     (cat, plan))
+
+let test_plan_optimize =
+  Test.make ~name:"plan/optimize"
+    (Staged.stage (fun () ->
+         let cat, plan = Lazy.force plan_fixture in
+         Plan.optimize cat plan))
+
+let test_plan_execute_optimized =
+  Test.make ~name:"plan/execute-optimized"
+    (Staged.stage (fun () ->
+         let cat, plan = Lazy.force plan_fixture in
+         Plan.execute cat (Plan.optimize cat plan)))
+
+let test_mm1 =
+  Test.make ~name:"des/mm1-2000-customers"
+    (Staged.stage (fun () ->
+         Mde.Des.Queueing.simulate
+           { Mde.Des.Queueing.arrival_rate = 4.; service_rate = 5.; servers = 1 }
+           ~customers:2_000 (Rng.create ~seed:10 ())))
+
+let tests =
+  [
+    test_bundle_query;
+    test_naive_query;
+    test_hash_join;
+    test_thomas;
+    test_dsgd_subepochs;
+    test_wildfire_step;
+    test_gp_predict;
+    test_traffic_step;
+    test_plan_optimize;
+    test_plan_execute_optimized;
+    test_mm1;
+  ]
+
+let run () =
+  Util.section "PERF" "Bechamel microbenchmarks (monotonic clock, ns/run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"perf" tests) in
+  let results = Analyze.all ols (List.hd instances) raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] ->
+        rows := (name, ns) :: !rows
+      | Some _ | None -> ())
+    results;
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  Util.table [ "benchmark"; "time/run" ]
+    (List.map
+       (fun (name, ns) ->
+         let pretty =
+           if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; pretty ])
+       rows)

@@ -1,0 +1,1 @@
+examples/calibrate_market.mli:

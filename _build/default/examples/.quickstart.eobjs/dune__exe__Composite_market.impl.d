@@ -1,0 +1,1 @@
+examples/composite_market.ml: Array Float Format List Mde String Sys

@@ -1,0 +1,1 @@
+examples/epidemic_intervention.ml: Algebra Array Catalog Expr Format List Mde Query Table Value

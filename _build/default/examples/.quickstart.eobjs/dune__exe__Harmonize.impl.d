@@ -1,0 +1,1 @@
+examples/harmonize.ml: Array Expr Float Format Mde String Table Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Expr Format List Mde Schema Table Value

@@ -1,0 +1,1 @@
+examples/traffic_jam.ml: Array Float Format Mde String

@@ -1,0 +1,1 @@
+examples/wellbeing.ml: Array Float Format List Mde String

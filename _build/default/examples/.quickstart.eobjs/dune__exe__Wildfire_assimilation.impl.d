@@ -1,0 +1,1 @@
+examples/wildfire_assimilation.ml: Array Format Mde

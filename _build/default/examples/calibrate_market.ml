@@ -1,0 +1,66 @@
+(* Calibrating an agent-based model by the method of simulated moments
+   (paper §3.1): the Kirman/Alfarano-style herding market generates
+   "observed" return moments under a hidden true θ = (a, b); MSM then
+   recovers θ by minimizing the generalized distance J(θ) = Gᵀ W G,
+   comparing the optimizer back-ends the paper surveys — Nelder-Mead and
+   a genetic algorithm (Fabretti [17]), naive random search, and the
+   DOE + kriging surrogate of Salle-Yildizoglu [45].
+
+   Run with: dune exec examples/calibrate_market.exe *)
+
+module Market = Mde.Calibrate.Market
+module Msm = Mde.Calibrate.Msm
+module Rng = Mde.Prob.Rng
+
+let steps = 1500
+let burn_in = 300
+let n_agents = 50
+let noise = 0.002
+(* The bistable Kirman regime (a << b/N would be fully bimodal; this sits
+   at the intermittent edge): herding bursts leave strong fingerprints in
+   kurtosis and |r| clustering, so the moments identify θ. *)
+let truth = [| 0.002; 0.3 |] (* a = idiosyncratic switching, b = herding *)
+
+let () =
+  Format.printf "True parameters: a=%.3f (switching)  b=%.3f (herding)@.@." truth.(0)
+    truth.(1);
+  (* "Real-world" data: moment samples simulated at the hidden truth. *)
+  let data_rng = Rng.create ~seed:2024 () in
+  let observed =
+    Array.init 60 (fun _ ->
+        Market.simulate_moments ~steps ~burn_in ~n_agents ~noise data_rng truth)
+  in
+  let problem =
+    {
+      Msm.simulate_moments = Market.simulate_moments ~steps ~burn_in ~n_agents ~noise;
+      observed;
+      bounds = [| (0.0005, 0.01); (0.0, 0.5) |];
+      replications = 10;
+      regularization = None;
+    }
+  in
+  let y = Msm.observed_mean problem in
+  Format.printf "observed moments: variance=%.3g kurtosis=%.3f acf|r|=%.3f@.@." y.(0)
+    y.(1) y.(2);
+  Format.printf "%-20s %10s %10s %8s %14s@." "method" "a-hat" "b-hat" "J" "simulations";
+  let show (result : Msm.result) =
+    Format.printf "%-20s %10.4f %10.4f %8.3f %14d@." result.Msm.method_name
+      result.Msm.theta.(0) result.Msm.theta.(1) result.Msm.j_value
+      result.Msm.simulations
+  in
+  show (Msm.calibrate ~seed:1 problem Msm.Nelder_mead);
+  let ga =
+    { Mde.Optimize.Genetic.default_params with population = 24; generations = 15 }
+  in
+  show (Msm.calibrate ~seed:2 problem (Msm.Genetic ga));
+  show (Msm.calibrate ~seed:3 problem (Msm.Random_search 120));
+  show
+    (Msm.calibrate ~seed:4 problem
+       (Msm.Kriging_surrogate { design_points = 21; refine = true }));
+  Format.printf
+    "@.The rugged simulated-J surface traps the local simplex search — the@.";
+  Format.printf
+    "reason Fabretti [17] reaches for global heuristics. The GA recovers θ@.";
+  Format.printf
+    "best; the DOE+kriging surrogate of [45] gets close with far fewer@.";
+  Format.printf "expensive ABS simulations.@."

@@ -1,0 +1,43 @@
+(* Bonabeau's traffic example (paper §1): behavioural rules — accelerate
+   when the road is clear, slow behind others, brake at random — make
+   jams emerge, something no correlation over speed/volume data reveals.
+
+   The example sweeps density to draw the fundamental diagram (flow vs
+   density) and prints a space-time diagram where jams appear as dark
+   bands drifting backwards against the traffic.
+
+   Run with: dune exec examples/traffic_jam.exe *)
+
+module Traffic = Mde.Abs.Traffic
+
+let bar width value max_value =
+  let n = Float.to_int (Float.round (value /. max_value *. float_of_int width)) in
+  String.make (max 0 (min width n)) '*'
+
+let () =
+  let params = Traffic.default_params in
+  let densities = Array.init 16 (fun i -> 0.04 +. (0.055 *. float_of_int i)) in
+  let points = Traffic.density_sweep ~seed:4 params ~densities ~warmup:150 ~measure:80 in
+  let max_flow =
+    Array.fold_left (fun m p -> Float.max m p.Traffic.mean_flow) 0. points
+  in
+  Format.printf "Fundamental diagram (ring road, %d cells, vmax %d, p_brake %.2f)@.@."
+    params.Traffic.length params.Traffic.max_speed params.Traffic.p_brake;
+  Format.printf "%8s %8s %8s %7s@." "density" "flow" "speed" "jammed";
+  Array.iter
+    (fun p ->
+      Format.printf "%8.3f %8.4f %8.3f %6.1f%%  |%s@." p.Traffic.density
+        p.Traffic.mean_flow p.Traffic.mean_speed_pt
+        (100. *. p.Traffic.jammed)
+        (bar 30 p.Traffic.mean_flow max_flow))
+    points;
+  (* Space-time diagram just above the jam transition. *)
+  Format.printf "@.Space-time diagram at density 0.20 (time runs down; '#' = car):@.@.";
+  let rng = Mde.Prob.Rng.create ~seed:9 () in
+  let road = Traffic.create { params with length = 120 } ~density:0.20 rng in
+  for _ = 1 to 120 do
+    Traffic.step road
+  done;
+  print_string (Traffic.space_time_diagram road ~steps:30 ~lane:0);
+  Format.printf "@.Jams form spontaneously and travel upstream — the emergent@.";
+  Format.printf "behaviour the paper argues pure data mining cannot supply.@."

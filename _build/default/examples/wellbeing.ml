@@ -1,0 +1,160 @@
+(* A "population well-being" composite (paper §2.2: "decision-makers
+   increasingly need to bring together multiple models across a broad
+   range of disciplines"): a weather model (hourly), a behaviour model
+   (daily indoor-crowding index), and the contact-network epidemic engine
+   are composed through the ecosystem Registry — which detects the
+   clock mismatch and inserts the alignment transform automatically — and
+   the composite is run as a Monte Carlo experiment.
+
+   Run with: dune exec examples/wellbeing.exe *)
+
+module Splash = Mde.Composite.Splash
+module Registry = Mde.Registry
+module Series = Mde.Timeseries.Series
+module Network = Mde.Epidemic.Network
+module Indemics = Mde.Epidemic.Indemics
+module Dist = Mde.Prob.Dist
+module Rng = Mde.Prob.Rng
+module Stats = Mde.Prob.Stats
+
+let days = 120
+
+(* Model 1 — weather: hourly temperature over the experiment horizon. *)
+let weather_model =
+  {
+    Splash.name = "weather";
+    description = "hourly temperature (deg C)";
+    inputs = [];
+    outputs = [ "temperature" ];
+    run =
+      (fun rng _ ->
+        let hours = days * 24 in
+        let times = Series.regular_times ~start:0. ~step:(1. /. 24.) ~count:hours in
+        let values =
+          Array.map
+            (fun t ->
+              12. +. (8. *. sin (t /. 365. *. 2. *. Float.pi))
+              +. (4. *. sin (t *. 2. *. Float.pi))
+              +. Dist.sample (Dist.Normal { mean = 0.; std = 1.5 }) rng)
+            times
+        in
+        [ Splash.Timeseries (Series.create ~times ~values) ]);
+  }
+
+(* Model 2 — behaviour: cold days push people indoors, raising effective
+   contact intensity. Consumes the (auto-aligned) daily temperature. *)
+let behaviour_model =
+  {
+    Splash.name = "behaviour";
+    description = "daily indoor-crowding multiplier from temperature";
+    inputs = [ "temperature" ];
+    outputs = [ "crowding" ];
+    run =
+      (fun _ inputs ->
+        match inputs with
+        | [ Splash.Timeseries temp ] ->
+          let crowding =
+            Series.map_values
+              (fun celsius -> 1. +. (0.6 /. (1. +. exp ((celsius -. 8.) /. 3.))))
+              temp
+          in
+          [ Splash.Timeseries crowding ]
+        | _ -> failwith "behaviour: expected a temperature series");
+  }
+
+(* Model 3 — health: the Indemics engine, with daily transmission scaled
+   by the crowding index. *)
+let health_model =
+  {
+    Splash.name = "health";
+    description = "contact-network epidemic driven by crowding";
+    inputs = [ "crowding" ];
+    outputs = [ "attack_rate"; "peak_infectious" ];
+    run =
+      (fun rng inputs ->
+        match inputs with
+        | [ Splash.Timeseries crowding ] ->
+          let network =
+            Network.synthetic
+              ~seed:(Mde.Prob.Rng.int rng 1_000_000)
+              ~n:3_000 ~community_degree:4. ()
+          in
+          let engine =
+            Indemics.create
+              ~seed:(Mde.Prob.Rng.int rng 1_000_000)
+              network
+              { Indemics.default_params with transmission_rate = 0.016 }
+          in
+          (* Crowding modulates exposure: a heavily indoor day (index above
+             1.35) counts as a double-exposure day, approximating the
+             roughly doubled contact hours of winter crowding. *)
+          let values = Series.values crowding in
+          let peak = ref 0 in
+          for d = 0 to days - 1 do
+            ignore (Indemics.step_day engine);
+            if values.(min d (Array.length values - 1)) > 1.35 then
+              ignore (Indemics.step_day engine);
+            peak := max !peak (Network.count_health network Network.Infectious)
+          done;
+          let final =
+            let r = Network.count_health network Network.Recovered in
+            let e = Network.count_health network Network.Exposed in
+            let i = Network.count_health network Network.Infectious in
+            float_of_int (r + e + i) /. 3_000.
+          in
+          [ Splash.Number final; Splash.Number (float_of_int !peak) ]
+        | _ -> failwith "health: expected a crowding series");
+  }
+
+let () =
+  (* Register the models with their clocks; the registry inserts the
+     hourly→daily alignment automatically. *)
+  let registry = Registry.create () in
+  let meta name ?(step = None) inputs outputs =
+    {
+      Registry.model_name = name;
+      description = name;
+      inputs;
+      outputs;
+      time_step = step;
+      mean_run_cost = None;
+      output_variance = None;
+    }
+  in
+  Registry.register_model registry
+    (meta "weather" ~step:(Some (1. /. 24.)) [] [ "temperature" ])
+    weather_model;
+  Registry.register_model registry
+    (meta "behaviour" ~step:(Some 1.) [ "temperature" ] [ "crowding" ])
+    behaviour_model;
+  Registry.register_model registry
+    (meta "health" ~step:(Some 1.) [ "crowding" ] [ "attack_rate"; "peak_infectious" ])
+    health_model;
+  Format.printf "time-step mismatch weather->behaviour detected: %b@."
+    (Registry.time_step_mismatch registry ~source:"weather" ~target:"behaviour");
+  let composite =
+    Registry.compose registry ~name:"wellbeing"
+      ~model_names:[ "weather"; "behaviour"; "health" ]
+  in
+  Format.printf "execution order: %s@.@."
+    (String.concat " -> " (Splash.execution_order composite));
+  (* Monte Carlo over the whole composite. *)
+  let rng = Rng.create ~seed:7 () in
+  let attack_rates =
+    Splash.monte_carlo composite rng ~inputs:[] ~reps:12 ~query:(fun outputs ->
+        match List.assoc "attack_rate" outputs with
+        | Splash.Number a -> a
+        | _ -> nan)
+  in
+  Format.printf "attack rate over %d composite Monte Carlo replications:@."
+    (Array.length attack_rates);
+  Format.printf "  mean %.1f%%, sd %.1f%%, min %.1f%%, max %.1f%%@."
+    (100. *. Stats.mean attack_rates)
+    (100. *. Stats.std attack_rates)
+    (100. *. fst (Stats.min_max attack_rates))
+    (100. *. snd (Stats.min_max attack_rates));
+  Format.printf
+    "@.Three disciplines — climate, behaviour, health — composed by data@.";
+  Format.printf
+    "exchange alone, with the platform reconciling their clocks: the paper's@.";
+  Format.printf "composite-modeling vision end to end.@."

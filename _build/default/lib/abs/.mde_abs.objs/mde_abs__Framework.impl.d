@@ -1,0 +1,1 @@
+lib/abs/framework.ml: Array Mde_prob

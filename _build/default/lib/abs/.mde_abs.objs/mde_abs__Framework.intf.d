@@ -1,0 +1,1 @@
+lib/abs/framework.mli: Mde_prob

@@ -1,0 +1,1 @@
+lib/abs/range_query.ml: Array Float List Option Stdlib

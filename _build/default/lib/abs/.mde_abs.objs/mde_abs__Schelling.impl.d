@@ -1,0 +1,1 @@
+lib/abs/schelling.ml: Array Buffer Float List Mde_prob Stdlib

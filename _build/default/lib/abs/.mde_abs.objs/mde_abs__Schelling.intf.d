@@ -1,0 +1,1 @@
+lib/abs/schelling.mli:

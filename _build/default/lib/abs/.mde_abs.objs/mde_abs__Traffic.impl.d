@@ -1,0 +1,1 @@
+lib/abs/traffic.ml: Array Buffer Float List Mde_prob Stdlib

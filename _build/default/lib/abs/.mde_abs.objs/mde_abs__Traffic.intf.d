@@ -1,0 +1,1 @@
+lib/abs/traffic.mli: Mde_prob

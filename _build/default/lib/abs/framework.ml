@@ -1,0 +1,31 @@
+type ('agent, 'env) spec = {
+  step_agent : Mde_prob.Rng.t -> 'env -> 'agent array -> int -> 'agent;
+  step_env : Mde_prob.Rng.t -> 'env -> 'agent array -> 'env;
+}
+
+type ('agent, 'env) state = { agents : 'agent array; env : 'env }
+
+let step spec rng state =
+  let agents =
+    Array.init (Array.length state.agents) (fun i ->
+        spec.step_agent rng state.env state.agents i)
+  in
+  { agents; env = spec.step_env rng state.env agents }
+
+let run spec rng ~steps ~init =
+  assert (steps >= 0);
+  let state = ref init in
+  for _ = 1 to steps do
+    state := step spec rng !state
+  done;
+  !state
+
+let trajectory spec rng ~steps ~init ~observe =
+  assert (steps >= 0);
+  let out = Array.make (steps + 1) (observe init) in
+  let state = ref init in
+  for i = 1 to steps do
+    state := step spec rng !state;
+    out.(i) <- observe !state
+  done;
+  out

@@ -1,0 +1,35 @@
+(** A minimal synchronous agent-based simulation framework: agents repeat
+    the sense–think–respond cycle of §2.4 against a shared environment.
+    Concrete models (traffic, Schelling, the epidemic and wildfire
+    simulators) either instantiate this or follow its discipline. *)
+
+type ('agent, 'env) spec = {
+  step_agent : Mde_prob.Rng.t -> 'env -> 'agent array -> int -> 'agent;
+      (** [step_agent rng env agents i]: agent [i]'s next state, reading
+          the pre-step population (synchronous update). *)
+  step_env : Mde_prob.Rng.t -> 'env -> 'agent array -> 'env;
+      (** Environment update, applied after all agents move. *)
+}
+
+type ('agent, 'env) state = { agents : 'agent array; env : 'env }
+
+val step :
+  ('agent, 'env) spec -> Mde_prob.Rng.t -> ('agent, 'env) state -> ('agent, 'env) state
+
+val run :
+  ('agent, 'env) spec ->
+  Mde_prob.Rng.t ->
+  steps:int ->
+  init:('agent, 'env) state ->
+  ('agent, 'env) state
+(** Final state after [steps] synchronous steps. *)
+
+val trajectory :
+  ('agent, 'env) spec ->
+  Mde_prob.Rng.t ->
+  steps:int ->
+  init:('agent, 'env) state ->
+  observe:(('agent, 'env) state -> 'obs) ->
+  'obs array
+(** Observation at every step including the initial state
+    (length steps+1). *)

@@ -1,0 +1,183 @@
+(* Per-agent SSV history: parallel growable arrays of (time, value),
+   append-only with non-decreasing times. *)
+type history = {
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+type node = {
+  lo_agent : int;
+  hi_agent : int;  (* inclusive agent-id range *)
+  mutable vmin : float;
+  mutable vmax : float;  (* bounds over all values ever written in range *)
+  (* Optional time-bucketed bounds: bucket_bounds.(b) covers every value
+     that may be current during bucket b. A write (t, v) is folded into
+     bucket(t) and, conservatively, every later bucket (the value may
+     stay current indefinitely). Stored as growable parallel arrays. *)
+  mutable bucket_min : float array;
+  mutable bucket_max : float array;
+  left : node option;
+  right : node option;
+}
+
+type t = { histories : history array; root : node; bucket_width : float option }
+
+let rec build lo hi =
+  if lo = hi then
+    { lo_agent = lo; hi_agent = hi; vmin = infinity; vmax = neg_infinity;
+      bucket_min = [||]; bucket_max = [||]; left = None; right = None }
+  else begin
+    let mid = (lo + hi) / 2 in
+    let left = build lo mid and right = build (mid + 1) hi in
+    {
+      lo_agent = lo;
+      hi_agent = hi;
+      vmin = infinity;
+      vmax = neg_infinity;
+      bucket_min = [||];
+      bucket_max = [||];
+      left = Some left;
+      right = Some right;
+    }
+  end
+
+let create ?bucket_width ~n_agents () =
+  assert (n_agents > 0);
+  Option.iter (fun w -> assert (w > 0.)) bucket_width;
+  {
+    histories =
+      Array.init n_agents (fun _ ->
+          { times = Array.make 4 0.; values = Array.make 4 0.; len = 0 });
+    root = build 0 (n_agents - 1);
+    bucket_width;
+  }
+
+let n_agents t = Array.length t.histories
+
+let push history time value =
+  if history.len > 0 && time < history.times.(history.len - 1) then
+    invalid_arg "Range_query.write: time moved backwards for agent";
+  if history.len = Array.length history.times then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0.) in
+    history.times <- grow history.times;
+    history.values <- grow history.values
+  end;
+  history.times.(history.len) <- time;
+  history.values.(history.len) <- value;
+  history.len <- history.len + 1
+
+let ensure_buckets node upto =
+  let len = Array.length node.bucket_min in
+  if upto >= len then begin
+    let grown = Stdlib.max (upto + 1) (Stdlib.max 4 (2 * len)) in
+    let fresh_min = Array.make grown infinity and fresh_max = Array.make grown neg_infinity in
+    Array.blit node.bucket_min 0 fresh_min 0 len;
+    Array.blit node.bucket_max 0 fresh_max 0 len;
+    (* New trailing buckets inherit the carry-over of everything already
+       written (any existing value may still be current there). *)
+    for b = len to grown - 1 do
+      fresh_min.(b) <- node.vmin;
+      fresh_max.(b) <- node.vmax
+    done;
+    node.bucket_min <- fresh_min;
+    node.bucket_max <- fresh_max
+  end
+
+let rec update_bounds bucket node agent value =
+  if agent >= node.lo_agent && agent <= node.hi_agent then begin
+    if value < node.vmin then node.vmin <- value;
+    if value > node.vmax then node.vmax <- value;
+    (match bucket with
+    | None -> ()
+    | Some b ->
+      ensure_buckets node b;
+      (* The value is (possibly) current in its own bucket and every
+         later one. *)
+      for k = b to Array.length node.bucket_min - 1 do
+        if value < node.bucket_min.(k) then node.bucket_min.(k) <- value;
+        if value > node.bucket_max.(k) then node.bucket_max.(k) <- value
+      done);
+    Option.iter (fun n -> update_bounds bucket n agent value) node.left;
+    Option.iter (fun n -> update_bounds bucket n agent value) node.right
+  end
+
+let bucket_of t time =
+  Option.map (fun w -> Stdlib.max 0 (Float.to_int (floor (time /. w)))) t.bucket_width
+
+let write t ~agent ~time ~value =
+  assert (agent >= 0 && agent < n_agents t);
+  push t.histories.(agent) time value;
+  update_bounds (bucket_of t time) t.root agent value
+
+let value_at_history history time =
+  if history.len = 0 || time < history.times.(0) then None
+  else begin
+    (* Largest index with times.(i) <= time. *)
+    let lo = ref 0 and hi = ref (history.len - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if history.times.(mid) <= time then lo := mid else hi := mid - 1
+    done;
+    Some history.values.(!lo)
+  end
+
+let value_at t ~agent ~time =
+  assert (agent >= 0 && agent < n_agents t);
+  value_at_history t.histories.(agent) time
+
+type query_stats = {
+  matched : int;
+  clp_nodes_visited : int;
+  histories_scanned : int;
+}
+
+let range_query t ~time ~lo ~hi =
+  assert (lo <= hi);
+  let visited = ref 0 and scanned = ref 0 in
+  let out = ref [] in
+  let query_bucket = bucket_of t time in
+  let node_bounds node =
+    match query_bucket with
+    | Some b when Array.length node.bucket_min > 0 ->
+      let k = Stdlib.min b (Array.length node.bucket_min - 1) in
+      (node.bucket_min.(k), node.bucket_max.(k))
+    | Some _ | None -> (node.vmin, node.vmax)
+  in
+  let rec go node =
+    incr visited;
+    (* Prune: no value that can be current at the query time intersects
+       [lo, hi]. *)
+    let nmin, nmax = node_bounds node in
+    if nmax >= lo && nmin <= hi then begin
+      match (node.left, node.right) with
+      | None, None ->
+        let agent = node.lo_agent in
+        incr scanned;
+        (match value_at_history t.histories.(agent) time with
+        | Some v when v >= lo && v <= hi -> out := agent :: !out
+        | Some _ | None -> ())
+      | Some l, Some r ->
+        go l;
+        go r
+      | Some only, None | None, Some only -> go only
+    end
+  in
+  go t.root;
+  let matched = List.rev !out in
+  ( matched,
+    {
+      matched = List.length matched;
+      clp_nodes_visited = !visited;
+      histories_scanned = !scanned;
+    } )
+
+let range_query_brute t ~time ~lo ~hi =
+  assert (lo <= hi);
+  let out = ref [] in
+  for agent = n_agents t - 1 downto 0 do
+    match value_at t ~agent ~time with
+    | Some v when v >= lo && v <= hi -> out := agent :: !out
+    | Some _ | None -> ()
+  done;
+  !out

@@ -1,0 +1,50 @@
+(** Synchronized range queries over distributed shared state
+    (PDES-MAS, §2.4, [52]).
+
+    Agent logical processes (ALPs) publish externally visible attributes
+    as shared state variables (SSVs) whose values are timestamped; a tree
+    of communication logical processes (CLPs) holds the SSVs and answers
+    instantaneous range queries — "find all agents whose attribute is in
+    [lo, hi] right now" — issued at possibly different simulated times,
+    because ALPs progress at different rates. Here the CLP tree is a
+    static balanced binary tree over agents; each node keeps bounds over
+    its subtree's whole value history for pruning, and every answer is
+    checked against the timestamped histories, so queries at past times
+    are answered exactly. *)
+
+type t
+
+val create : ?bucket_width:float -> n_agents:int -> unit -> t
+(** Agents are 0..n_agents−1 with empty histories.
+
+    [bucket_width] enables time-bucketed subtree bounds: each CLP node
+    additionally keeps, per time bucket of that width, conservative
+    bounds over every value that could be current during the bucket, so a
+    query at simulated time t prunes with the bounds of t's bucket rather
+    than the whole history — much sharper for queries early in simulated
+    time, the case that matters when ALPs progress at different rates.
+    Without it only whole-history bounds are kept. *)
+
+val n_agents : t -> int
+
+val write : t -> agent:int -> time:float -> value:float -> unit
+(** Record an SSV update. Times per agent must be non-decreasing; raises
+    [Invalid_argument] otherwise. *)
+
+val value_at : t -> agent:int -> time:float -> float option
+(** Latest write at or before [time] ([None] before the first write). *)
+
+type query_stats = {
+  matched : int;
+  clp_nodes_visited : int;
+  histories_scanned : int;  (** leaf histories actually binary-searched *)
+}
+
+val range_query :
+  t -> time:float -> lo:float -> hi:float -> int list * query_stats
+(** Agents whose value at [time] lies in [lo, hi] (ascending ids), routed
+    through the CLP tree with subtree-bound pruning. *)
+
+val range_query_brute : t -> time:float -> lo:float -> hi:float -> int list
+(** Reference implementation scanning every agent — the correctness
+    oracle. *)

@@ -1,0 +1,128 @@
+module Rng = Mde_prob.Rng
+
+type cell = Empty | A | B
+
+type t = {
+  size : int;
+  threshold : float;
+  grid : cell array array;
+  rng : Rng.t;
+}
+
+let create ?(seed = 11) ~size ~vacancy ~threshold () =
+  assert (size >= 3);
+  assert (vacancy > 0. && vacancy < 1.);
+  assert (threshold >= 0. && threshold <= 1.);
+  let rng = Rng.create ~seed () in
+  let cells = size * size in
+  let n_vacant = Stdlib.max 1 (Float.to_int (vacancy *. float_of_int cells)) in
+  let n_agents = cells - n_vacant in
+  let n_a = n_agents / 2 in
+  let order = Rng.permutation rng cells in
+  let grid = Array.make_matrix size size Empty in
+  Array.iteri
+    (fun rank idx ->
+      let kind = if rank < n_a then A else if rank < n_agents then B else Empty in
+      grid.(idx / size).(idx mod size) <- kind)
+    order;
+  { size; threshold; grid; rng }
+
+let neighbours t i j =
+  let out = ref [] in
+  for di = -1 to 1 do
+    for dj = -1 to 1 do
+      if di <> 0 || dj <> 0 then begin
+        let ni = (i + di + t.size) mod t.size in
+        let nj = (j + dj + t.size) mod t.size in
+        out := t.grid.(ni).(nj) :: !out
+      end
+    done
+  done;
+  !out
+
+let like_fraction t i j =
+  match t.grid.(i).(j) with
+  | Empty -> None
+  | me ->
+    let occupied = List.filter (fun c -> c <> Empty) (neighbours t i j) in
+    (match occupied with
+    | [] -> Some 1. (* no neighbours: trivially content *)
+    | _ ->
+      let like = List.length (List.filter (fun c -> c = me) occupied) in
+      Some (float_of_int like /. float_of_int (List.length occupied)))
+
+let unhappy t i j =
+  match like_fraction t i j with
+  | Some f -> f < t.threshold
+  | None -> false
+
+let vacancies t =
+  let out = ref [] in
+  for i = 0 to t.size - 1 do
+    for j = 0 to t.size - 1 do
+      if t.grid.(i).(j) = Empty then out := (i, j) :: !out
+    done
+  done;
+  Array.of_list !out
+
+let step t =
+  let movers = ref [] in
+  for i = 0 to t.size - 1 do
+    for j = 0 to t.size - 1 do
+      if unhappy t i j then movers := (i, j) :: !movers
+    done
+  done;
+  let movers = Array.of_list !movers in
+  Rng.shuffle_in_place t.rng movers;
+  let moved = ref 0 in
+  Array.iter
+    (fun (i, j) ->
+      (* Re-check: earlier moves this step may have made the agent happy. *)
+      if unhappy t i j then begin
+        let vacant = vacancies t in
+        if Array.length vacant > 0 then begin
+          let vi, vj = vacant.(Rng.int t.rng (Array.length vacant)) in
+          t.grid.(vi).(vj) <- t.grid.(i).(j);
+          t.grid.(i).(j) <- Empty;
+          incr moved
+        end
+      end)
+    movers;
+  !moved
+
+let run_until_settled ?(max_steps = 500) t =
+  let rec go n = if n >= max_steps then n else if step t = 0 then n + 1 else go (n + 1) in
+  go 0
+
+let segregation_index t =
+  let total = ref 0. and count = ref 0 in
+  for i = 0 to t.size - 1 do
+    for j = 0 to t.size - 1 do
+      match like_fraction t i j with
+      | Some f ->
+        total := !total +. f;
+        incr count
+      | None -> ()
+    done
+  done;
+  if !count = 0 then 0. else !total /. float_of_int !count
+
+let unhappy_count t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    for j = 0 to t.size - 1 do
+      if unhappy t i j then incr n
+    done
+  done;
+  !n
+
+let to_string t =
+  let buf = Buffer.create (t.size * (t.size + 1)) in
+  for i = 0 to t.size - 1 do
+    for j = 0 to t.size - 1 do
+      Buffer.add_char buf
+        (match t.grid.(i).(j) with Empty -> '.' | A -> '#' | B -> 'o')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Schelling's dynamic model of segregation [48] — the paper's canonical
+    early agent-based simulation. Two agent types on a grid with
+    vacancies; an agent is unhappy when the fraction of like neighbours
+    among its occupied neighbours falls below its tolerance threshold,
+    and unhappy agents relocate to random vacant cells. Mild individual
+    preferences produce strong global segregation. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  size:int ->
+  vacancy:float ->
+  threshold:float ->
+  unit ->
+  t
+(** [size × size] torus; [vacancy] ∈ (0,1) fraction of empty cells;
+    remaining cells split evenly between the two types; [threshold] ∈
+    [0,1] is the minimum acceptable like-neighbour fraction. *)
+
+val step : t -> int
+(** Move every unhappy agent (random order) to a uniformly random vacant
+    cell; returns the number of moves. *)
+
+val run_until_settled : ?max_steps:int -> t -> int
+(** Step until no agent moves (or the cap, default 500); returns steps
+    executed. *)
+
+val segregation_index : t -> float
+(** Mean like-neighbour fraction over all agents — 0.5 at random mixing,
+    → 1 under full segregation. *)
+
+val unhappy_count : t -> int
+val to_string : t -> string
+(** ASCII rendering: [#]/[o] agents, [.] vacant. *)

@@ -1,0 +1,199 @@
+module Rng = Mde_prob.Rng
+
+type params = {
+  length : int;
+  lanes : int;
+  max_speed : int;
+  p_brake : float;
+  p_change : float;
+}
+
+let default_params =
+  { length = 300; lanes = 1; max_speed = 5; p_brake = 0.25; p_change = 0.5 }
+
+(* speed.(lane).(cell) is the speed of the car in that cell, or -1 when
+   the cell is empty. *)
+type t = {
+  params : params;
+  speed : int array array;
+  rng : Rng.t;
+  mutable moved_last_step : int;
+}
+
+let create params ~density rng =
+  assert (params.length > 1 && params.lanes >= 1 && params.max_speed >= 1);
+  assert (density > 0. && density < 1.);
+  let speed = Array.init params.lanes (fun _ -> Array.make params.length (-1)) in
+  let cells = params.lanes * params.length in
+  let n_cars =
+    Stdlib.max 1 (Float.to_int (ceil (density *. float_of_int cells)))
+  in
+  (* Choose occupied cells without replacement via a shuffled index list. *)
+  let order = Rng.permutation rng cells in
+  for k = 0 to n_cars - 1 do
+    let idx = order.(k) in
+    let lane = idx / params.length and cell = idx mod params.length in
+    speed.(lane).(cell) <- Rng.int rng (params.max_speed + 1)
+  done;
+  { params; speed; rng; moved_last_step = 0 }
+
+let car_count t =
+  Array.fold_left
+    (fun acc lane -> Array.fold_left (fun a v -> if v >= 0 then a + 1 else a) acc lane)
+    0 t.speed
+
+let gap_ahead t lane cell =
+  (* Distance to the next occupied cell ahead, capped at max_speed+1. *)
+  let n = t.params.length in
+  let rec go d =
+    if d > t.params.max_speed + 1 then d
+    else if t.speed.(lane).((cell + d) mod n) >= 0 then d - 1
+    else go (d + 1)
+  in
+  go 1
+
+let gap_behind t lane cell =
+  let n = t.params.length in
+  let wrap i = ((i mod n) + n) mod n in
+  let rec go d =
+    if d > t.params.max_speed + 1 then d
+    else if t.speed.(lane).(wrap (cell - d)) >= 0 then d - 1
+    else go (d + 1)
+  in
+  go 1
+
+let step t =
+  let p = t.params in
+  let n = p.length in
+  (* Phase 1: lane changes (only meaningful with >= 2 lanes). *)
+  if p.lanes >= 2 then begin
+    let changes = ref [] in
+    for lane = 0 to p.lanes - 1 do
+      for cell = 0 to n - 1 do
+        let v = t.speed.(lane).(cell) in
+        if v >= 0 then begin
+          let gap = gap_ahead t lane cell in
+          if gap < v + 1 then begin
+            (* Blocked: look for a better lane among the adjacent ones. *)
+            let candidates =
+              List.filter
+                (fun l -> l >= 0 && l < p.lanes)
+                [ lane - 1; lane + 1 ]
+            in
+            let better =
+              List.filter
+                (fun l ->
+                  t.speed.(l).(cell) < 0
+                  && gap_ahead t l cell > gap
+                  && gap_behind t l cell >= p.max_speed)
+                candidates
+            in
+            match better with
+            | [] -> ()
+            | l :: _ ->
+              if Rng.bernoulli t.rng p.p_change then changes := (lane, cell, l) :: !changes
+          end
+        end
+      done
+    done;
+    List.iter
+      (fun (lane, cell, target) ->
+        if t.speed.(target).(cell) < 0 then begin
+          t.speed.(target).(cell) <- t.speed.(lane).(cell);
+          t.speed.(lane).(cell) <- -1
+        end)
+      !changes
+  end;
+  (* Phase 2: NaSch speed update + synchronous movement. *)
+  let moved = ref 0 in
+  let next = Array.init p.lanes (fun _ -> Array.make n (-1)) in
+  for lane = 0 to p.lanes - 1 do
+    for cell = 0 to n - 1 do
+      let v = t.speed.(lane).(cell) in
+      if v >= 0 then begin
+        let v = Stdlib.min (v + 1) p.max_speed in
+        let gap = gap_ahead t lane cell in
+        let v = Stdlib.min v gap in
+        let v = if v > 0 && Rng.bernoulli t.rng p.p_brake then v - 1 else v in
+        let dest = (cell + v) mod n in
+        next.(lane).(dest) <- v;
+        moved := !moved + v
+      end
+    done
+  done;
+  Array.iteri (fun lane row -> Array.blit row 0 t.speed.(lane) 0 n) next;
+  t.moved_last_step <- !moved
+
+let mean_speed t =
+  let cars = car_count t in
+  if cars = 0 then 0.
+  else begin
+    let total =
+      Array.fold_left
+        (fun acc lane -> Array.fold_left (fun a v -> if v >= 0 then a + v else a) acc lane)
+        0 t.speed
+    in
+    float_of_int total /. float_of_int cars
+  end
+
+let flow t =
+  let cells = t.params.lanes * t.params.length in
+  float_of_int (car_count t) /. float_of_int cells *. mean_speed t
+
+let jammed_fraction t =
+  let cars = car_count t in
+  if cars = 0 then 0.
+  else begin
+    let stopped =
+      Array.fold_left
+        (fun acc lane -> Array.fold_left (fun a v -> if v = 0 then a + 1 else a) acc lane)
+        0 t.speed
+    in
+    float_of_int stopped /. float_of_int cars
+  end
+
+let occupancy t ~lane = Array.map (fun v -> v >= 0) t.speed.(lane)
+
+type sweep_point = {
+  density : float;
+  mean_flow : float;
+  mean_speed_pt : float;
+  jammed : float;
+}
+
+let density_sweep ?(seed = 42) params ~densities ~warmup ~measure =
+  assert (warmup >= 0 && measure > 0);
+  Array.map
+    (fun density ->
+      let rng = Rng.create ~seed () in
+      let t = create params ~density rng in
+      for _ = 1 to warmup do
+        step t
+      done;
+      let f = ref 0. and s = ref 0. and j = ref 0. in
+      for _ = 1 to measure do
+        step t;
+        f := !f +. flow t;
+        s := !s +. mean_speed t;
+        j := !j +. jammed_fraction t
+      done;
+      let m = float_of_int measure in
+      {
+        density;
+        mean_flow = !f /. m;
+        mean_speed_pt = !s /. m;
+        jammed = !j /. m;
+      })
+    densities
+
+let space_time_diagram t ~steps ~lane =
+  assert (lane >= 0 && lane < t.params.lanes);
+  let buf = Buffer.create (steps * (t.params.length + 1)) in
+  for _ = 1 to steps do
+    step t;
+    Array.iter
+      (fun occupied -> Buffer.add_char buf (if occupied then '#' else '.'))
+      (occupancy t ~lane);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,58 @@
+(** Bonabeau's motivating traffic model (§1): cars on a ring road follow
+    behavioural rules — accelerate toward a comfortable speed on open
+    road, slow when someone appears ahead, brake at random, change lanes
+    when the neighbouring lane is more attractive — and traffic jams
+    emerge. This is the Nagel–Schreckenberg cellular automaton with the
+    standard symmetric lane-change extension. *)
+
+type params = {
+  length : int;  (** ring road length in cells *)
+  lanes : int;  (** ≥ 1 *)
+  max_speed : int;  (** the driver-dependent "comfortable" speed cap *)
+  p_brake : float;  (** random-deceleration probability *)
+  p_change : float;  (** lane-change probability when advantageous *)
+}
+
+val default_params : params
+
+type t
+
+val create : params -> density:float -> Mde_prob.Rng.t -> t
+(** Place ⌈density × lanes × length⌉ cars uniformly at random with
+    random initial speeds. Requires density in (0, 1). *)
+
+val step : t -> unit
+(** One synchronous update: lane changes, then the NaSch speed rules,
+    then movement. *)
+
+val car_count : t -> int
+val mean_speed : t -> float
+val flow : t -> float
+(** Cars passing a fixed point per time step (density × mean speed). *)
+
+val jammed_fraction : t -> float
+(** Fraction of cars currently stopped — the jam indicator. *)
+
+val occupancy : t -> lane:int -> bool array
+(** Cell occupancy of one lane (for space-time diagrams). *)
+
+type sweep_point = {
+  density : float;
+  mean_flow : float;
+  mean_speed_pt : float;
+  jammed : float;
+}
+
+val density_sweep :
+  ?seed:int ->
+  params ->
+  densities:float array ->
+  warmup:int ->
+  measure:int ->
+  sweep_point array
+(** The fundamental-diagram experiment: for each density, warm the system
+    up, then average flow/speed/jam fraction over [measure] steps. *)
+
+val space_time_diagram : t -> steps:int -> lane:int -> string
+(** ASCII diagram: one row per step, [#] = occupied cell. Jams appear as
+    backward-moving dark bands. Runs the model [steps] further steps. *)

@@ -1,0 +1,1 @@
+lib/assimilate/assimilation.ml: Array Float List Mde_prob Particle Sensors Wildfire

@@ -1,0 +1,1 @@
+lib/assimilate/assimilation.mli: Mde_prob Particle Sensors Wildfire

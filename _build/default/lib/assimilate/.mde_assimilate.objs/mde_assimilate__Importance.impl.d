@@ -1,0 +1,1 @@
+lib/assimilate/importance.ml: Array Float

@@ -1,0 +1,1 @@
+lib/assimilate/importance.mli: Mde_prob

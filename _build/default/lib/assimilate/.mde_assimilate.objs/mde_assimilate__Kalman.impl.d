@@ -1,0 +1,1 @@
+lib/assimilate/kalman.ml: Array Float

@@ -1,0 +1,1 @@
+lib/assimilate/kalman.mli:

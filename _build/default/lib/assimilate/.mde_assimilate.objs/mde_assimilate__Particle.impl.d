@@ -1,0 +1,1 @@
+lib/assimilate/particle.ml: Array Float Importance Mde_prob Option

@@ -1,0 +1,1 @@
+lib/assimilate/particle.mli: Mde_prob

@@ -1,0 +1,1 @@
+lib/assimilate/sensors.ml: Array Float List Mde_prob Wildfire

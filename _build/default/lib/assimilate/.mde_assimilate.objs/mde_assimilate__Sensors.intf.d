@@ -1,0 +1,1 @@
+lib/assimilate/sensors.mli: Mde_prob Wildfire

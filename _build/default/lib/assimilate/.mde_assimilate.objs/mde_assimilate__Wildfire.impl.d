@@ -1,0 +1,1 @@
+lib/assimilate/wildfire.ml: Array Buffer Char Float List Mde_prob

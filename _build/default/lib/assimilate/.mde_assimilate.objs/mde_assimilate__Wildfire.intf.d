@@ -1,0 +1,1 @@
+lib/assimilate/wildfire.mli: Mde_prob

@@ -1,0 +1,125 @@
+module Rng = Mde_prob.Rng
+
+type obs = Sensors.reading
+
+let model ~sensors ?(noise_std = 10.) ~init () =
+  {
+    Particle.init;
+    transition = (fun rng state -> Wildfire.step rng state);
+    obs_log_likelihood =
+      (fun reading state -> Sensors.log_likelihood ~noise_std sensors reading state);
+  }
+
+(* KDE over fire states: Laplace kernel on the cell-difference metric with
+   a data-driven bandwidth (mean pairwise distance to the evaluation
+   point, floored at 1). *)
+let kde_log_density samples x =
+  let m = Array.length samples in
+  assert (m > 0);
+  let distances =
+    Array.map (fun z -> float_of_int (Wildfire.cell_difference x z)) samples
+  in
+  let h = Float.max 1. (Array.fold_left ( +. ) 0. distances /. float_of_int m) in
+  let acc =
+    Array.fold_left (fun acc d -> acc +. exp (-.d /. h)) 0. distances
+  in
+  (* (Mh)^-1 Σ K(d/h); the kernel normalizer cancels between p̂ and q̂ up
+     to the bandwidth, which we keep. *)
+  log (Float.max 1e-300 (acc /. (float_of_int m *. h)))
+
+let adjust_by_sensors ~sensors reading state =
+  (* Ignite unburned cells under hot sensors; extinguish burning cells
+     under cool sensors. *)
+  let state =
+    List.fold_left
+      (fun s (x, y) ->
+        match Wildfire.cell s x y with
+        | Wildfire.Unburned -> Wildfire.with_cell s x y (Wildfire.Burning 1)
+        | Wildfire.Burning _ | Wildfire.Burned -> s)
+      state
+      (Sensors.hot_cells sensors reading)
+  in
+  List.fold_left
+    (fun s (x, y) ->
+      match Wildfire.cell s x y with
+      | Wildfire.Burning _ -> Wildfire.with_cell s x y Wildfire.Unburned
+      | Wildfire.Unburned | Wildfire.Burned -> s)
+    state
+    (Sensors.cool_cells sensors reading)
+
+let sensor_aware_proposal ~sensors ?(noise_std = 10.) ?(m_samples = 8)
+    ?(confidence = 0.5) (model : (Wildfire.state, obs) Particle.model) =
+  assert (m_samples >= 2);
+  assert (confidence >= 0. && confidence <= 1.);
+  let transition_sample rng prev =
+    match prev with None -> model.Particle.init rng | Some x -> model.Particle.transition rng x
+  in
+  let propose rng ~prev reading =
+    let x = transition_sample rng prev in
+    if Rng.bernoulli rng confidence then adjust_by_sensors ~sensors reading x else x
+  in
+  let log_incremental_weight rng ~prev ~obs x =
+    (* Estimate both densities with M auxiliary samples, per [57]. *)
+    let p_samples = Array.init m_samples (fun _ -> transition_sample rng prev) in
+    let q_samples = Array.init m_samples (fun _ -> propose rng ~prev obs) in
+    let log_p = kde_log_density p_samples x in
+    let log_q = kde_log_density q_samples x in
+    Sensors.log_likelihood ~noise_std sensors obs x +. log_p -. log_q
+  in
+  { Particle.propose; log_incremental_weight }
+
+type step_error = {
+  step : int;
+  filter_error : int;
+  open_loop_error : int;
+  ess : float;
+}
+
+type experiment = {
+  errors : step_error array;
+  mean_filter_error : float;
+  mean_open_loop_error : float;
+}
+
+let run_experiment ?(seed = 17) ?(n_particles = 100) ?(noise_std = 10.) ~params
+    ~ignition ~sensor_spacing ~steps ~proposal () =
+  assert (steps > 0);
+  let rng = Rng.create ~seed () in
+  let truth_rng = Rng.split rng in
+  let open_rng = Rng.split rng in
+  let filter_rng = Rng.split rng in
+  let obs_rng = Rng.split rng in
+  let sensors = Sensors.grid_layout ~spacing:sensor_spacing params in
+  let init _rng = Wildfire.ignite params ignition in
+  let m = model ~sensors ~noise_std ~init () in
+  let prop =
+    match proposal with
+    | `Bootstrap -> Particle.bootstrap m
+    | `Sensor_aware -> sensor_aware_proposal ~sensors ~noise_std m
+  in
+  let filter = Particle.create ~n_particles ~model:m ~proposal:prop filter_rng in
+  let truth = ref (Wildfire.ignite params ignition) in
+  let open_loop = ref (Wildfire.ignite params ignition) in
+  let errors =
+    Array.init steps (fun i ->
+        truth := Wildfire.step truth_rng !truth;
+        open_loop := Wildfire.step open_rng !open_loop;
+        let reading = Sensors.observe ~noise_std sensors obs_rng !truth in
+        Particle.step filter reading;
+        let best = Particle.map_estimate filter in
+        {
+          step = i + 1;
+          filter_error = Wildfire.cell_difference best !truth;
+          open_loop_error = Wildfire.cell_difference !open_loop !truth;
+          ess = Particle.effective_sample_size (Particle.population filter);
+        })
+  in
+  let mean f =
+    Array.fold_left (fun acc e -> acc +. float_of_int (f e)) 0. errors
+    /. float_of_int steps
+  in
+  {
+    errors;
+    mean_filter_error = mean (fun e -> e.filter_error);
+    mean_open_loop_error = mean (fun e -> e.open_loop_error);
+  }

@@ -1,0 +1,32 @@
+type 'a weighted = { particles : 'a array; log_weights : float array }
+
+let sample ~rng ~n ~proposal ~log_gamma ~log_proposal =
+  assert (n > 0);
+  let particles = Array.init n (fun _ -> proposal rng) in
+  let log_weights = Array.map (fun x -> log_gamma x -. log_proposal x) particles in
+  { particles; log_weights }
+
+let log_sum_exp logs =
+  let m = Array.fold_left Float.max neg_infinity logs in
+  if m = neg_infinity then neg_infinity
+  else m +. log (Array.fold_left (fun acc l -> acc +. exp (l -. m)) 0. logs)
+
+let normalized_weights t =
+  let lse = log_sum_exp t.log_weights in
+  if lse = neg_infinity then
+    (* Degenerate: all weights zero; fall back to uniform. *)
+    Array.make (Array.length t.log_weights) (1. /. float_of_int (Array.length t.log_weights))
+  else Array.map (fun l -> exp (l -. lse)) t.log_weights
+
+let estimate t g =
+  let w = normalized_weights t in
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. (w.(i) *. g x)) t.particles;
+  !acc
+
+let log_normalizer t =
+  log_sum_exp t.log_weights -. log (float_of_int (Array.length t.log_weights))
+
+let effective_sample_size weights =
+  let s2 = Array.fold_left (fun acc w -> acc +. (w *. w)) 0. weights in
+  if s2 = 0. then 0. else 1. /. s2

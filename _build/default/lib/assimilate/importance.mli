@@ -1,0 +1,27 @@
+(** Importance sampling (§3.2): approximate a target density known up to
+    normalization, π = γ/Z, by sampling a tractable proposal q and
+    correcting with weights w = γ/q. *)
+
+type 'a weighted = { particles : 'a array; log_weights : float array }
+
+val sample :
+  rng:Mde_prob.Rng.t ->
+  n:int ->
+  proposal:(Mde_prob.Rng.t -> 'a) ->
+  log_gamma:('a -> float) ->
+  log_proposal:('a -> float) ->
+  'a weighted
+(** Draw n particles from q with log-weights log γ − log q. *)
+
+val normalized_weights : 'a weighted -> float array
+(** Self-normalized weights W_i (softmax of log-weights, stable). *)
+
+val estimate : 'a weighted -> ('a -> float) -> float
+(** Self-normalized estimator Σ W_i g(X_i) of E_π[g]. *)
+
+val log_normalizer : 'a weighted -> float
+(** log Ẑ = log((1/N) Σ w_i), the marginal-likelihood estimate. *)
+
+val effective_sample_size : float array -> float
+(** ESS = 1/Σ W_i² of normalized weights — N when uniform, → 1 at
+    collapse (the SIS degeneracy the paper describes). *)

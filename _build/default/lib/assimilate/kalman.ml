@@ -1,0 +1,44 @@
+type model = { a : float; q : float; h : float; r : float; mu0 : float; p0 : float }
+
+type t = {
+  model : model;
+  mutable mu : float;
+  mutable p : float;
+  mutable n : int;
+  mutable log_lik : float;
+}
+
+let create model =
+  assert (model.q >= 0. && model.r > 0. && model.p0 >= 0.);
+  { model; mu = model.mu0; p = model.p0; n = 0; log_lik = 0. }
+
+let mean t = t.mu
+let variance t = t.p
+let steps t = t.n
+
+let step t y =
+  let m = t.model in
+  (* Predict. *)
+  let mu_pred = m.a *. t.mu in
+  let p_pred = (m.a *. m.a *. t.p) +. m.q in
+  (* Innovation and its variance give the exact evidence increment. *)
+  let innovation = y -. (m.h *. mu_pred) in
+  let s = (m.h *. m.h *. p_pred) +. m.r in
+  t.log_lik <-
+    t.log_lik
+    -. (0.5 *. (log (2. *. Float.pi *. s) +. (innovation *. innovation /. s)));
+  (* Update. *)
+  let gain = p_pred *. m.h /. s in
+  t.mu <- mu_pred +. (gain *. innovation);
+  t.p <- (1. -. (gain *. m.h)) *. p_pred;
+  t.n <- t.n + 1
+
+let log_likelihood t = t.log_lik
+
+let filter_all model observations =
+  let t = create model in
+  Array.map
+    (fun y ->
+      step t y;
+      t.mu)
+    observations

@@ -1,0 +1,33 @@
+(** The scalar linear-Gaussian Kalman filter: the closed-form special
+    case of the filtering problem of §3.2. For models inside its
+    assumptions it is exact, which makes it the correctness oracle for
+    the particle filter (the test suite checks the PF tracks it) and a
+    cheap baseline outside of them. *)
+
+type model = {
+  a : float;  (** state transition x' = a·x + N(0, q) *)
+  q : float;  (** process noise variance *)
+  h : float;  (** observation y = h·x + N(0, r) *)
+  r : float;  (** observation noise variance *)
+  mu0 : float;  (** prior mean *)
+  p0 : float;  (** prior variance *)
+}
+
+type t
+
+val create : model -> t
+val mean : t -> float
+(** Posterior mean after the observations so far (prior mean before any). *)
+
+val variance : t -> float
+val steps : t -> int
+
+val step : t -> float -> unit
+(** Predict, then update with one observation. *)
+
+val log_likelihood : t -> float
+(** Running log p(y₁..y_n): the exact counterpart of
+    {!Particle.log_marginal_likelihood}. *)
+
+val filter_all : model -> float array -> float array
+(** Posterior means after each observation. *)

@@ -1,0 +1,150 @@
+module Rng = Mde_prob.Rng
+
+type ('state, 'obs) model = {
+  init : Rng.t -> 'state;
+  transition : Rng.t -> 'state -> 'state;
+  obs_log_likelihood : 'obs -> 'state -> float;
+}
+
+type ('state, 'obs) proposal = {
+  propose : Rng.t -> prev:'state option -> 'obs -> 'state;
+  log_incremental_weight : Rng.t -> prev:'state option -> obs:'obs -> 'state -> float;
+}
+
+let bootstrap model =
+  {
+    propose =
+      (fun rng ~prev _obs ->
+        match prev with
+        | None -> model.init rng
+        | Some x -> model.transition rng x);
+    log_incremental_weight =
+      (* q = transition, so p(x|prev)/q cancels and only the observation
+         likelihood remains. *)
+      (fun _rng ~prev:_ ~obs x -> model.obs_log_likelihood obs x);
+  }
+
+type 'state population = { particles : 'state array; weights : float array }
+
+let effective_sample_size pop = Importance.effective_sample_size pop.weights
+
+type resampling = Multinomial | Systematic
+
+let resample ?(scheme = Systematic) rng pop =
+  let n = Array.length pop.particles in
+  let picks =
+    match scheme with
+    | Multinomial ->
+      let cum = Mde_prob.Dist.categorical_cumulative pop.weights in
+      Array.init n (fun _ -> Mde_prob.Dist.sample_cumulative cum rng)
+    | Systematic ->
+      (* One uniform offset, n evenly spaced pointers through the CDF. *)
+      let u0 = Rng.float rng /. float_of_int n in
+      let picks = Array.make n 0 in
+      let cum = ref pop.weights.(0) in
+      let j = ref 0 in
+      for i = 0 to n - 1 do
+        let u = u0 +. (float_of_int i /. float_of_int n) in
+        while !cum < u && !j < n - 1 do
+          incr j;
+          cum := !cum +. pop.weights.(!j)
+        done;
+        picks.(i) <- !j
+      done;
+      picks
+  in
+  {
+    particles = Array.map (fun i -> pop.particles.(i)) picks;
+    weights = Array.make n (1. /. float_of_int n);
+  }
+
+type ('state, 'obs) filter = {
+  model : ('state, 'obs) model;
+  proposal : ('state, 'obs) proposal;
+  rng : Rng.t;
+  n_particles : int;
+  resample_threshold : float;
+  scheme : resampling;
+  mutable pop : 'state population option;  (* None before the first step *)
+  mutable steps : int;
+  mutable resamples : int;
+  mutable log_marginal : float;
+}
+
+let create ?(n_particles = 200) ?(resample_threshold = 1.0) ?(scheme = Systematic)
+    ~model ~proposal rng =
+  assert (n_particles > 0);
+  assert (resample_threshold >= 0. && resample_threshold <= 1.);
+  {
+    model;
+    proposal;
+    rng;
+    n_particles;
+    resample_threshold;
+    scheme;
+    pop = None;
+    steps = 0;
+    resamples = 0;
+    log_marginal = 0.;
+  }
+
+let log_sum_exp logs =
+  let m = Array.fold_left Float.max neg_infinity logs in
+  if m = neg_infinity then neg_infinity
+  else m +. log (Array.fold_left (fun acc l -> acc +. exp (l -. m)) 0. logs)
+
+let step t obs =
+  let n = t.n_particles in
+  let prev_particles, prev_weights =
+    match t.pop with
+    | Some pop -> (Array.map Option.some pop.particles, pop.weights)
+    | None -> (Array.make n None, Array.make n (1. /. float_of_int n))
+  in
+  let particles = Array.map (fun prev -> t.proposal.propose t.rng ~prev obs) prev_particles in
+  let log_w =
+    Array.mapi
+      (fun i x ->
+        log prev_weights.(i)
+        +. t.proposal.log_incremental_weight t.rng ~prev:prev_particles.(i) ~obs x)
+      particles
+  in
+  let lse = log_sum_exp log_w in
+  (* lse = log Σ_i W_{n-1,i} α_i: the incremental evidence term. *)
+  if lse > neg_infinity then t.log_marginal <- t.log_marginal +. lse
+  else t.log_marginal <- neg_infinity;
+  let weights =
+    if lse = neg_infinity then Array.make n (1. /. float_of_int n)
+    else Array.map (fun l -> exp (l -. lse)) log_w
+  in
+  let pop = { particles; weights } in
+  let ess = effective_sample_size pop in
+  let pop =
+    if ess < t.resample_threshold *. float_of_int n || t.resample_threshold >= 1. then begin
+      t.resamples <- t.resamples + 1;
+      resample ~scheme:t.scheme t.rng pop
+    end
+    else pop
+  in
+  t.pop <- Some pop;
+  t.steps <- t.steps + 1
+
+let population t =
+  match t.pop with
+  | Some pop -> pop
+  | None -> invalid_arg "Particle.population: no observation assimilated yet"
+
+let estimate t g =
+  let pop = population t in
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. (pop.weights.(i) *. g x)) pop.particles;
+  !acc
+
+let map_estimate t =
+  let pop = population t in
+  let best = ref 0 in
+  Array.iteri (fun i w -> if w > pop.weights.(!best) then best := i) pop.weights;
+  pop.particles.(!best)
+
+let steps_taken t = t.steps
+let resamples_done t = t.resamples
+let log_marginal_likelihood t = t.log_marginal

@@ -1,0 +1,73 @@
+(** Sequential Monte Carlo: SIS and the particle filter of Algorithm 2.
+
+    The hidden Markov model supplies the initial sampler p₁, the
+    transition sampler p_n(x_n | x_{n−1}) and the observation
+    log-likelihood log p_n(y_n | x_n); a proposal supplies
+    q_n(x_n | y_n, x_{n−1}) together with the log incremental weight
+    log [p(y|x)·p(x|prev) / q(x|y,prev)]. The bootstrap proposal uses the
+    transition itself, collapsing the weight to the observation
+    likelihood — the [56] formulation; sensor-aware proposals ([57]) plug
+    in through the same interface. *)
+
+type ('state, 'obs) model = {
+  init : Mde_prob.Rng.t -> 'state;
+  transition : Mde_prob.Rng.t -> 'state -> 'state;
+  obs_log_likelihood : 'obs -> 'state -> float;
+}
+
+type ('state, 'obs) proposal = {
+  propose : Mde_prob.Rng.t -> prev:'state option -> 'obs -> 'state;
+      (** [prev = None] at time 1 *)
+  log_incremental_weight :
+    Mde_prob.Rng.t -> prev:'state option -> obs:'obs -> 'state -> float;
+      (** may itself use randomness (e.g. KDE density estimation) *)
+}
+
+val bootstrap : ('state, 'obs) model -> ('state, 'obs) proposal
+
+type 'state population = {
+  particles : 'state array;
+  weights : float array;  (** normalized *)
+}
+
+val effective_sample_size : 'state population -> float
+
+type resampling = Multinomial | Systematic
+
+val resample :
+  ?scheme:resampling -> Mde_prob.Rng.t -> 'state population -> 'state population
+(** Draw N particles according to the weights and reset weights to 1/N.
+    Systematic resampling (default) has lower variance. *)
+
+type ('state, 'obs) filter
+
+val create :
+  ?n_particles:int ->
+  ?resample_threshold:float ->
+  ?scheme:resampling ->
+  model:('state, 'obs) model ->
+  proposal:('state, 'obs) proposal ->
+  Mde_prob.Rng.t ->
+  ('state, 'obs) filter
+(** [resample_threshold] is the ESS/N fraction below which resampling
+    triggers: 1.0 (default) resamples every step — Algorithm 2 exactly;
+    0.0 never resamples — plain SIS. *)
+
+val step : ('state, 'obs) filter -> 'obs -> unit
+(** Assimilate one observation: propose, weight, normalize, (re)sample. *)
+
+val population : ('state, 'obs) filter -> 'state population
+val estimate : ('state, 'obs) filter -> ('state -> float) -> float
+(** Weighted posterior mean of a statistic. *)
+
+val map_estimate : ('state, 'obs) filter -> 'state
+(** Highest-weight particle. *)
+
+val steps_taken : ('state, 'obs) filter -> int
+val resamples_done : ('state, 'obs) filter -> int
+
+val log_marginal_likelihood : ('state, 'obs) filter -> float
+(** Running estimate of log p(y₁..y_n): the per-step log of the
+    weight-normalizing constants, Σ_n log Σ_i W_{n−1,i}·α_n,i — the
+    standard SMC evidence estimate, usable for comparing models against
+    the same observation stream. *)

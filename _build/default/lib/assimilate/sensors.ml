@@ -1,0 +1,78 @@
+module Rng = Mde_prob.Rng
+
+type t = { positions : (int * int) array; params : Wildfire.params }
+type reading = float array
+
+let grid_layout ~spacing p =
+  assert (spacing >= 1);
+  let out = ref [] in
+  let y = ref (spacing / 2) in
+  while !y < p.Wildfire.height do
+    let x = ref (spacing / 2) in
+    while !x < p.Wildfire.width do
+      out := (!x, !y) :: !out;
+      x := !x + spacing
+    done;
+    y := !y + spacing
+  done;
+  { positions = Array.of_list (List.rev !out); params = p }
+
+let count t = Array.length t.positions
+let positions t = Array.copy t.positions
+let ambient = 20.
+
+let expected t state =
+  Array.map
+    (fun (sx, sy) ->
+      let own = Wildfire.intensity_at state sx sy in
+      let near = ref 0. in
+      for dy = -1 to 1 do
+        for dx = -1 to 1 do
+          if dx <> 0 || dy <> 0 then begin
+            let nx = sx + dx and ny = sy + dy in
+            if
+              nx >= 0
+              && nx < t.params.Wildfire.width
+              && ny >= 0
+              && ny < t.params.Wildfire.height
+            then near := !near +. Wildfire.intensity_at state nx ny
+          end
+        done
+      done;
+      ambient +. (120. *. own) +. (30. *. !near))
+    t.positions
+
+let observe ?(noise_std = 10.) t rng state =
+  let clean = expected t state in
+  Array.map
+    (fun temp ->
+      temp
+      +. Mde_prob.Dist.sample (Mde_prob.Dist.Normal { mean = 0.; std = noise_std }) rng)
+    clean
+
+let log_likelihood ?(noise_std = 10.) t reading state =
+  assert (Array.length reading = count t);
+  let clean = expected t state in
+  let var = noise_std *. noise_std in
+  let log_norm = -0.5 *. log (2. *. Float.pi *. var) in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i y ->
+      let d = y -. clean.(i) in
+      acc := !acc +. log_norm -. (d *. d /. (2. *. var)))
+    reading;
+  !acc
+
+let hot_cells ?(threshold = ambient +. 60.) t reading =
+  let out = ref [] in
+  Array.iteri
+    (fun i (x, y) -> if reading.(i) > threshold then out := (x, y) :: !out)
+    t.positions;
+  List.rev !out
+
+let cool_cells ?(threshold = ambient +. 20.) t reading =
+  let out = ref [] in
+  Array.iteri
+    (fun i (x, y) -> if reading.(i) < threshold then out := (x, y) :: !out)
+    t.positions;
+  List.rev !out

@@ -1,0 +1,37 @@
+(** The Gaussian sensor model of [56]: temperature sensors placed over
+    the terrain read ambient temperature plus a contribution from fire in
+    their own and adjacent cells, with Gaussian noise — giving the
+    closed-form observation density p(y | x) that the particle filter
+    needs. *)
+
+type t
+
+type reading = float array
+(** One value per sensor, in sensor order. *)
+
+val grid_layout : spacing:int -> Wildfire.params -> t
+(** One sensor every [spacing] cells in both directions. *)
+
+val count : t -> int
+val positions : t -> (int * int) array
+
+val ambient : float
+(** Baseline temperature (°C). *)
+
+val expected : t -> Wildfire.state -> reading
+(** Noise-free temperatures under a fire state: ambient + 120° per
+    intensity level in the sensor's cell + 30° per level in the 8
+    surrounding cells. *)
+
+val observe : ?noise_std:float -> t -> Mde_prob.Rng.t -> Wildfire.state -> reading
+(** Noisy reading (default σ = 10°). *)
+
+val log_likelihood : ?noise_std:float -> t -> reading -> Wildfire.state -> float
+(** log p(y | x) = Σ log N(yᵢ; expectedᵢ(x), σ²). *)
+
+val hot_cells : ?threshold:float -> t -> reading -> (int * int) list
+(** Sensor cells reading above [threshold] (default ambient + 60°) — the
+    "deemed to have sufficiently high sensor temperatures" set of [57]. *)
+
+val cool_cells : ?threshold:float -> t -> reading -> (int * int) list
+(** Sensor cells reading below [threshold] (default ambient + 20°). *)

@@ -1,0 +1,164 @@
+module Rng = Mde_prob.Rng
+
+type cell = Unburned | Burning of int | Burned
+
+type params = {
+  width : int;
+  height : int;
+  spread_prob : float;
+  wind : float * float;
+  wind_boost : float;
+  intensify_prob : float;
+  burnout_prob : float;
+  fuel : (int -> int -> float) option;
+}
+
+let default_params ~width ~height =
+  {
+    width;
+    height;
+    spread_prob = 0.18;
+    wind = (1.0, 0.0);
+    wind_boost = 0.6;
+    intensify_prob = 0.35;
+    burnout_prob = 0.10;
+    fuel = None;
+  }
+
+let smooth_fuel_map ?(seed = 41) ~width ~height () =
+  let rng = Mde_prob.Rng.create ~seed () in
+  let waves =
+    Array.init 4 (fun _ ->
+        ( Mde_prob.Rng.float_range rng 0.5 2.5,
+          Mde_prob.Rng.float_range rng 0.5 2.5,
+          Mde_prob.Rng.float_range rng 0. (2. *. Float.pi) ))
+  in
+  fun x y ->
+    let fx = float_of_int x /. float_of_int width in
+    let fy = float_of_int y /. float_of_int height in
+    let acc = ref 1. in
+    Array.iter
+      (fun (kx, ky, phase) ->
+        acc :=
+          !acc
+          +. (0.175 *. sin ((2. *. Float.pi *. ((kx *. fx) +. (ky *. fy))) +. phase)))
+      waves;
+    Float.max 0.3 (Float.min 1.7 !acc)
+
+(* Cells packed in a flat array: 0 unburned, 1..3 burning, 4 burned. *)
+type state = { p : params; cells : int array }
+
+let params s = s.p
+let idx p x y = (y * p.width) + x
+
+let ignite p coords =
+  assert (p.width > 0 && p.height > 0);
+  let cells = Array.make (p.width * p.height) 0 in
+  List.iter
+    (fun (x, y) ->
+      assert (x >= 0 && x < p.width && y >= 0 && y < p.height);
+      cells.(idx p x y) <- 1)
+    coords;
+  { p; cells }
+
+let decode = function
+  | 0 -> Unburned
+  | 4 -> Burned
+  | i -> Burning i
+
+let encode = function Unburned -> 0 | Burned -> 4 | Burning i -> i
+
+let cell s x y =
+  assert (x >= 0 && x < s.p.width && y >= 0 && y < s.p.height);
+  decode s.cells.(idx s.p x y)
+
+let neighbours8 = [ (-1, -1); (0, -1); (1, -1); (-1, 0); (1, 0); (-1, 1); (0, 1); (1, 1) ]
+
+let step rng s =
+  let p = s.p in
+  let next = Array.copy s.cells in
+  for y = 0 to p.height - 1 do
+    for x = 0 to p.width - 1 do
+      match decode s.cells.(idx p x y) with
+      | Burning intensity ->
+        (* Spread to unburned neighbours; alignment with the wind vector
+           boosts the ignition probability. *)
+        List.iter
+          (fun (dx, dy) ->
+            let nx = x + dx and ny = y + dy in
+            if nx >= 0 && nx < p.width && ny >= 0 && ny < p.height then
+              if s.cells.(idx p nx ny) = 0 && next.(idx p nx ny) = 0 then begin
+                let wx, wy = p.wind in
+                let norm = sqrt (float_of_int ((dx * dx) + (dy * dy))) in
+                let align = ((float_of_int dx *. wx) +. (float_of_int dy *. wy)) /. norm in
+                let fuel_mult =
+                  match p.fuel with None -> 1. | Some f -> f nx ny
+                in
+                let prob =
+                  p.spread_prob
+                  *. (1. +. (p.wind_boost *. align))
+                  *. (1. +. (0.25 *. float_of_int (intensity - 1)))
+                  *. fuel_mult
+                in
+                let prob = Float.max 0. (Float.min 1. prob) in
+                if Rng.bernoulli rng prob then next.(idx p nx ny) <- 1
+              end)
+          neighbours8;
+        (* Intensify or burn out. *)
+        let burnout = p.burnout_prob *. float_of_int intensity in
+        if Rng.bernoulli rng (Float.min 1. burnout) then next.(idx p x y) <- 4
+        else if intensity < 3 && Rng.bernoulli rng p.intensify_prob then
+          next.(idx p x y) <- intensity + 1
+      | Unburned | Burned -> ()
+    done
+  done;
+  { p; cells = next }
+
+let burning_count s =
+  Array.fold_left (fun acc c -> if c >= 1 && c <= 3 then acc + 1 else acc) 0 s.cells
+
+let burned_count s =
+  Array.fold_left (fun acc c -> if c = 4 then acc + 1 else acc) 0 s.cells
+
+let burned_area_fraction s =
+  float_of_int (burned_count s + burning_count s) /. float_of_int (Array.length s.cells)
+
+let front_cells s =
+  let out = ref [] in
+  for y = s.p.height - 1 downto 0 do
+    for x = s.p.width - 1 downto 0 do
+      let c = s.cells.(idx s.p x y) in
+      if c >= 1 && c <= 3 then out := (x, y) :: !out
+    done
+  done;
+  !out
+
+let cell_difference a b =
+  assert (Array.length a.cells = Array.length b.cells);
+  let d = ref 0 in
+  Array.iteri (fun i c -> if c <> b.cells.(i) then incr d) a.cells;
+  !d
+
+let intensity_at s x y =
+  match cell s x y with
+  | Burning i -> float_of_int i
+  | Unburned | Burned -> 0.
+
+let with_cell s x y c =
+  let cells = Array.copy s.cells in
+  cells.(idx s.p x y) <- encode c;
+  { s with cells }
+
+let to_string s =
+  let buf = Buffer.create (s.p.height * (s.p.width + 1)) in
+  for y = 0 to s.p.height - 1 do
+    for x = 0 to s.p.width - 1 do
+      Buffer.add_char buf
+        (match cell s x y with
+        | Unburned -> '.'
+        | Burning i -> Char.chr (Char.code '0' + i)
+        | Burned -> 'x')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** A DEVS-FIRE-style stochastic wildfire spread model (§3.2, [56]):
+    terrain is a gridded cell space; each cell is unburned, burning (with
+    an intensity), or burned out; fire spreads probabilistically to
+    neighbouring unburned cells, boosted along the wind direction, and
+    burning cells gain intensity then burn out. States are immutable so
+    that particle filters can hold many hypotheses cheaply. *)
+
+type cell = Unburned | Burning of int  (** intensity 1..3 *) | Burned
+
+type params = {
+  width : int;
+  height : int;
+  spread_prob : float;  (** base per-step ignition prob from one burning neighbour *)
+  wind : float * float;  (** (wx, wy), each in [−1, 1]; boosts downwind spread *)
+  wind_boost : float;  (** multiplicative effect of alignment with the wind *)
+  intensify_prob : float;  (** chance a burning cell steps 1→2→3 *)
+  burnout_prob : float;  (** chance a burning cell burns out, rising with intensity *)
+  fuel : (int -> int -> float) option;
+      (** terrain fuel multiplier on the ignition probability of cell
+          (x, y): 0 = fire break, 1 = nominal, >1 = heavy fuel. [None]
+          means uniform fuel. *)
+}
+
+val default_params : width:int -> height:int -> params
+
+val smooth_fuel_map : ?seed:int -> width:int -> height:int -> unit -> int -> int -> float
+(** A smooth random fuel field in roughly [0.3, 1.7] (sum of low-frequency
+    sinusoids), for heterogeneous-terrain experiments. *)
+
+type state
+(** Immutable fire state. *)
+
+val params : state -> params
+val ignite : params -> (int * int) list -> state
+(** Initial state with the given cells burning at intensity 1. *)
+
+val cell : state -> int -> int -> cell
+val step : Mde_prob.Rng.t -> state -> state
+(** One Δt of stochastic spread — the p_n(x_n | x_{n−1}) sampler. *)
+
+val burning_count : state -> int
+val burned_count : state -> int
+val burned_area_fraction : state -> float
+val front_cells : state -> (int * int) list
+(** Currently burning cells. *)
+
+val cell_difference : state -> state -> int
+(** Hamming distance between two states' cell grids — the state metric
+    used by KDE density estimation over fire states. *)
+
+val intensity_at : state -> int -> int -> float
+(** 0 for unburned/burned, 1..3 for burning — the quantity sensors see. *)
+
+val with_cell : state -> int -> int -> cell -> state
+(** Functional single-cell update (used by sensor-aware proposals to
+    ignite/extinguish cells). *)
+
+val to_string : state -> string
+(** ASCII: [.] unburned, [1-3] burning intensity, [x] burned. *)

@@ -1,0 +1,1 @@
+lib/calibrate/market.ml: Array Float Mde_prob Stdlib

@@ -1,0 +1,1 @@
+lib/calibrate/market.mli: Mde_prob

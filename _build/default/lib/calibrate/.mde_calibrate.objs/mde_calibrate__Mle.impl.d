@@ -1,0 +1,1 @@
+lib/calibrate/mle.ml: Array Float Mde_optimize Mde_prob

@@ -1,0 +1,1 @@
+lib/calibrate/moments.ml: Array List Mde_optimize Mde_prob

@@ -1,0 +1,1 @@
+lib/calibrate/moments.mli:

@@ -1,0 +1,1 @@
+lib/calibrate/msm.ml: Array Float Fun List Mde_linalg Mde_metamodel Mde_optimize Mde_prob Option Stdlib

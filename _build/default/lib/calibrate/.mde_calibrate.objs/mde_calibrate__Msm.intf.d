@@ -1,0 +1,1 @@
+lib/calibrate/msm.mli: Mde_linalg Mde_optimize Mde_prob

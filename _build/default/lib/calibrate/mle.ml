@@ -1,0 +1,41 @@
+let exponential xs =
+  assert (Array.length xs > 0);
+  Array.iter (fun x -> assert (x >= 0.)) xs;
+  let mean = Mde_prob.Stats.mean xs in
+  assert (mean > 0.);
+  1. /. mean
+
+let normal xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  let mu = Mde_prob.Stats.mean xs in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.)) 0. xs /. float_of_int n
+  in
+  (mu, sqrt var)
+
+let poisson ks =
+  assert (Array.length ks > 0);
+  Mde_prob.Stats.mean (Array.map float_of_int ks)
+
+type numeric_result = {
+  theta : float array;
+  log_likelihood : float;
+  evaluations : int;
+}
+
+let numeric ~log_density ~bounds ~x0 data =
+  assert (Array.length data > 0);
+  let objective theta =
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. log_density ~theta x) data;
+    (* Minimize the negative log-likelihood; guard against NaN from
+       boundary evaluations. *)
+    if Float.is_nan !acc then infinity else -. !acc
+  in
+  let opt = Mde_optimize.Nelder_mead.minimize_box ~bounds ~f:objective ~x0 () in
+  {
+    theta = opt.Mde_optimize.Nelder_mead.x;
+    log_likelihood = -.opt.Mde_optimize.Nelder_mead.f;
+    evaluations = opt.Mde_optimize.Nelder_mead.evaluations;
+  }

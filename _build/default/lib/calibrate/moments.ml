@@ -1,0 +1,37 @@
+let exponential xs =
+  let mean = Mde_prob.Stats.mean xs in
+  assert (mean > 0.);
+  1. /. mean
+
+let normal xs = (Mde_prob.Stats.mean xs, Mde_prob.Stats.std xs)
+
+type result = { theta : float array; distance : float; evaluations : int }
+
+let solve ~population_moments ~observed_moments ~bounds ~x0 =
+  let m = Array.length observed_moments in
+  let objective theta =
+    let predicted = population_moments theta in
+    assert (Array.length predicted = m);
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      let d = predicted.(i) -. observed_moments.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    !acc
+  in
+  let opt = Mde_optimize.Nelder_mead.minimize_box ~bounds ~f:objective ~x0 () in
+  {
+    theta = opt.Mde_optimize.Nelder_mead.x;
+    distance = opt.Mde_optimize.Nelder_mead.f;
+    evaluations = opt.Mde_optimize.Nelder_mead.evaluations;
+  }
+
+let sample_moments ~orders xs =
+  let n = float_of_int (Array.length xs) in
+  assert (n > 0.);
+  Array.of_list
+    (List.map
+       (fun k ->
+         assert (k >= 1);
+         Array.fold_left (fun acc x -> acc +. (x ** float_of_int k)) 0. xs /. n)
+       orders)

@@ -1,0 +1,1 @@
+lib/composite/experiment.ml: Array Float List Mde_metamodel Mde_prob Splash

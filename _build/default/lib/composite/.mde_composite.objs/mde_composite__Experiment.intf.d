@@ -1,0 +1,1 @@
+lib/composite/experiment.mli: Mde_metamodel Mde_prob Splash

@@ -1,0 +1,1 @@
+lib/composite/result_cache.ml: Array Float Mde_prob Printf Stdlib Sys

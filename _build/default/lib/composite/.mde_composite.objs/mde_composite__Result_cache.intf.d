@@ -1,0 +1,1 @@
+lib/composite/result_cache.mli: Mde_prob

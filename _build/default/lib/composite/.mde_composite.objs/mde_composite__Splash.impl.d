@@ -1,0 +1,1 @@
+lib/composite/splash.ml: Array Float Hashtbl List Mde_prob Mde_relational Mde_timeseries Printf Stdlib String Sys Table

@@ -1,0 +1,1 @@
+lib/composite/splash.mli: Mde_prob Mde_relational Mde_timeseries Table

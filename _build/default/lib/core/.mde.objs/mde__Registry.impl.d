@@ -1,0 +1,1 @@
+lib/core/registry.ml: Float Format Hashtbl List Mde_composite Printf String

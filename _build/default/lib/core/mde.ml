@@ -1,0 +1,49 @@
+(** Model-data ecosystems: the single entry point.
+
+    This library reproduces the systems surveyed in "Model-Data
+    Ecosystems: Challenges, Tools, and Trends" (Haas, PODS 2014). The
+    aliases below group the sub-libraries by paper section; see DESIGN.md
+    for the inventory and EXPERIMENTS.md for the figure reproductions.
+
+    {1 Substrates}
+    - {!Prob} randomness, distributions, statistics, KDE
+    - {!Linalg} dense/tridiagonal linear algebra, OLS
+    - {!Mapred} the in-memory MapReduce engine with shuffle accounting
+    - {!Relational} the from-scratch relational engine
+
+    {1 Data-intensive simulation (§2)}
+    - {!Des} the discrete-event simulation core (event queue, engine,
+      M/M/c validation model)
+    - {!Mcdb} Monte Carlo databases: VG functions, tuple bundles, risk
+    - {!Simsql} database-valued Markov chains, ABS-as-self-join
+    - {!Timeseries} time alignment, cubic splines, DSGD, schema maps
+    - {!Gridfields} the gridfield algebra with regrid optimization
+    - {!Composite} Splash-style composition + result caching (§2.3)
+    - {!Epidemic} the Indemics HPC+RDBMS epidemic engine (§2.4)
+    - {!Abs} agent framework, traffic, Schelling, PDES range queries
+
+    {1 Information integration (§3)}
+    - {!Calibrate} MLE, method of (simulated) moments, market ABS
+    - {!Assimilate} particle filters and wildfire data assimilation
+
+    {1 Simulation metamodeling (§4)}
+    - {!Metamodel} designs, polynomial + GP metamodels, screening
+    - {!Optimize} the shared derivative-free optimizers *)
+
+module Prob = Mde_prob
+module Linalg = Mde_linalg
+module Mapred = Mde_mapred
+module Des = Mde_des
+module Relational = Mde_relational
+module Mcdb = Mde_mcdb
+module Simsql = Mde_simsql
+module Timeseries = Mde_timeseries
+module Gridfields = Mde_gridfields
+module Composite = Mde_composite
+module Abs = Mde_abs
+module Epidemic = Mde_epidemic
+module Assimilate = Mde_assimilate
+module Optimize = Mde_optimize
+module Metamodel = Mde_metamodel
+module Calibrate = Mde_calibrate
+module Registry = Registry

@@ -1,0 +1,105 @@
+type model_meta = {
+  model_name : string;
+  description : string;
+  inputs : string list;
+  outputs : string list;
+  time_step : float option;
+  mutable mean_run_cost : float option;
+  mutable output_variance : float option;
+}
+
+type dataset_meta = {
+  dataset_name : string;
+  dataset_description : string;
+  provenance : string;
+  time_step_ds : float option;
+}
+
+type t = {
+  models : (string, model_meta * Mde_composite.Splash.model) Hashtbl.t;
+  datasets : (string, dataset_meta * Mde_composite.Splash.datum) Hashtbl.t;
+}
+
+let create () = { models = Hashtbl.create 16; datasets = Hashtbl.create 16 }
+
+let register_model t meta m = Hashtbl.replace t.models meta.model_name (meta, m)
+
+let register_dataset t meta d =
+  Hashtbl.replace t.datasets meta.dataset_name (meta, d)
+
+let find_exn table name kind =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Registry: unknown %s %S" kind name)
+
+let model t name = snd (find_exn t.models name "model")
+let model_meta t name = fst (find_exn t.models name "model")
+let dataset t name = snd (find_exn t.datasets name "dataset")
+let dataset_meta t name = fst (find_exn t.datasets name "dataset")
+
+let sorted_keys table =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
+let model_names t = sorted_keys t.models
+let dataset_names t = sorted_keys t.datasets
+
+let ema old fresh = match old with None -> fresh | Some v -> (0.8 *. v) +. (0.2 *. fresh)
+
+let record_run t name ~cost ~output =
+  let meta = model_meta t name in
+  meta.mean_run_cost <- Some (ema meta.mean_run_cost cost);
+  (* Second-moment EMA: a rough, continually refined variability
+     statistic in the spirit of RDBMS catalog statistics. *)
+  meta.output_variance <- Some (ema meta.output_variance (output *. output))
+
+let time_step_mismatch t ~source ~target =
+  match ((model_meta t source).time_step, (model_meta t target).time_step) with
+  | Some a, Some b -> Float.abs (a -. b) > 1e-12
+  | None, _ | _, None -> false
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>models:@,";
+  List.iter
+    (fun name ->
+      let meta = model_meta t name in
+      Format.fprintf ppf "  %s: %s (in: %s; out: %s)@," name meta.description
+        (String.concat ", " meta.inputs)
+        (String.concat ", " meta.outputs))
+    (model_names t);
+  Format.fprintf ppf "datasets:@,";
+  List.iter
+    (fun name ->
+      let meta = dataset_meta t name in
+      Format.fprintf ppf "  %s: %s [%s]@," name meta.dataset_description meta.provenance)
+    (dataset_names t);
+  Format.fprintf ppf "@]"
+
+let compose t ~name ~model_names =
+  let models = List.map (fun n -> (model_meta t n, model t n)) model_names in
+  (* Producer map over the chosen models. *)
+  let producer = Hashtbl.create 16 in
+  List.iter
+    (fun (meta, _) ->
+      List.iter (fun ds -> Hashtbl.replace producer ds meta) meta.outputs)
+    models;
+  (* For each consumed dataset with a producer, compare declared time
+     steps and insert an automatic resampling transform on mismatch. *)
+  let transforms = ref [] in
+  List.iter
+    (fun (consumer_meta, _) ->
+      List.iter
+        (fun ds ->
+          match Hashtbl.find_opt producer ds with
+          | Some producer_meta -> (
+            match (producer_meta.time_step, consumer_meta.time_step) with
+            | Some src, Some dst when Float.abs (src -. dst) > 1e-12 ->
+              transforms :=
+                Mde_composite.Splash.resample_transform ~dataset:ds ~step:dst
+                :: !transforms
+            | Some _, Some _ | None, _ | _, None -> ())
+          | None -> ())
+        consumer_meta.inputs)
+    models;
+  Mde_composite.Splash.compose ~name
+    ~models:(List.map snd models)
+    ~transforms:(List.rev !transforms)

@@ -1,0 +1,58 @@
+(** The ecosystem registry: the organizational backbone of a model-data
+    ecosystem. Models and datasets are registered with the metadata that
+    Splash-style platforms rely on (description, provenance, time step,
+    performance statistics from past runs), so that composition tools can
+    detect mismatches and the run optimizer (§2.3) can amortize pilot
+    costs across uses — "important performance characteristics of a model
+    can be stored as part of the model's metadata". *)
+
+type model_meta = {
+  model_name : string;
+  description : string;
+  inputs : string list;
+  outputs : string list;
+  time_step : float option;  (** simulated time units per tick *)
+  mutable mean_run_cost : float option;  (** refined after each run *)
+  mutable output_variance : float option;
+}
+
+type dataset_meta = {
+  dataset_name : string;
+  dataset_description : string;
+  provenance : string;  (** where the data came from *)
+  time_step_ds : float option;
+}
+
+type t
+
+val create : unit -> t
+val register_model : t -> model_meta -> Mde_composite.Splash.model -> unit
+val register_dataset : t -> dataset_meta -> Mde_composite.Splash.datum -> unit
+val model : t -> string -> Mde_composite.Splash.model
+val model_meta : t -> string -> model_meta
+val dataset : t -> string -> Mde_composite.Splash.datum
+val dataset_meta : t -> string -> dataset_meta
+val model_names : t -> string list
+val dataset_names : t -> string list
+
+val record_run : t -> string -> cost:float -> output:float -> unit
+(** Fold a production run's observed cost and output into the model's
+    running statistics (exponential moving average, λ = 0.2) — the §2.3
+    continual-refinement loop. *)
+
+val time_step_mismatch : t -> source:string -> target:string -> bool
+(** True when both models declare time steps and they differ — the
+    trigger for inserting a time-alignment transform. *)
+
+val compose :
+  t ->
+  name:string ->
+  model_names:string list ->
+  Mde_composite.Splash.composite
+(** Drag-and-drop composition, Splash style: look the models up, detect
+    time-step mismatches on every producer→consumer dataset edge, and
+    automatically insert a {!Mde_composite.Splash.resample_transform}
+    onto the consumer's clock for each mismatch. Raises
+    [Invalid_argument] for unknown models or invalid wiring. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/des/engine.ml: Event_queue Option Printf

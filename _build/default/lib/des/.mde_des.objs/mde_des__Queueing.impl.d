@@ -1,0 +1,1 @@
+lib/des/queueing.ml: Engine Float Mde_prob Queue

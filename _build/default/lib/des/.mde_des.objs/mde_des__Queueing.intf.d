@@ -1,0 +1,1 @@
+lib/des/queueing.mli: Mde_prob

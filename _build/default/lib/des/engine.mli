@@ -1,0 +1,24 @@
+(** The discrete-event simulation engine: a clock and a pending-event
+    set. Event handlers receive the engine and may schedule further
+    events; the run loop fires events in timestamp (then FIFO) order
+    until a horizon or event budget is reached. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val events_processed : t -> int
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Schedule a handler [delay ≥ 0] time units from the current clock. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Absolute-time variant; the time must not precede the clock. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Fire events until the set is exhausted, the next event would exceed
+    [until], or [max_events] have been processed. The clock advances to
+    each event's timestamp; with [until], the clock finishes at
+    min(until, last event time) — it never exceeds [until]. *)
+
+val pending : t -> int

@@ -1,0 +1,20 @@
+(** A pending-event set: the core data structure of discrete-event
+    simulation (the paper's DEVS/PDES substrate, §2.2/§2.4). Binary
+    min-heap on (time, insertion sequence), so simultaneous events fire
+    in FIFO order — the determinism the engine's tests rely on. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** O(log n). *)
+
+val peek_time : 'a t -> float option
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event (FIFO among ties); O(log n). *)
+
+val clear : 'a t -> unit

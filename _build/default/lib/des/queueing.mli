@@ -1,0 +1,45 @@
+(** An M/M/c queueing station on the event engine — the standard
+    validation model for a discrete-event core (simulated waits must match
+    the Erlang-C closed forms) and the reusable building block behind the
+    paper's demand→queue composite example (§2.3, Figure 2). *)
+
+type params = {
+  arrival_rate : float;  (** λ > 0 *)
+  service_rate : float;  (** μ > 0, per server *)
+  servers : int;  (** c ≥ 1 *)
+}
+
+type results = {
+  customers_served : int;
+  mean_wait_in_queue : float;  (** W_q *)
+  mean_time_in_system : float;  (** W = W_q + 1/μ *)
+  mean_queue_length : float;  (** L_q, time-averaged *)
+  utilization : float;  (** time-averaged busy servers / c *)
+  simulated_time : float;
+}
+
+val simulate :
+  ?warmup_customers:int ->
+  params ->
+  customers:int ->
+  Mde_prob.Rng.t ->
+  results
+(** Run until [customers] have completed service after discarding the
+    first [warmup_customers] (default 10 % of [customers]) from the wait
+    statistics. Requires a stable system (λ < cμ) for the averages to
+    settle; the simulation itself runs regardless. *)
+
+(** {2 Closed forms for validation} *)
+
+val erlang_c : params -> float
+(** P(wait > 0), the Erlang-C delay probability. Requires λ < cμ. *)
+
+val theoretical_wq : params -> float
+(** W_q = ErlangC / (cμ − λ). *)
+
+val theoretical_w : params -> float
+val theoretical_lq : params -> float
+(** L_q = λ·W_q (Little's law). *)
+
+val theoretical_utilization : params -> float
+(** ρ = λ / (cμ). *)

@@ -1,0 +1,1 @@
+lib/epidemic/indemics.ml: Array Catalog Float Hashtbl Int List Mde_prob Mde_relational Network Option Schema Stdlib String Table Value

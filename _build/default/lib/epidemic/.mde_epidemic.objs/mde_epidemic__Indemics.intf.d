@@ -1,0 +1,1 @@
+lib/epidemic/indemics.mli: Catalog Mde_relational Network Table

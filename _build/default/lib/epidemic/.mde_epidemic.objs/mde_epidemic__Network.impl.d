@@ -1,0 +1,1 @@
+lib/epidemic/network.ml: Array Fun List Mde_prob Stdlib

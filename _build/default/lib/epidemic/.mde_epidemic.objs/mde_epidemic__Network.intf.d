@@ -1,0 +1,1 @@
+lib/epidemic/network.mli: Mde_prob

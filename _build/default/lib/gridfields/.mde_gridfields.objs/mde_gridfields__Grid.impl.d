@@ -1,0 +1,1 @@
+lib/gridfields/grid.ml: Array Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/gridfields/grid.mli:

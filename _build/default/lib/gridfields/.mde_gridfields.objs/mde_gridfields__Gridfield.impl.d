@@ -1,0 +1,1 @@
+lib/gridfields/gridfield.ml: Array Float Grid Hashtbl Int List

@@ -1,0 +1,42 @@
+(** Grids in the Howe–Maier sense (§2.2, [31]): a collection of
+    heterogeneous abstract cells of various dimensions with an incidence
+    relation ≤, where x ≤ y iff x = y, or dim(x) < dim(y) and x touches
+    y (e.g. a line segment that is the side of a square). *)
+
+type cell = { id : int; dim : int }
+
+type t
+
+val create : cells:cell list -> incidence:(int * int) list -> t
+(** [incidence] lists (x, y) pairs with x ≤ y, x ≠ y. Raises
+    [Invalid_argument] on duplicate ids, unknown ids, or pairs violating
+    dim(x) < dim(y). The reflexive part of ≤ is implicit. *)
+
+val dims : t -> int list
+(** Dimensions present, ascending. *)
+
+val cells_of_dim : t -> int -> cell array
+(** Cells of one dimension, in id order. *)
+
+val cell_count : t -> int
+val dim_of : t -> int -> int
+(** Dimension of a cell id. Raises [Not_found]. *)
+
+val leq : t -> int -> int -> bool
+(** The incidence relation x ≤ y. *)
+
+val up : t -> int -> int list
+(** Cells y > x incident to x (ascending id). *)
+
+val down : t -> int -> int list
+(** Cells x < y incident to y (ascending id). *)
+
+val sub_grid : t -> keep:(cell -> bool) -> t
+(** Induced sub-grid: keep the selected cells and every incidence pair
+    whose endpoints both survive. *)
+
+val regular_2d : nx:int -> ny:int -> t
+(** Helper: a structured nx × ny quadrilateral mesh with 0-cells
+    (vertices), 1-cells (edges) and 2-cells (faces) and full incidence —
+    the CORIE-style test grid. Vertex ids come first, then edges, then
+    faces; use {!cells_of_dim} to enumerate each stratum. *)

@@ -1,0 +1,107 @@
+type t = { grid : Grid.t; dim : int; data : (int, float) Hashtbl.t }
+
+let bind grid ~dim f =
+  let data = Hashtbl.create 64 in
+  Array.iter
+    (fun (c : Grid.cell) -> Hashtbl.add data c.Grid.id (f c.Grid.id))
+    (Grid.cells_of_dim grid dim);
+  { grid; dim; data }
+
+let grid t = t.grid
+let dim t = t.dim
+
+let value t id =
+  match Hashtbl.find_opt t.data id with
+  | Some v -> v
+  | None -> raise Not_found
+
+let value_opt t id = Hashtbl.find_opt t.data id
+
+let cells t =
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.data [] in
+  let arr = Array.of_list ids in
+  Array.sort Int.compare arr;
+  arr
+
+let size t = Hashtbl.length t.data
+
+let restrict_general keep_cell t =
+  let keep (c : Grid.cell) =
+    if c.Grid.dim <> t.dim then true else keep_cell c.Grid.id
+  in
+  let sub = Grid.sub_grid t.grid ~keep in
+  let data = Hashtbl.create 64 in
+  Hashtbl.iter (fun id v -> if keep_cell id then Hashtbl.add data id v) t.data;
+  { grid = sub; dim = t.dim; data }
+
+let restrict pred t =
+  restrict_general
+    (fun id -> match Hashtbl.find_opt t.data id with Some v -> pred v | None -> false)
+    t
+
+let restrict_cells pred t = restrict_general pred t
+
+let merge a b f =
+  if a.dim <> b.dim then invalid_arg "Gridfield.merge: dimension mismatch";
+  let data = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id va ->
+      match Hashtbl.find_opt b.data id with
+      | Some vb -> Hashtbl.add data id (f va vb)
+      | None -> ())
+    a.data;
+  { grid = a.grid; dim = a.dim; data }
+
+type aggregation = Average | Total | Maximum | Minimum
+
+let aggregate_values kind = function
+  | [] -> invalid_arg "Gridfield.aggregate_values: empty"
+  | v :: vs -> (
+    match kind with
+    | Average ->
+      List.fold_left ( +. ) v vs /. float_of_int (1 + List.length vs)
+    | Total -> List.fold_left ( +. ) v vs
+    | Maximum -> List.fold_left Float.max v vs
+    | Minimum -> List.fold_left Float.min v vs)
+
+type regrid_stats = { source_cells_touched : int; target_cells_bound : int }
+
+let regrid ~assignment ~aggregate ~target ~target_dim t =
+  let buckets : (int, float list ref) Hashtbl.t = Hashtbl.create 64 in
+  let touched = ref 0 in
+  Hashtbl.iter
+    (fun id v ->
+      incr touched;
+      match assignment id with
+      | Some tgt -> (
+        match Hashtbl.find_opt buckets tgt with
+        | Some l -> l := v :: !l
+        | None -> Hashtbl.add buckets tgt (ref [ v ]))
+      | None -> ())
+    t.data;
+  let data = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun tgt values -> Hashtbl.add data tgt (aggregate_values aggregate !values))
+    buckets;
+  ( { grid = target; dim = target_dim; data },
+    { source_cells_touched = !touched; target_cells_bound = Hashtbl.length data } )
+
+let restrict_then_regrid ~region ~assignment ~aggregate ~target ~target_dim t =
+  (* Pushed-down form: drop source cells destined outside the region
+     before aggregating. *)
+  let filtered_assignment id =
+    match assignment id with
+    | Some tgt when region tgt -> Some tgt
+    | Some _ | None -> None
+  in
+  (* Pre-filter so untouched cells are genuinely not visited. *)
+  let pre =
+    restrict_general
+      (fun id -> match filtered_assignment id with Some _ -> true | None -> false)
+      t
+  in
+  regrid ~assignment:filtered_assignment ~aggregate ~target ~target_dim pre
+
+let naive_regrid_then_restrict ~region ~assignment ~aggregate ~target ~target_dim t =
+  let field, stats = regrid ~assignment ~aggregate ~target ~target_dim t in
+  (restrict_cells region field, stats)

@@ -1,0 +1,1 @@
+lib/linalg/ols.ml: Array Mat Vec

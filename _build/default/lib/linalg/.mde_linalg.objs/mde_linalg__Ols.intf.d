@@ -1,0 +1,1 @@
+lib/linalg/ols.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/tridiag.mli: Mat

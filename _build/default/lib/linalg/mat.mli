@@ -1,0 +1,54 @@
+(** Dense row-major matrices with the factorizations used by the kriging
+    predictor (6), OLS metamodel fitting, and the spline benchmarks:
+    LU with partial pivoting and Cholesky. *)
+
+type t
+
+val create : int -> int -> t
+(** Zero matrix with given rows × cols. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val of_rows : float array array -> t
+(** Copies; all rows must have equal length. *)
+
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+val row : t -> int -> float array
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+(** Matrix product; inner dimensions must agree. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Matrix-vector product. *)
+
+val trans_mul_vec : t -> Vec.t -> Vec.t
+(** [trans_mul_vec a x = aᵀ x] without materializing the transpose. *)
+
+val lu_solve : t -> Vec.t -> Vec.t
+(** Solve A x = b by LU with partial pivoting. Raises [Failure] on a
+    (numerically) singular matrix. Does not modify A. *)
+
+val lu_solve_many : t -> t -> t
+(** Solve A X = B column-by-column. *)
+
+val inverse : t -> t
+(** Raises [Failure] on singular input. *)
+
+val cholesky : t -> t
+(** Lower-triangular L with L Lᵀ = A for symmetric positive-definite A.
+    Raises [Failure] if A is not positive definite. *)
+
+val cholesky_solve : t -> Vec.t -> Vec.t
+(** Solve A x = b via Cholesky (A symmetric positive-definite). *)
+
+val determinant_sign_logabs : t -> float * float
+(** [(sign, log|det|)] via LU; sign is 0. for singular matrices. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mapred/dataset.mli:

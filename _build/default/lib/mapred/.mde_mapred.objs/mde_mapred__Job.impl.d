@@ -1,0 +1,1 @@
+lib/mapred/job.ml: Array Dataset Format Hashtbl List

@@ -1,0 +1,184 @@
+type stats = {
+  records_mapped : int;
+  records_shuffled : int;
+  records_reduced : int;
+  partitions : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "mapped=%d shuffled=%d reduced=%d partitions=%d"
+    s.records_mapped s.records_shuffled s.records_reduced s.partitions
+
+let global_shuffled = ref 0
+let reset_global_counter () = global_shuffled := 0
+let global_records_shuffled () = !global_shuffled
+
+let map_reduce ?reduce_partitions ?combine ~map ~reduce input =
+  let in_parts = Dataset.partitions input in
+  let n_reduce =
+    match reduce_partitions with
+    | Some n ->
+      assert (n > 0);
+      n
+    | None -> Array.length in_parts
+  in
+  let records_mapped = ref 0 in
+  let records_shuffled = ref 0 in
+  (* Each reduce partition accumulates (key, value) pairs in arrival order. *)
+  let buckets = Array.init n_reduce (fun _ -> ref []) in
+  Array.iteri
+    (fun src_part part ->
+      (* Map phase (local to src_part). *)
+      let emitted = ref [] in
+      Array.iter
+        (fun record ->
+          incr records_mapped;
+          List.iter (fun kv -> emitted := kv :: !emitted) (map record))
+        part;
+      let emitted = List.rev !emitted in
+      (* Optional combiner: group locally and pre-reduce before shuffling. *)
+      let to_shuffle =
+        match combine with
+        | None -> emitted
+        | Some combiner ->
+          let groups = Hashtbl.create 64 in
+          let order = ref [] in
+          List.iter
+            (fun (k, v) ->
+              match Hashtbl.find_opt groups k with
+              | Some vs -> vs := v :: !vs
+              | None ->
+                Hashtbl.add groups k (ref [ v ]);
+                order := k :: !order)
+            emitted;
+          List.concat_map
+            (fun k ->
+              let vs = List.rev !(Hashtbl.find groups k) in
+              List.map (fun v -> (k, v)) (combiner k vs))
+            (List.rev !order)
+      in
+      List.iter
+        (fun (k, v) ->
+          let dest = Hashtbl.hash k mod n_reduce in
+          (* Only cross-partition traffic counts as shuffle. *)
+          if dest <> src_part || n_reduce <> Array.length in_parts then begin
+            incr records_shuffled;
+            incr global_shuffled
+          end;
+          buckets.(dest) := (k, v) :: !(buckets.(dest)))
+        to_shuffle)
+    in_parts;
+  (* Reduce phase: group by key per partition, preserving first-seen order. *)
+  let records_reduced = ref 0 in
+  let out_parts =
+    Array.map
+      (fun bucket ->
+        let pairs = List.rev !bucket in
+        let groups = Hashtbl.create 64 in
+        let order = ref [] in
+        List.iter
+          (fun (k, v) ->
+            match Hashtbl.find_opt groups k with
+            | Some vs -> vs := v :: !vs
+            | None ->
+              Hashtbl.add groups k (ref [ v ]);
+              order := k :: !order)
+          pairs;
+        let outputs =
+          List.concat_map
+            (fun k ->
+              incr records_reduced;
+              reduce k (List.rev !(Hashtbl.find groups k)))
+            (List.rev !order)
+        in
+        Array.of_list outputs)
+      buckets
+  in
+  ( Dataset.of_partitions out_parts,
+    {
+      records_mapped = !records_mapped;
+      records_shuffled = !records_shuffled;
+      records_reduced = !records_reduced;
+      partitions = n_reduce;
+    } )
+
+let equi_join ?partitions ~left_key ~right_key left right =
+  (* Tag records by side, union the datasets, shuffle on the key, and
+     cross the sides within each reduce group. *)
+  let tagged =
+    Dataset.of_partitions
+      (Array.append
+         (Dataset.partitions (Dataset.map (fun a -> `Left a) left))
+         (Dataset.partitions (Dataset.map (fun b -> `Right b) right)))
+  in
+  let reduce_partitions =
+    match partitions with
+    | Some p -> p
+    | None -> Dataset.partition_count left + Dataset.partition_count right
+  in
+  map_reduce ~reduce_partitions
+    ~map:(fun tagged_record ->
+      match tagged_record with
+      | `Left a -> [ (left_key a, `Left a) ]
+      | `Right b -> [ (right_key b, `Right b) ])
+    ~reduce:(fun _key values ->
+      let lefts = List.filter_map (function `Left a -> Some a | `Right _ -> None) values in
+      let rights = List.filter_map (function `Right b -> Some b | `Left _ -> None) values in
+      List.concat_map (fun a -> List.map (fun b -> (a, b)) rights) lefts)
+    tagged
+
+let sort_by ~cmp input =
+  let parts = Dataset.partitions input in
+  let n_parts = Array.length parts in
+  let total = Dataset.total_length input in
+  if total = 0 then
+    ( input,
+      { records_mapped = 0; records_shuffled = 0; records_reduced = 0; partitions = n_parts }
+    )
+  else begin
+    (* Sample sort: take evenly spaced samples as range boundaries. *)
+    let all = Dataset.to_array input in
+    let sample = Array.copy all in
+    Array.sort cmp sample;
+    let boundaries =
+      Array.init (n_parts - 1) (fun i -> sample.((i + 1) * total / n_parts))
+    in
+    let dest_of x =
+      (* First range whose boundary exceeds x. *)
+      let rec go i =
+        if i >= Array.length boundaries then n_parts - 1
+        else if cmp x boundaries.(i) < 0 then i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let buckets = Array.make n_parts [] in
+    let shuffled = ref 0 in
+    Array.iteri
+      (fun src part ->
+        Array.iter
+          (fun x ->
+            let dest = dest_of x in
+            if dest <> src then begin
+              incr shuffled;
+              incr global_shuffled
+            end;
+            buckets.(dest) <- x :: buckets.(dest))
+          part)
+      parts;
+    let out =
+      Array.map
+        (fun bucket ->
+          let a = Array.of_list (List.rev bucket) in
+          Array.sort cmp a;
+          a)
+        buckets
+    in
+    ( Dataset.of_partitions out,
+      {
+        records_mapped = total;
+        records_shuffled = !shuffled;
+        records_reduced = 0;
+        partitions = n_parts;
+      } )
+  end

@@ -1,0 +1,53 @@
+(** MapReduce jobs over {!Dataset} values, with explicit accounting of
+    shuffle traffic.
+
+    The paper's §2.2 argument — that DSGD beats direct linear solvers on
+    MapReduce because "the amount of data that needs to be shuffled is
+    negligible" — is made measurable here: every job reports how many
+    records crossed partition boundaries. *)
+
+type stats = {
+  records_mapped : int;  (** inputs consumed by the map phase *)
+  records_shuffled : int;
+      (** key/value pairs that moved to a different partition than the one
+          that produced them *)
+  records_reduced : int;  (** key groups consumed by the reduce phase *)
+  partitions : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val map_reduce :
+  ?reduce_partitions:int ->
+  ?combine:('k -> 'v list -> 'v list) ->
+  map:('a -> ('k * 'v) list) ->
+  reduce:('k -> 'v list -> 'c list) ->
+  'a Dataset.t ->
+  'c Dataset.t * stats
+(** Classic job: map every record to key/value pairs, optionally combine
+    per input partition (reducing shuffle volume, as a Hadoop combiner
+    does), hash-partition by key into [reduce_partitions] (default: same
+    as input), group values per key preserving emission order, reduce.
+    Within each reduce partition, key groups are processed in a
+    deterministic (hash-bucket, then first-seen) order. *)
+
+val equi_join :
+  ?partitions:int ->
+  left_key:('a -> 'k) ->
+  right_key:('b -> 'k) ->
+  'a Dataset.t ->
+  'b Dataset.t ->
+  ('a * 'b) Dataset.t * stats
+(** The classic reduce-side join (how SimSQL executes joins on Hadoop):
+    both inputs are tagged, shuffled on their key, and each reducer emits
+    the per-key cross product. *)
+
+val sort_by : cmp:('a -> 'a -> int) -> 'a Dataset.t -> 'a Dataset.t * stats
+(** Parallel sample sort: sample partition boundaries, route each record
+    to its range partition (counted as shuffle), sort partitions locally.
+    The concatenated output is globally sorted. *)
+
+val reset_global_counter : unit -> unit
+val global_records_shuffled : unit -> int
+(** Cumulative shuffle volume across all jobs since the last reset; used
+    by benchmarks that run multi-job pipelines. *)

@@ -1,0 +1,1 @@
+lib/mcdb/bundle.ml: Array Expr Hashtbl List Mde_relational Printf Schema Stochastic_table Table Value Vg

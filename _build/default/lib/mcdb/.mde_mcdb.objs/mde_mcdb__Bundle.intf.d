@@ -1,0 +1,1 @@
+lib/mcdb/bundle.mli: Expr Mde_prob Mde_relational Schema Stochastic_table Table Value

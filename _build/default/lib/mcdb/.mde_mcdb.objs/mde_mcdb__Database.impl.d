@@ -1,0 +1,1 @@
+lib/mcdb/database.ml: Array Catalog Estimator Hashtbl List Mde_prob Mde_relational Printf Stochastic_table String Table

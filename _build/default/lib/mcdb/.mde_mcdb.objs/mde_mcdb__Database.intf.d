@@ -1,0 +1,1 @@
+lib/mcdb/database.mli: Catalog Estimator Mde_prob Mde_relational Stochastic_table Table

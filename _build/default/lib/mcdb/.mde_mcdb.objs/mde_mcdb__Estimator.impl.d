@@ -1,0 +1,1 @@
+lib/mcdb/estimator.ml: Array Float Format List Mde_prob Printf

@@ -1,0 +1,1 @@
+lib/mcdb/estimator.mli: Format

@@ -1,0 +1,1 @@
+lib/mcdb/stochastic_table.ml: Array List Mde_relational Schema Table Vg

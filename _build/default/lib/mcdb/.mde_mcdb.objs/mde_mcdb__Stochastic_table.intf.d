@@ -1,0 +1,1 @@
+lib/mcdb/stochastic_table.mli: Mde_prob Mde_relational Schema Table Vg

@@ -1,0 +1,1 @@
+lib/mcdb/vg.ml: Array Float Mde_prob Mde_relational Schema Table Value

@@ -1,0 +1,1 @@
+lib/mcdb/vg.mli: Mde_prob Mde_relational Schema Table

@@ -1,0 +1,270 @@
+open Mde_relational
+
+type cell = Det of Value.t | Unc of Value.t array
+
+type t = {
+  schema : Schema.t;
+  n_reps : int;
+  rows : cell array array;
+  presence : bool array array;  (* rows × reps *)
+}
+
+let schema t = t.schema
+let n_reps t = t.n_reps
+let row_count t = Array.length t.rows
+
+let cell_value cell r =
+  match cell with Det v -> v | Unc vs -> vs.(r)
+
+let realize_row t i r = Array.map (fun c -> cell_value c r) t.rows.(i)
+let present t i r = t.presence.(i).(r)
+
+let compress_column values =
+  (* values : one per repetition; collapse to Det when constant. *)
+  let first = values.(0) in
+  if Array.for_all (fun v -> Value.equal v first) values then Det first
+  else Unc (Array.copy values)
+
+let of_stochastic_table st rng ~n_reps =
+  assert (n_reps > 0);
+  let vg = Stochastic_table.vg st in
+  if not vg.Vg.row_stable then
+    invalid_arg
+      (Printf.sprintf
+         "Bundle.of_stochastic_table: VG function %S is not row-stable"
+         vg.Vg.name);
+  let out_schema = Stochastic_table.schema st in
+  let arity = Schema.arity out_schema in
+  let rows = ref [] in
+  Table.iter
+    (fun driver_row ->
+      (* One physical tuple per driver row; its uncertain attributes are
+         instantiated n_reps times and bundled column-wise. *)
+      let reps =
+        Array.init n_reps (fun _ ->
+            match Stochastic_table.generate_for_row st rng driver_row with
+            | [ row ] -> row
+            | rows ->
+              invalid_arg
+                (Printf.sprintf
+                   "Bundle.of_stochastic_table: VG %S emitted %d rows for one \
+                    driver row (expected 1)"
+                   vg.Vg.name (List.length rows)))
+      in
+      let cells =
+        Array.init arity (fun j -> compress_column (Array.map (fun rep -> rep.(j)) reps))
+      in
+      rows := cells :: !rows)
+    (Stochastic_table.driver st);
+  let rows = Array.of_list (List.rev !rows) in
+  let presence = Array.map (fun _ -> Array.make n_reps true) rows in
+  { schema = out_schema; n_reps; rows; presence }
+
+let of_table table ~n_reps =
+  assert (n_reps > 0);
+  let rows = Array.map (Array.map (fun v -> Det v)) (Table.rows table) in
+  let presence = Array.map (fun _ -> Array.make n_reps true) rows in
+  { schema = Table.schema table; n_reps; rows; presence }
+
+let select pred t =
+  let used = Expr.columns_used pred in
+  let idxs = List.map (Schema.column_index t.schema) used in
+  let presence = Array.map Array.copy t.presence in
+  Array.iteri
+    (fun i row ->
+      let det_only =
+        List.for_all (fun j -> match row.(j) with Det _ -> true | Unc _ -> false) idxs
+      in
+      if det_only then begin
+        (* One evaluation covers every repetition. *)
+        let realized = Array.map (fun c -> cell_value c 0) row in
+        if not (Expr.eval_bool t.schema realized pred) then
+          Array.fill presence.(i) 0 t.n_reps false
+      end
+      else
+        for r = 0 to t.n_reps - 1 do
+          if presence.(i).(r) then begin
+            let realized = realize_row t i r in
+            if not (Expr.eval_bool t.schema realized pred) then
+              presence.(i).(r) <- false
+          end
+        done)
+    t.rows;
+  { t with presence }
+
+let project names t =
+  let idxs = List.map (Schema.column_index t.schema) names in
+  let rows =
+    Array.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs)) t.rows
+  in
+  { t with schema = Schema.project t.schema names; rows }
+
+let extend defs t =
+  let added = Schema.of_list (List.map (fun (n, ty, _) -> (n, ty)) defs) in
+  let out_schema = Schema.concat t.schema added in
+  let rows =
+    Array.mapi
+      (fun i row ->
+        let new_cells =
+          List.map
+            (fun (_, _, e) ->
+              let used = Expr.columns_used e in
+              let idxs = List.map (Schema.column_index t.schema) used in
+              let det_only =
+                List.for_all
+                  (fun j -> match row.(j) with Det _ -> true | Unc _ -> false)
+                  idxs
+              in
+              if det_only then
+                Det (Expr.eval t.schema (Array.map (fun c -> cell_value c 0) row) e)
+              else
+                compress_column
+                  (Array.init t.n_reps (fun r -> Expr.eval t.schema (realize_row t i r) e)))
+            defs
+        in
+        Array.append row (Array.of_list new_cells))
+      t.rows
+  in
+  { t with schema = out_schema; rows }
+
+let det_key_exn t idxs i =
+  List.map
+    (fun j ->
+      match t.rows.(i).(j) with
+      | Det v -> v
+      | Unc _ -> invalid_arg "Bundle: key column is uncertain")
+    idxs
+
+let join ~on left right =
+  let ls = left.schema and rs = right.schema in
+  assert (left.n_reps = right.n_reps);
+  let out_schema = Schema.concat ls rs in
+  let l_idx = List.map (fun (l, _) -> Schema.column_index ls l) on in
+  let r_idx = List.map (fun (_, r) -> Schema.column_index rs r) on in
+  let build = Hashtbl.create (max 16 (Array.length right.rows)) in
+  Array.iteri
+    (fun i _ ->
+      let key = det_key_exn right r_idx i in
+      if not (List.exists Value.is_null key) then Hashtbl.add build key i)
+    right.rows;
+  let out_rows = ref [] and out_presence = ref [] in
+  Array.iteri
+    (fun i _ ->
+      let key = det_key_exn left l_idx i in
+      if not (List.exists Value.is_null key) then
+        List.iter
+          (fun j ->
+            out_rows := Array.append left.rows.(i) right.rows.(j) :: !out_rows;
+            out_presence :=
+              Array.init left.n_reps (fun r ->
+                  left.presence.(i).(r) && right.presence.(j).(r))
+              :: !out_presence)
+          (List.rev (Hashtbl.find_all build key)))
+    left.rows;
+  {
+    schema = out_schema;
+    n_reps = left.n_reps;
+    rows = Array.of_list (List.rev !out_rows);
+    presence = Array.of_list (List.rev !out_presence);
+  }
+
+type agg = Count | Sum of Expr.t | Avg of Expr.t | Min of Expr.t | Max of Expr.t
+
+type group_state = {
+  counts : int array;  (* per rep *)
+  sums : float array array;  (* per agg, per rep *)
+  mins : float array array;
+  maxs : float array array;
+  agg_counts : int array array;  (* per agg: rows contributing per rep *)
+}
+
+let aggregate ?(keys = []) aggs t =
+  let key_idx = List.map (Schema.column_index t.schema) keys in
+  let groups : (Value.t list, group_state) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let n_aggs = List.length aggs in
+  let fresh () =
+    {
+      counts = Array.make t.n_reps 0;
+      sums = Array.init n_aggs (fun _ -> Array.make t.n_reps 0.);
+      mins = Array.init n_aggs (fun _ -> Array.make t.n_reps infinity);
+      maxs = Array.init n_aggs (fun _ -> Array.make t.n_reps neg_infinity);
+      agg_counts = Array.init n_aggs (fun _ -> Array.make t.n_reps 0);
+    }
+  in
+  Array.iteri
+    (fun i _ ->
+      let key = det_key_exn t key_idx i in
+      let state =
+        match Hashtbl.find_opt groups key with
+        | Some s -> s
+        | None ->
+          let s = fresh () in
+          Hashtbl.add groups key s;
+          order := key :: !order;
+          s
+      in
+      for r = 0 to t.n_reps - 1 do
+        if t.presence.(i).(r) then begin
+          state.counts.(r) <- state.counts.(r) + 1;
+          List.iteri
+            (fun a (_, agg) ->
+              match agg with
+              | Count -> ()
+              | Sum e | Avg e | Min e | Max e ->
+                let v = Expr.eval t.schema (realize_row t i r) e in
+                if not (Value.is_null v) then begin
+                  let x = Value.to_float v in
+                  state.sums.(a).(r) <- state.sums.(a).(r) +. x;
+                  if x < state.mins.(a).(r) then state.mins.(a).(r) <- x;
+                  if x > state.maxs.(a).(r) then state.maxs.(a).(r) <- x;
+                  state.agg_counts.(a).(r) <- state.agg_counts.(a).(r) + 1
+                end)
+            aggs
+        end
+      done)
+    t.rows;
+  let finish key =
+    let state = Hashtbl.find groups key in
+    let per_agg =
+      Array.of_list
+        (List.mapi
+           (fun a (_, agg) ->
+             Array.init t.n_reps (fun r ->
+                 match agg with
+                 | Count -> float_of_int state.counts.(r)
+                 | Sum _ -> state.sums.(a).(r)
+                 | Avg _ ->
+                   if state.agg_counts.(a).(r) = 0 then nan
+                   else state.sums.(a).(r) /. float_of_int state.agg_counts.(a).(r)
+                 | Min _ ->
+                   if state.agg_counts.(a).(r) = 0 then nan else state.mins.(a).(r)
+                 | Max _ ->
+                   if state.agg_counts.(a).(r) = 0 then nan else state.maxs.(a).(r)))
+           aggs)
+    in
+    (Array.of_list key, per_agg)
+  in
+  let finish_empty_global () =
+    (* No tuples at all and a global group: zero counts/sums, nan moments. *)
+    let per_agg =
+      Array.of_list
+        (List.map
+           (fun (_, agg) ->
+             Array.init t.n_reps (fun _ ->
+                 match agg with Count | Sum _ -> 0. | Avg _ | Min _ | Max _ -> nan))
+           aggs)
+    in
+    ([||], per_agg)
+  in
+  match (!order, keys) with
+  | [], [] -> [ finish_empty_global () ]
+  | found, _ -> List.map finish (List.rev found)
+
+let to_instances t =
+  Array.init t.n_reps (fun r ->
+      let rows = ref [] in
+      Array.iteri
+        (fun i _ -> if t.presence.(i).(r) then rows := realize_row t i r :: !rows)
+        t.rows;
+      Table.create t.schema (List.rev !rows))

@@ -1,0 +1,78 @@
+(** Tuple-bundle query execution (§2.1).
+
+    MCDB "executes a query plan only once, processing tuple bundles
+    rather than ordinary tuples": each uncertain attribute of a tuple
+    carries the array of its instantiations across all Monte Carlo
+    repetitions, while deterministic attributes are stored once. A
+    per-repetition presence bitmap tracks which tuples survive selection
+    in which repetition, so selections, projections, computed columns,
+    joins on deterministic keys, and aggregations all happen in a single
+    pass over the data instead of once per repetition.
+
+    Restrictions (documented MCDB-style): bundle construction requires a
+    row-stable VG function (exactly one output row per driver row), and
+    join keys / group-by keys must be deterministic. The general case
+    falls back to {!Stochastic_table.instantiate_many} + ordinary
+    queries; {!to_instances} lets tests check the two paths agree. *)
+
+open Mde_relational
+
+type cell =
+  | Det of Value.t  (** same value in every repetition *)
+  | Unc of Value.t array  (** one value per repetition *)
+
+type t
+
+val of_stochastic_table :
+  Stochastic_table.t -> Mde_prob.Rng.t -> n_reps:int -> t
+(** Instantiate all repetitions at once. Columns whose values coincide
+    across repetitions are stored as [Det]. Raises [Invalid_argument] if
+    the table's VG function is not row-stable. *)
+
+val of_table : Table.t -> n_reps:int -> t
+(** Wrap a deterministic table (all cells [Det], all rows present). *)
+
+val schema : t -> Schema.t
+val n_reps : t -> int
+val row_count : t -> int
+(** Physical tuples (independent of presence). *)
+
+val realize_row : t -> int -> int -> Table.row
+(** [realize_row b i r]: row [i]'s values in repetition [r]. *)
+
+val present : t -> int -> int -> bool
+
+val select : Expr.t -> t -> t
+(** Evaluate the predicate per repetition, narrowing presence. Evaluated
+    once per tuple when the predicate touches only deterministic cells. *)
+
+val project : string list -> t -> t
+
+val extend : (string * Value.ty * Expr.t) list -> t -> t
+(** Computed columns; a result cell is [Det] when every referenced input
+    cell is. *)
+
+val join : on:(string * string) list -> t -> t -> t
+(** Hash equi-join on deterministic key columns; output presence is the
+    conjunction of the inputs' presence. Raises [Invalid_argument] if a
+    key column is uncertain. *)
+
+type agg =
+  | Count
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+
+val aggregate :
+  ?keys:string list -> (string * agg) list -> t -> (Table.row * float array array) list
+(** Grouped aggregation in one pass: for each group (keyed on
+    deterministic columns; `?keys` defaults to none, i.e. one global
+    group) and each named aggregate, the per-repetition aggregate values
+    (array of length [n_reps]). Empty groups in a repetition yield [nan]
+    for Avg/Min/Max and 0 for Count/Sum. *)
+
+val to_instances : t -> Table.t array
+(** Materialize each repetition as an ordinary table (presence applied) —
+    the bridge to the naive path for testing and for downstream operators
+    the bundle engine does not cover. *)

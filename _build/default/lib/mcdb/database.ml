@@ -1,0 +1,47 @@
+open Mde_relational
+module Rng = Mde_prob.Rng
+
+type t = {
+  deterministic : (string, Table.t) Hashtbl.t;
+  stochastic : (string, Stochastic_table.t) Hashtbl.t;
+}
+
+let create () = { deterministic = Hashtbl.create 8; stochastic = Hashtbl.create 8 }
+
+let add_table t name table =
+  if Hashtbl.mem t.stochastic name then
+    invalid_arg (Printf.sprintf "Database.add_table: %S is a stochastic table" name);
+  Hashtbl.replace t.deterministic name table
+
+let add_stochastic t st =
+  let name = Stochastic_table.name st in
+  if Hashtbl.mem t.deterministic name then
+    invalid_arg
+      (Printf.sprintf "Database.add_stochastic: %S is a deterministic table" name);
+  Hashtbl.replace t.stochastic name st
+
+let sorted_keys table =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
+let deterministic_tables t = sorted_keys t.deterministic
+let stochastic_tables t = sorted_keys t.stochastic
+
+let instantiate t rng =
+  let catalog = Catalog.create () in
+  Hashtbl.iter (fun name table -> Catalog.register catalog name table) t.deterministic;
+  (* Realize stochastic tables in name order so the RNG consumption is
+     deterministic given the seed. *)
+  List.iter
+    (fun name ->
+      let st = Hashtbl.find t.stochastic name in
+      Catalog.register catalog name (Stochastic_table.instantiate st rng))
+    (stochastic_tables t);
+  catalog
+
+let monte_carlo t rng ~reps ~query =
+  assert (reps > 0);
+  let streams = Rng.split_n rng reps in
+  Array.init reps (fun r -> query (instantiate t streams.(r)))
+
+let estimate t rng ~reps ~query =
+  Estimator.of_samples (monte_carlo t rng ~reps ~query)

@@ -1,0 +1,48 @@
+(** The Monte Carlo database proper: ordinary relations plus any number
+    of stochastic-table definitions. Queries are ordinary functions over
+    a realized {!Mde_relational.Catalog} — "running an SQL query over the
+    database instance generates a sample from the query-result
+    distribution. Iteration of this process yields a collection of
+    samples" (§2.1). This is the fully general execution path; the
+    tuple-bundle engine ({!Bundle}) is its one-pass optimization for
+    row-stable VG functions. *)
+
+open Mde_relational
+
+type t
+
+val create : unit -> t
+
+val add_table : t -> string -> Table.t -> unit
+(** Register an ordinary (deterministic) relation. *)
+
+val add_stochastic : t -> Stochastic_table.t -> unit
+(** Register a stochastic table (keyed by its name). Definitions may
+    consult the deterministic relations through the closures they were
+    built with. *)
+
+val deterministic_tables : t -> string list
+val stochastic_tables : t -> string list
+
+val instantiate : t -> Mde_prob.Rng.t -> Catalog.t
+(** One database instance: every deterministic relation plus one
+    realization of every stochastic table, as a catalog ready for
+    querying. *)
+
+val monte_carlo :
+  t ->
+  Mde_prob.Rng.t ->
+  reps:int ->
+  query:(Catalog.t -> float) ->
+  float array
+(** The MCDB loop: realize, query, repeat — one sample of the
+    query-result distribution per repetition, each on a split RNG
+    stream. *)
+
+val estimate :
+  t ->
+  Mde_prob.Rng.t ->
+  reps:int ->
+  query:(Catalog.t -> float) ->
+  Estimator.estimate
+(** Convenience: {!monte_carlo} reduced to a mean estimate with CI. *)

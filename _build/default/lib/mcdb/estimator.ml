@@ -1,0 +1,85 @@
+module Stats = Mde_prob.Stats
+module Special = Mde_prob.Special
+
+type estimate = {
+  n : int;
+  mean : float;
+  std : float;
+  std_error : float;
+  ci95 : float * float;
+}
+
+let clean xs =
+  let kept = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list xs)) in
+  kept
+
+let of_samples xs =
+  let xs = clean xs in
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Estimator.of_samples: need at least 2 samples";
+  let mean = Stats.mean xs in
+  let std = Stats.std xs in
+  let std_error = std /. sqrt (float_of_int n) in
+  let z = 1.959963984540054 in
+  { n; mean; std; std_error; ci95 = (mean -. (z *. std_error), mean +. (z *. std_error)) }
+
+let pp_estimate ppf e =
+  Format.fprintf ppf "mean=%.6g ± %.3g (95%% CI [%.6g, %.6g], n=%d)" e.mean
+    (1.96 *. e.std_error) (fst e.ci95) (snd e.ci95) e.n
+
+let quantile xs p = Stats.quantile (clean xs) p
+
+let quantile_ci xs p level =
+  let xs = clean xs in
+  let n = Array.length xs in
+  assert (n >= 2 && p > 0. && p < 1. && level > 0. && level < 1.);
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let z = Special.normal_inv_cdf (1. -. ((1. -. level) /. 2.)) in
+  let nf = float_of_int n in
+  let half_width = z *. sqrt (nf *. p *. (1. -. p)) in
+  let lo_rank = Float.to_int (Float.max 0. (floor ((nf *. p) -. half_width))) in
+  let hi_rank = Float.to_int (Float.min (nf -. 1.) (ceil ((nf *. p) +. half_width))) in
+  (sorted.(lo_rank), sorted.(hi_rank))
+
+let extreme_quantile xs p =
+  let xs = clean xs in
+  let n = Array.length xs in
+  assert (p > 0. && p < 1.);
+  let tail = Float.min p (1. -. p) in
+  if float_of_int n *. tail < 1. then
+    invalid_arg
+      (Printf.sprintf
+         "Estimator.extreme_quantile: %d samples leave the %.4g tail empty; \
+          draw more repetitions"
+         n tail);
+  Stats.quantile xs p
+
+let conditional_tail_expectation xs p =
+  let xs = clean xs in
+  let q = Stats.quantile xs p in
+  let tail = List.filter (fun x -> x >= q) (Array.to_list xs) in
+  match tail with
+  | [] -> q
+  | _ -> Stats.mean (Array.of_list tail)
+
+let threshold_probability xs cutoff =
+  let xs = clean xs in
+  let n = Array.length xs in
+  assert (n > 0);
+  let k = Array.fold_left (fun acc x -> if x > cutoff then acc + 1 else acc) 0 xs in
+  let p_hat = float_of_int k /. float_of_int n in
+  (* Wilson score interval at 95%. *)
+  let z = 1.959963984540054 in
+  let nf = float_of_int n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. nf) in
+  let center = (p_hat +. (z2 /. (2. *. nf))) /. denom in
+  let half =
+    z *. sqrt ((p_hat *. (1. -. p_hat) /. nf) +. (z2 /. (4. *. nf *. nf))) /. denom
+  in
+  (p_hat, (Float.max 0. (center -. half), Float.min 1. (center +. half)))
+
+let exceeds_with_probability xs ~cutoff ~prob =
+  let p_hat, _ = threshold_probability xs cutoff in
+  p_hat >= prob

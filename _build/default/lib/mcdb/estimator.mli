@@ -1,0 +1,46 @@
+(** Turning per-repetition Monte Carlo outputs into answers: moments and
+    quantiles of the query-result distribution, plus the MCDB-R risk
+    extensions (extreme quantiles, conditional tail expectation) and
+    probabilistic threshold queries (§2.1, [5, 42]). *)
+
+type estimate = {
+  n : int;
+  mean : float;
+  std : float;
+  std_error : float;
+  ci95 : float * float;  (** normal-approximation 95 % CI for the mean *)
+}
+
+val of_samples : float array -> estimate
+(** Requires ≥ 2 samples; [nan] entries (empty-group repetitions) are
+    dropped first. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit
+
+val quantile : float array -> float -> float
+(** Sample quantile of the result distribution. *)
+
+val quantile_ci : float array -> float -> float -> float * float
+(** [quantile_ci xs p level] — distribution-free order-statistic
+    confidence interval for the p-quantile using the binomial normal
+    approximation. *)
+
+val extreme_quantile : float array -> float -> float
+(** MCDB-R-style risk quantile (e.g. p = 0.99): sample quantile with a
+    tail-sensitivity check; requires enough samples that the tail region
+    contains at least one observation, else raises [Invalid_argument]. *)
+
+val conditional_tail_expectation : float array -> float -> float
+(** [conditional_tail_expectation xs p]: mean of the values at or above
+    the p-quantile — expected shortfall, the standard risk companion to
+    the extreme quantile. *)
+
+val threshold_probability : float array -> float -> float * (float * float)
+(** [threshold_probability xs cutoff] estimates P(result > cutoff) with a
+    Wilson 95 % confidence interval — the "more than a 2 % decline with
+    at least 50 % probability" query shape. *)
+
+val exceeds_with_probability :
+  float array -> cutoff:float -> prob:float -> bool
+(** Decision form of a threshold query: is the estimated
+    P(result > cutoff) at least [prob]? *)

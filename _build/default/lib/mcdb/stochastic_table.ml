@@ -1,0 +1,37 @@
+open Mde_relational
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  driver : Table.t;
+  vg : Vg.t;
+  params : Table.row -> Table.t list;
+  combine : Table.row -> Table.row -> Table.row;
+}
+
+let define ~name ~schema ~driver ~vg ~params ~combine =
+  { name; schema; driver; vg; params; combine }
+
+let name t = t.name
+let schema t = t.schema
+let vg t = t.vg
+let driver t = t.driver
+
+let generate_for_row t rng driver_row =
+  let param_tables = t.params driver_row in
+  let vg_rows = t.vg.Vg.generate rng param_tables in
+  List.map (fun vg_row -> t.combine driver_row vg_row) vg_rows
+
+let instantiate t rng =
+  let out = ref [] in
+  Table.iter
+    (fun driver_row ->
+      List.iter
+        (fun row -> out := row :: !out)
+        (generate_for_row t rng driver_row))
+    t.driver;
+  Table.create t.schema (List.rev !out)
+
+let instantiate_many t rng n =
+  assert (n > 0);
+  Array.init n (fun _ -> instantiate t rng)

@@ -1,0 +1,44 @@
+(** Stochastic-table definitions, mirroring MCDB's
+
+    {v
+    CREATE TABLE SBP_DATA(PID, GENDER, SBP) AS
+      FOR EACH p IN PATIENTS
+      WITH SBP AS Normal((SELECT s.MEAN, s.STD FROM SBP_PARAM s))
+      SELECT p.PID, p.GENDER, b.VALUE FROM SBP b
+    v}
+
+    A definition names a driver table ([FOR EACH]), a VG function
+    ([WITH ... AS]), a per-driver-row parametrization (the inner SELECT),
+    and a combiner (the outer SELECT) that builds each output row from the
+    driver row and one VG output row. *)
+
+open Mde_relational
+
+type t
+
+val define :
+  name:string ->
+  schema:Schema.t ->
+  driver:Table.t ->
+  vg:Vg.t ->
+  params:(Table.row -> Table.t list) ->
+  combine:(Table.row -> Table.row -> Table.row) ->
+  t
+(** [combine driver_row vg_row] must produce a row matching [schema]. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val vg : t -> Vg.t
+val driver : t -> Table.t
+
+val generate_for_row : t -> Mde_prob.Rng.t -> Table.row -> Table.row list
+(** Run the VG function for a single driver row and combine: the unit of
+    work that both the naive and the tuple-bundle paths share. *)
+
+val instantiate : t -> Mde_prob.Rng.t -> Table.t
+(** Draw one realization of the whole table: loop over the driver rows,
+    call the VG function once per row, and UNION the combined outputs. *)
+
+val instantiate_many : t -> Mde_prob.Rng.t -> int -> Table.t array
+(** n independent realizations (the naive Monte Carlo path: the query
+    must then be run once per instance). *)

@@ -1,0 +1,126 @@
+open Mde_relational
+module Rng = Mde_prob.Rng
+module Dist = Mde_prob.Dist
+
+type t = {
+  name : string;
+  output : Schema.t;
+  row_stable : bool;
+  generate : Rng.t -> Table.t list -> Table.row list;
+}
+
+let create ~name ~output ?(row_stable = false) generate =
+  { name; output; row_stable; generate }
+
+let single_param_row = function
+  | param_table :: _ when Table.cardinality param_table >= 1 -> (Table.rows param_table).(0)
+  | _ -> invalid_arg "Vg: expected a non-empty first parameter table"
+
+let float_schema = Schema.of_list [ ("value", Value.Tfloat) ]
+
+let normal =
+  create ~name:"Normal" ~output:float_schema ~row_stable:true (fun rng params ->
+      let row = single_param_row params in
+      let mean = Value.to_float row.(0) and std = Value.to_float row.(1) in
+      [ [| Value.Float (Dist.sample (Dist.Normal { mean; std }) rng) |] ])
+
+let uniform =
+  create ~name:"Uniform" ~output:float_schema ~row_stable:true (fun rng params ->
+      let row = single_param_row params in
+      let lo = Value.to_float row.(0) and hi = Value.to_float row.(1) in
+      [ [| Value.Float (Rng.float_range rng lo hi) |] ])
+
+let poisson =
+  create ~name:"Poisson"
+    ~output:(Schema.of_list [ ("value", Value.Tint) ])
+    ~row_stable:true
+    (fun rng params ->
+      let row = single_param_row params in
+      let rate = Value.to_float row.(0) in
+      [ [| Value.Int (Dist.sample_discrete (Dist.Poisson rate) rng) |] ])
+
+let discrete_choice =
+  create ~name:"DiscreteChoice"
+    ~output:(Schema.of_list [ ("value", Value.Tstring) ])
+    ~row_stable:true
+    (fun rng params ->
+      match params with
+      | table :: _ when Table.cardinality table > 0 ->
+        let rows = Table.rows table in
+        let weights = Array.map (fun r -> Value.to_float r.(1)) rows in
+        let idx = Dist.sample_discrete (Dist.Categorical weights) rng in
+        [ [| rows.(idx).(0) |] ]
+      | _ -> invalid_arg "Vg.discrete_choice: empty parameter table")
+
+let backward_walk ~steps =
+  assert (steps > 0);
+  create ~name:"BackwardWalk"
+    ~output:(Schema.of_list [ ("step", Value.Tint); ("price", Value.Tfloat) ])
+    (fun rng params ->
+      let row = single_param_row params in
+      let current = Value.to_float row.(0) and vol = Value.to_float row.(1) in
+      (* Walk backward in time: step 0 is today, step -k is k ticks ago.
+         Rows are emitted in ascending step order, today last. *)
+      let price = ref current in
+      let out = ref [ [| Value.Int 0; Value.Float current |] ] in
+      for k = 1 to steps do
+        let shock = Dist.sample (Dist.Normal { mean = 0.; std = vol }) rng in
+        price := !price *. exp (-.shock);
+        out := [| Value.Int (-k); Value.Float !price |] :: !out
+      done;
+      !out)
+
+let option_value ~horizon ~strike =
+  assert (horizon > 0);
+  create ~name:"OptionValue" ~output:float_schema ~row_stable:true
+    (fun rng params ->
+      let row = single_param_row params in
+      let s0 = Value.to_float row.(0) in
+      let drift = Value.to_float row.(1) in
+      let vol = Value.to_float row.(2) in
+      let price = ref s0 in
+      for _ = 1 to horizon do
+        let shock = Dist.sample (Dist.Normal { mean = 0.; std = vol }) rng in
+        price := !price *. exp (drift -. (0.5 *. vol *. vol) +. shock)
+      done;
+      [ [| Value.Float (Float.max 0. (!price -. strike)) |] ])
+
+let resample_row ~output =
+  create ~name:"ResampleRow" ~output ~row_stable:true (fun rng params ->
+      match params with
+      | table :: _ when Table.cardinality table > 0 ->
+        if not (Schema.equal (Table.schema table) output) then
+          invalid_arg "Vg.resample_row: parameter schema differs from output";
+        let rows = Table.rows table in
+        [ Array.copy rows.(Rng.int rng (Array.length rows)) ]
+      | _ -> invalid_arg "Vg.resample_row: empty parameter table")
+
+let bayesian_demand =
+  create ~name:"BayesianDemand"
+    ~output:(Schema.of_list [ ("demand", Value.Tfloat) ])
+    ~row_stable:true
+    (fun rng params ->
+      match params with
+      | global :: history :: _ ->
+        let g = (Table.rows global).(0) in
+        let alpha = Value.to_float g.(0) in
+        let beta = Value.to_float g.(1) in
+        let price = Value.to_float g.(2) in
+        (* Global prior: demand rate ~ Gamma(alpha, 1/beta'); the customer's
+           purchase history enters through Gamma-Poisson conjugacy:
+           posterior shape = alpha + Σ purchases, rate = beta' + #purchases. *)
+        let n_hist = Table.cardinality history in
+        let total_purchases =
+          Array.fold_left
+            (fun acc row -> acc +. Value.to_float row.(0))
+            0. (Table.rows history)
+        in
+        let price_effect = exp (-0.05 *. price) in
+        let prior_rate = beta /. price_effect in
+        let post_shape = alpha +. total_purchases in
+        let post_rate = prior_rate +. float_of_int n_hist in
+        let rate_draw =
+          Dist.sample (Dist.Gamma { shape = post_shape; scale = 1. /. post_rate }) rng
+        in
+        [ [| Value.Float rate_draw |] ]
+      | _ -> invalid_arg "Vg.bayesian_demand: expected two parameter tables")

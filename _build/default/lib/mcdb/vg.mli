@@ -1,0 +1,67 @@
+(** Variable Generation (VG) functions — MCDB's pluggable stochastic
+    models (§2.1). A VG function consumes parameter tables (produced by
+    SQL queries over the deterministic relations) and emits a
+    pseudorandom set of rows.
+
+    In MCDB these are external C++ programs; here they are ordinary OCaml
+    closures, and the library below covers the paper's examples: normal
+    sampling, backward random walks for missing prices, stock-price walks
+    for option valuation, and Bayesian per-customer demand. *)
+
+open Mde_relational
+
+type t = {
+  name : string;
+  output : Schema.t;  (** schema of the rows a single call generates *)
+  row_stable : bool;
+      (** [true] when every call generates exactly one output row, which
+          enables tuple-bundle execution *)
+  generate : Mde_prob.Rng.t -> Table.t list -> Table.row list;
+      (** [generate rng params] draws one realization *)
+}
+
+val create :
+  name:string ->
+  output:Schema.t ->
+  ?row_stable:bool ->
+  (Mde_prob.Rng.t -> Table.t list -> Table.row list) ->
+  t
+
+val normal : t
+(** Output [(value : float)]. Parameter table 1: single row [(mean, std)].
+    The paper's [Normal] VG function from the SBP_DATA example. *)
+
+val uniform : t
+(** Output [(value : float)]; parameter row [(lo, hi)]. *)
+
+val poisson : t
+(** Output [(value : int)]; parameter row [(rate)]. *)
+
+val discrete_choice : t
+(** Output [(value : string)]. Parameter table 1: rows [(label, weight)].
+    Samples a label proportionally to weight. *)
+
+val backward_walk : steps:int -> t
+(** Output [(step : int, price : float)], steps+1 rows. Parameter row
+    [(current_price, volatility)]. Simulates a backward multiplicative
+    random walk to impute missing prior prices (paper's example). Not
+    row-stable. *)
+
+val option_value : horizon:int -> strike:float -> t
+(** Output [(value : float)]: payoff max(S_T − strike, 0) of a call after
+    a [horizon]-step geometric walk. Parameter row
+    [(current_price, drift, volatility)]. *)
+
+val resample_row : output:Mde_relational.Schema.t -> t
+(** Output: one row drawn uniformly at random from parameter table 1 —
+    the bootstrap VG function, for "uncertain" data whose distribution is
+    the empirical distribution of observed rows. The parameter table's
+    schema must match [output]. *)
+
+val bayesian_demand : t
+(** Output [(demand : float)]. Parameter table 1: single row
+    [(alpha, beta, price)] — a global demand model d ~ Gamma(alpha,
+    beta·f(price)); parameter table 2: the customer's purchase history,
+    rows [(quantity)]. The posterior given Gamma-Poisson conjugacy is
+    sampled, matching the paper's "global model + Bayes' theorem per
+    customer" construction. *)

@@ -1,0 +1,1 @@
+lib/metamodel/design.ml: Array Float Format List Mde_prob String

@@ -1,0 +1,1 @@
+lib/metamodel/design.mli: Format Mde_prob

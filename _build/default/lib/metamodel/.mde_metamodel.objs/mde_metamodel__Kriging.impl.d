@@ -1,0 +1,1 @@
+lib/metamodel/kriging.ml: Array Float Mde_linalg Mde_optimize

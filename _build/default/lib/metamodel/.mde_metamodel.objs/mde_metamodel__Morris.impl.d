@@ -1,0 +1,1 @@
+lib/metamodel/morris.ml: Array Float Fun List Mde_prob

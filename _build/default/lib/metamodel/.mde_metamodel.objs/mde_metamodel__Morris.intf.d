@@ -1,0 +1,1 @@
+lib/metamodel/morris.mli: Mde_prob

@@ -1,0 +1,1 @@
+lib/metamodel/polynomial.ml: Array Buffer Design Float Fun List Mde_linalg Mde_prob Printf String

@@ -1,0 +1,1 @@
+lib/metamodel/polynomial.mli: Design

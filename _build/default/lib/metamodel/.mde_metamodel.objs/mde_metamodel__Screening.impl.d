@@ -1,0 +1,1 @@
+lib/metamodel/screening.ml: Array Float Hashtbl Int Kriging List Mde_prob

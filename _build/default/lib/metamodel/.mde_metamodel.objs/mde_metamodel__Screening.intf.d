@@ -1,0 +1,1 @@
+lib/metamodel/screening.mli:

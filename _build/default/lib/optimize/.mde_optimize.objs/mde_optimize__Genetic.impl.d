@@ -1,0 +1,1 @@
+lib/optimize/genetic.ml: Array Float Fun Mde_prob

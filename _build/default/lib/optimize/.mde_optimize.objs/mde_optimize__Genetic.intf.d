@@ -1,0 +1,1 @@
+lib/optimize/genetic.mli: Mde_prob

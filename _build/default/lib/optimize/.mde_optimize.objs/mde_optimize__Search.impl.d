@@ -1,0 +1,1 @@
+lib/optimize/search.ml: Array Mde_prob

@@ -1,0 +1,1 @@
+lib/optimize/search.mli: Mde_prob

@@ -1,0 +1,30 @@
+(** A real-coded genetic algorithm — the second heuristic Fabretti [17]
+    uses for ABS calibration. Tournament selection, blend (BLX-α)
+    crossover, Gaussian mutation, elitism. *)
+
+type params = {
+  population : int;
+  generations : int;
+  tournament : int;  (** tournament size for selection *)
+  crossover_rate : float;
+  mutation_rate : float;  (** per-gene probability *)
+  mutation_scale : float;  (** mutation σ as a fraction of each range *)
+  elite : int;  (** individuals copied unchanged *)
+}
+
+val default_params : params
+
+type result = {
+  x : float array;
+  f : float;
+  evaluations : int;
+  best_per_generation : float array;
+}
+
+val minimize :
+  ?params:params ->
+  rng:Mde_prob.Rng.t ->
+  bounds:(float * float) array ->
+  f:(float array -> float) ->
+  unit ->
+  result

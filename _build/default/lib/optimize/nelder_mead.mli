@@ -1,0 +1,36 @@
+(** Nelder–Mead downhill simplex minimization — the heuristic optimizer
+    Fabretti [17] applies to agent-based model calibration (§3.1), also
+    used for Gaussian-process hyperparameter likelihoods. Derivative-free;
+    suited to noisy, expensive objectives. *)
+
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  evaluations : int;
+  converged : bool;  (** simplex spread fell below [tol] *)
+}
+
+val minimize :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?step:float ->
+  f:(float array -> float) ->
+  x0:float array ->
+  unit ->
+  result
+(** Standard coefficients (reflect 1, expand 2, contract ½, shrink ½);
+    the initial simplex places one vertex at [x0] and perturbs each
+    coordinate by [step] (default 0.5, or 0.05·|x| if larger). Default
+    [max_iter] 1000, [tol] 1e-8 on the f-spread of the simplex. *)
+
+val minimize_box :
+  ?max_iter:int ->
+  ?tol:float ->
+  bounds:(float * float) array ->
+  f:(float array -> float) ->
+  x0:float array ->
+  unit ->
+  result
+(** Box-constrained variant: coordinates are clamped into [bounds] before
+    every evaluation (projection, adequate for the calibration use). *)

@@ -1,0 +1,20 @@
+(** Baseline derivative-free searches: uniform random sampling and grid
+    search — the naive calibration strategies the heuristic methods of
+    §3.1 are measured against. *)
+
+type result = { x : float array; f : float; evaluations : int }
+
+val random_search :
+  rng:Mde_prob.Rng.t ->
+  bounds:(float * float) array ->
+  f:(float array -> float) ->
+  evaluations:int ->
+  result
+
+val grid_search :
+  bounds:(float * float) array ->
+  f:(float array -> float) ->
+  points_per_dim:int ->
+  result
+(** Full Cartesian grid of [points_per_dim] evenly spaced values per
+    dimension — exponential cost, kept for small problems. *)

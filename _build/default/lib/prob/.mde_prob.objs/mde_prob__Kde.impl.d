@@ -1,0 +1,1 @@
+lib/prob/kde.ml: Array Float Stats

@@ -1,0 +1,86 @@
+(** Descriptive statistics over float arrays plus a streaming
+    (Welford-style) accumulator for Monte Carlo outputs. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singleton input. *)
+
+val std : float array -> float
+
+val covariance : float array -> float array -> float
+(** Unbiased sample covariance; arrays must have equal length >= 2. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation; 0 when either input is constant. *)
+
+val min_max : float array -> float * float
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for p in [0,1]: linear-interpolation (type-7) sample
+    quantile. Sorts a copy of the input. *)
+
+val quantiles : float array -> float array -> float array
+(** Several quantiles with a single sort. *)
+
+val median : float array -> float
+
+val autocovariance : float array -> int -> float
+(** [autocovariance xs k] at lag k (biased, n denominator). *)
+
+val autocorrelation : float array -> int -> float
+
+val mean_confidence_interval : float array -> float -> float * float
+(** [mean_confidence_interval xs level] is a normal-approximation CI for
+    the mean, e.g. level = 0.95. Requires length >= 2. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;
+  min : float;
+  max : float;
+  q05 : float;
+  q25 : float;
+  median : float;
+  q75 : float;
+  q95 : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Streaming accumulator: numerically stable running mean/variance/extrema,
+    O(1) memory, suitable for millions of Monte Carlo outputs. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  (** Unbiased; 0 until two observations arrive. *)
+
+  val std : t -> float
+  val min : t -> float
+  val max : t -> float
+  val merge : t -> t -> t
+  (** Combine two accumulators as if their streams were concatenated. *)
+end
+
+val bootstrap_ci :
+  rng:Rng.t ->
+  statistic:(float array -> float) ->
+  ?replicates:int ->
+  float array ->
+  float ->
+  float * float
+(** [bootstrap_ci ~rng ~statistic xs level]: percentile bootstrap
+    confidence interval for an arbitrary statistic (default 1000
+    resamples) — the distribution-free companion to the normal-theory
+    {!mean_confidence_interval}, usable for medians, quantiles, ratios. *)
+
+val root_mean_square_error : float array -> float array -> float
+(** RMSE between two equal-length vectors. *)

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Expr Float Hashtbl Int List Schema Table Value

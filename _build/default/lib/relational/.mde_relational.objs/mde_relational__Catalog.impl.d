@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Array Format Hashtbl List Mde_prob Option Schema String Table Value

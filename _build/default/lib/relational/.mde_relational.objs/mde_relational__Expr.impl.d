@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Format Hashtbl List Printf Schema Stdlib Value

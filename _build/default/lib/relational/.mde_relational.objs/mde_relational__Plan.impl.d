@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Algebra Array Catalog Expr Float Format List Map Option Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relational/plan.mli: Catalog Expr Format Schema Table

@@ -1,0 +1,1 @@
+lib/relational/query.ml: Algebra Array Printf Schema Table

@@ -1,0 +1,1 @@
+lib/relational/query.mli: Algebra Expr Table Value

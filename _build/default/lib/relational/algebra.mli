@@ -1,0 +1,65 @@
+(** Relational algebra over materialized {!Table}s.
+
+    Everything MCDB (§2.1) and Indemics (§2.4) need from the "relational
+    database engine" side: selection, projection with computed columns,
+    renaming, hash equi-joins plus general theta joins, grouped
+    aggregation, sorting, distinct, union, limit. *)
+
+val select : Expr.t -> Table.t -> Table.t
+(** σ: keep rows where the predicate is true. *)
+
+val project : string list -> Table.t -> Table.t
+(** π onto existing columns (order given by the list). *)
+
+val extend : (string * Value.ty * Expr.t) list -> Table.t -> Table.t
+(** Append computed columns (name, declared type, defining expression). *)
+
+val rename : (string * string) list -> Table.t -> Table.t
+
+type join_kind = Inner | Left
+(** Left joins pad unmatched left rows with Nulls on the right. *)
+
+val equi_join :
+  ?kind:join_kind -> on:(string * string) list -> Table.t -> Table.t -> Table.t
+(** Hash join on equality of the paired (left column, right column) keys.
+    Column names must not clash between the two inputs; {!rename} first.
+    Build side is the right input. *)
+
+val theta_join : on:Expr.t -> Table.t -> Table.t -> Table.t
+(** Nested-loop join with an arbitrary predicate over the concatenated
+    schema. *)
+
+val semi_join : on:(string * string) list -> Table.t -> Table.t -> Table.t
+(** Left rows with at least one key match on the right (each left row at
+    most once) — the "members of this subpopulation who are infected"
+    query shape. *)
+
+val anti_join : on:(string * string) list -> Table.t -> Table.t -> Table.t
+(** Left rows with no key match on the right. *)
+
+(** Aggregate functions for {!group_by}. [Count_if] counts rows where the
+    predicate holds; the rest take a source expression. *)
+type aggregate =
+  | Count
+  | Count_if of Expr.t
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+  | Std of Expr.t  (** sample standard deviation (n−1) *)
+
+val group_by :
+  keys:string list -> aggs:(string * aggregate) list -> Table.t -> Table.t
+(** Output schema: the key columns followed by one column per aggregate
+    (Count/Count_if are Int, others Float). With [keys = []] the result
+    is a single global-aggregate row. Groups appear in first-seen order.
+    Null inputs are skipped by Sum/Avg/Min/Max/Std. *)
+
+val order_by : ?descending:bool -> string list -> Table.t -> Table.t
+(** Stable lexicographic sort on the listed columns. *)
+
+val distinct : Table.t -> Table.t
+val union : Table.t -> Table.t -> Table.t
+(** Bag union (no duplicate elimination); schemas must be equal. *)
+
+val limit : int -> Table.t -> Table.t

@@ -1,0 +1,88 @@
+type column_stats = {
+  non_null : int;
+  distinct : int;
+  min : Value.t;
+  max : Value.t;
+  mean : float option;
+  std : float option;
+}
+
+type entry = {
+  table : Table.t;
+  mutable stats : (string, column_stats) Hashtbl.t;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let register t name table =
+  Hashtbl.replace t name { table; stats = Hashtbl.create 8 }
+
+let drop t name = Hashtbl.remove t name
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some e -> e.table
+  | None -> raise Not_found
+
+let find_opt t name = Option.map (fun e -> e.table) (Hashtbl.find_opt t name)
+
+let table_names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let row_count t name = Table.cardinality (find t name)
+
+let compute_stats table col =
+  let values = Table.column table col in
+  let non_null_list =
+    Array.to_list values |> List.filter (fun v -> not (Value.is_null v))
+  in
+  let non_null = List.length non_null_list in
+  let distinct =
+    let seen = Hashtbl.create 64 in
+    List.iter (fun v -> Hashtbl.replace seen v ()) non_null_list;
+    Hashtbl.length seen
+  in
+  let vmin, vmax =
+    List.fold_left
+      (fun (lo, hi) v ->
+        let lo = if Value.is_null lo || Value.compare v lo < 0 then v else lo in
+        let hi = if Value.is_null hi || Value.compare v hi > 0 then v else hi in
+        (lo, hi))
+      (Value.Null, Value.Null) non_null_list
+  in
+  let numeric =
+    match Schema.column_type (Table.schema table) col with
+    | Value.Tint | Value.Tfloat -> true
+    | Value.Tstring | Value.Tbool -> false
+  in
+  let mean, std =
+    if numeric && non_null > 0 then begin
+      let xs = Array.of_list (List.map Value.to_float non_null_list) in
+      (Some (Mde_prob.Stats.mean xs), Some (Mde_prob.Stats.std xs))
+    end
+    else (None, None)
+  in
+  { non_null; distinct; min = vmin; max = vmax; mean; std }
+
+let column_stats t name col =
+  let entry =
+    match Hashtbl.find_opt t name with Some e -> e | None -> raise Not_found
+  in
+  match Hashtbl.find_opt entry.stats col with
+  | Some s -> s
+  | None ->
+    let s = compute_stats entry.table col in
+    Hashtbl.add entry.stats col s;
+    s
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun name ->
+      let table = find t name in
+      Format.fprintf ppf "%s: %d rows, schema %a@," name (Table.cardinality table)
+        Schema.pp (Table.schema table))
+    (table_names t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+(** Named-table catalog with per-column statistics — the engine's analogue
+    of an RDBMS catalog. §2.3 of the paper points out that simulation-run
+    optimization needs the same kind of continuously refined statistics a
+    query optimizer keeps; {!column_stats} is what the composite-model
+    optimizer consumes. *)
+
+type t
+
+type column_stats = {
+  non_null : int;
+  distinct : int;
+  min : Value.t;  (** Null when the column is all-Null *)
+  max : Value.t;
+  mean : float option;  (** numeric columns only *)
+  std : float option;
+}
+
+val create : unit -> t
+val register : t -> string -> Table.t -> unit
+(** Replaces any previous table of the same name and invalidates its
+    cached statistics. *)
+
+val drop : t -> string -> unit
+val find : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val find_opt : t -> string -> Table.t option
+val table_names : t -> string list
+(** Sorted. *)
+
+val row_count : t -> string -> int
+
+val column_stats : t -> string -> string -> column_stats
+(** [column_stats t table col]; computed lazily and cached per table
+    version. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(* Queries execute eagerly: each combinator materializes its result.
+   This keeps semantics obvious; the engine's tables are small enough in
+   all workloads here that pipelining would buy nothing. *)
+type t = Table.t
+
+let of_table table = table
+let where pred q = Algebra.select pred q
+let select_cols names q = Algebra.project names q
+let compute defs q = Algebra.extend defs q
+let rename_cols renames q = Algebra.rename renames q
+let join ?kind ~on right q = Algebra.equi_join ?kind ~on q right
+let join_query ?kind ~on right q = Algebra.equi_join ?kind ~on q right
+let group ~keys ~aggs q = Algebra.group_by ~keys ~aggs q
+let sort ?descending names q = Algebra.order_by ?descending names q
+let dedup q = Algebra.distinct q
+let take n q = Algebra.limit n q
+let run q = q
+
+let scalar q =
+  if Table.cardinality q = 1 && Schema.arity (Table.schema q) = 1 then
+    (Table.rows q).(0).(0)
+  else
+    invalid_arg
+      (Printf.sprintf "Query.scalar: result is %dx%d, expected 1x1"
+         (Table.cardinality q)
+         (Schema.arity (Table.schema q)))
+
+let count q = Table.cardinality q

@@ -1,0 +1,79 @@
+type row = Value.t array
+type t = { schema : Schema.t; rows : row array }
+
+let check_row schema row =
+  let cols = Array.of_list (Schema.columns schema) in
+  if Array.length row <> Array.length cols then
+    invalid_arg
+      (Printf.sprintf "Table: row arity %d, schema arity %d" (Array.length row)
+         (Array.length cols));
+  Array.iteri
+    (fun i v ->
+      match Value.type_of v with
+      | None -> ()
+      | Some ty ->
+        if ty <> cols.(i).Schema.ty then
+          invalid_arg
+            (Printf.sprintf "Table: column %S expects %s, got %s" cols.(i).Schema.name
+               (Value.type_name cols.(i).Schema.ty)
+               (Value.type_name ty)))
+    row
+
+let of_rows schema rows =
+  Array.iter (check_row schema) rows;
+  { schema; rows }
+
+let create schema row_list = of_rows schema (Array.of_list row_list)
+let empty schema = { schema; rows = [||] }
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = Array.length t.rows
+let get t i col = t.rows.(i).(Schema.column_index t.schema col)
+
+let column t col =
+  let idx = Schema.column_index t.schema col in
+  Array.map (fun row -> row.(idx)) t.rows
+
+let column_floats t col =
+  let idx = Schema.column_index t.schema col in
+  Array.map (fun row -> Value.to_float row.(idx)) t.rows
+
+let iter f t = Array.iter f t.rows
+
+let append a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Table.append: schema mismatch";
+  { schema = a.schema; rows = Array.append a.rows b.rows }
+
+let pp ?(max_rows = 20) ppf t =
+  let names = Schema.column_names t.schema in
+  let shown = min max_rows (cardinality t) in
+  let cells =
+    List.map
+      (fun name ->
+        let idx = Schema.column_index t.schema name in
+        let body = List.init shown (fun i -> Value.to_display t.rows.(i).(idx)) in
+        name :: body)
+      names
+  in
+  let widths = List.map (fun col -> List.fold_left (fun w s -> max w (String.length s)) 0 col) cells in
+  let print_row k =
+    List.iteri
+      (fun j col ->
+        let w = List.nth widths j in
+        Format.fprintf ppf "%s%-*s" (if j = 0 then "| " else " | ") w (List.nth col k))
+      cells;
+    Format.fprintf ppf " |@,"
+  in
+  Format.fprintf ppf "@[<v>";
+  print_row 0;
+  List.iteri
+    (fun j w ->
+      Format.fprintf ppf "%s%s" (if j = 0 then "|-" else "-|-") (String.make w '-'))
+    widths;
+  Format.fprintf ppf "-|@,";
+  for k = 1 to shown do
+    print_row k
+  done;
+  if cardinality t > shown then Format.fprintf ppf "... (%d rows total)@," (cardinality t);
+  Format.fprintf ppf "@]"

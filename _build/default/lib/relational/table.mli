@@ -1,0 +1,29 @@
+(** Materialized relations: a schema plus an array of rows. Rows are
+    value arrays positionally aligned with the schema. *)
+
+type row = Value.t array
+type t
+
+val create : Schema.t -> row list -> t
+(** Validates every row's arity and (non-null) column types. *)
+
+val of_rows : Schema.t -> row array -> t
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val rows : t -> row array
+(** The backing array — callers must not mutate it. *)
+
+val cardinality : t -> int
+val get : t -> int -> string -> Value.t
+(** [get t i col] is row [i]'s value in column [col]. *)
+
+val column : t -> string -> Value.t array
+val column_floats : t -> string -> float array
+(** Numeric column as floats, skipping no rows; raises on non-numeric. *)
+
+val iter : (row -> unit) -> t -> unit
+val append : t -> t -> t
+(** Schemas must be equal. *)
+
+val pp : ?max_rows:int -> Format.formatter -> t -> unit
+(** Render as an aligned text table (default first 20 rows). *)

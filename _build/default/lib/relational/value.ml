@@ -1,0 +1,60 @@
+type t = Null | Int of int | Float of float | String of string | Bool of bool
+type ty = Tint | Tfloat | Tstring | Tbool
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | String _ -> Some Tstring
+  | Bool _ -> Some Tbool
+
+let type_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Tbool -> "bool"
+
+let rank = function Null -> 0 | Bool _ -> 1 | Int _ | Float _ -> 2 | String _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | (Null | Bool _ | Int _ | Float _ | String _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let is_null = function Null -> true | Bool _ | Int _ | Float _ | String _ -> false
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Bool b -> if b then 1. else 0.
+  | Null -> invalid_arg "Value.to_float: Null"
+  | String _ -> invalid_arg "Value.to_float: String"
+
+let to_int = function
+  | Int i -> i
+  | Bool b -> if b then 1 else 0
+  | Null | Float _ | String _ -> invalid_arg "Value.to_int"
+
+let to_bool = function
+  | Bool b -> b
+  | Null | Int _ | Float _ | String _ -> invalid_arg "Value.to_bool"
+
+let to_string_value = function
+  | String s -> s
+  | Null | Int _ | Float _ | Bool _ -> invalid_arg "Value.to_string_value"
+
+let to_display = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.6g" f
+  | String s -> s
+  | Bool b -> if b then "true" else "false"
+
+let pp ppf v = Format.pp_print_string ppf (to_display v)

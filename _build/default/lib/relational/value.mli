@@ -1,0 +1,39 @@
+(** Atomic values stored in relational tables. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type ty = Tint | Tfloat | Tstring | Tbool
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val type_name : ty -> string
+
+val compare : t -> t -> int
+(** Total order: Null < Bool < Int/Float (numeric order, cross-type) <
+    String. Ints and floats compare numerically so that a join or sort key
+    may mix them. *)
+
+val equal : t -> t -> bool
+val is_null : t -> bool
+
+val to_float : t -> float
+(** Numeric coercion; Bool maps to 0/1. Raises [Invalid_argument] on
+    String/Null. *)
+
+val to_int : t -> int
+(** Raises [Invalid_argument] unless the value is Int or a Bool. *)
+
+val to_bool : t -> bool
+(** Raises [Invalid_argument] unless the value is Bool. *)
+
+val to_string_value : t -> string
+(** Raises [Invalid_argument] unless the value is String. *)
+
+val pp : Format.formatter -> t -> unit
+val to_display : t -> string

@@ -1,0 +1,1 @@
+lib/simsql/chain.ml: Array List Map Mde_mcdb Mde_prob Mde_relational String Table

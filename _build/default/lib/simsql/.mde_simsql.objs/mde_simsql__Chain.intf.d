@@ -1,0 +1,1 @@
+lib/simsql/chain.mli: Mde_mcdb Mde_prob Mde_relational Schema Table

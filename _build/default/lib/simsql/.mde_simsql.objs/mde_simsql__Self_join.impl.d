@@ -1,0 +1,1 @@
+lib/simsql/self_join.ml: Array Float Hashtbl Int List Mde_relational Schema Table Value

@@ -1,0 +1,1 @@
+lib/simsql/self_join.mli: Mde_prob Mde_relational Schema Table

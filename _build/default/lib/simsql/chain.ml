@@ -1,0 +1,64 @@
+open Mde_relational
+module Rng = Mde_prob.Rng
+
+module String_map = Map.Make (String)
+
+type state = Table.t String_map.t
+
+let state_of_tables tables =
+  List.fold_left (fun acc (name, t) -> String_map.add name t acc) String_map.empty tables
+
+let table state name =
+  match String_map.find_opt name state with
+  | Some t -> t
+  | None -> raise Not_found
+
+let table_opt state name = String_map.find_opt name state
+let table_names state = List.map fst (String_map.bindings state)
+let with_table state name t = String_map.add name t state
+
+type t = {
+  initial : Rng.t -> state;
+  transition : Rng.t -> state -> state;
+}
+
+let simulate t rng ~steps =
+  assert (steps >= 0);
+  let states = Array.make (steps + 1) String_map.empty in
+  states.(0) <- t.initial rng;
+  for i = 1 to steps do
+    states.(i) <- t.transition rng states.(i - 1)
+  done;
+  states
+
+let simulate_query t rng ~steps ~query =
+  Array.map query (simulate t rng ~steps)
+
+let monte_carlo t rng ~steps ~reps ~query =
+  assert (reps > 0);
+  let streams = Rng.split_n rng reps in
+  Array.init reps (fun r -> simulate_query t streams.(r) ~steps ~query)
+
+module Rules = struct
+  type rule = {
+    target : string;
+    derive : Rng.t -> state -> Table.t;
+  }
+
+  let vg_rule ~target ~schema ~driver ~vg ~params ~combine =
+    let derive rng state =
+      let st =
+        Mde_mcdb.Stochastic_table.define ~name:target ~schema ~driver:(driver state)
+          ~vg
+          ~params:(params state)
+          ~combine
+      in
+      Mde_mcdb.Stochastic_table.instantiate st rng
+    in
+    { target; derive }
+
+  let transition rules rng state =
+    List.fold_left
+      (fun acc rule -> with_table acc rule.target (rule.derive rng acc))
+      state rules
+end

@@ -1,0 +1,88 @@
+open Mde_relational
+
+type stats = {
+  agents : int;
+  candidate_pairs : int;
+  naive_pairs : int;
+  neighbor_links : int;
+}
+
+let step ?buckets ~neighbor ~update rng agents =
+  let schema = Table.schema agents in
+  let rows = Table.rows agents in
+  let n = Array.length rows in
+  let bucket_of =
+    match buckets with
+    | Some f -> f
+    | None -> fun _ -> [ 0 ]
+  in
+  (* Partition phase: bucket id → member agent indices. *)
+  let members : (int, int list ref) Hashtbl.t = Hashtbl.create (max 16 n) in
+  let agent_buckets = Array.make n [] in
+  Array.iteri
+    (fun i row ->
+      let bs = List.sort_uniq Int.compare (bucket_of row) in
+      agent_buckets.(i) <- bs;
+      List.iter
+        (fun b ->
+          match Hashtbl.find_opt members b with
+          | Some l -> l := i :: !l
+          | None -> Hashtbl.add members b (ref [ i ]))
+        bs)
+    rows;
+  let candidate_pairs = ref 0 in
+  let neighbor_links = ref 0 in
+  let seen = Array.make n (-1) in
+  let new_rows =
+    Array.mapi
+      (fun i row ->
+        (* Candidate set: agents sharing any bucket, deduplicated via a
+           per-agent stamp so shared buckets are not double counted. *)
+        let candidates = ref [] in
+        List.iter
+          (fun b ->
+            List.iter
+              (fun j ->
+                if j <> i && seen.(j) <> i then begin
+                  seen.(j) <- i;
+                  candidates := j :: !candidates
+                end)
+              !(Hashtbl.find members b))
+          agent_buckets.(i);
+        let candidates = List.sort Int.compare !candidates in
+        candidate_pairs := !candidate_pairs + List.length candidates;
+        let neighbors =
+          List.filter_map
+            (fun j ->
+              if neighbor schema row rows.(j) then begin
+                incr neighbor_links;
+                Some rows.(j)
+              end
+              else None)
+            candidates
+        in
+        update rng schema row neighbors)
+      rows
+  in
+  ( Table.of_rows schema new_rows,
+    {
+      agents = n;
+      candidate_pairs = !candidate_pairs;
+      naive_pairs = n * n;
+      neighbor_links = !neighbor_links;
+    } )
+
+let grid_buckets ~x ~y ~cell schema row =
+  assert (cell > 0.);
+  let xi = Schema.column_index schema x and yi = Schema.column_index schema y in
+  let px = Value.to_float row.(xi) and py = Value.to_float row.(yi) in
+  let ix = Float.to_int (floor (px /. cell)) in
+  let iy = Float.to_int (floor (py /. cell)) in
+  let id cx cy = (cx * 0x9E3779B1) lxor (cy * 0x85EBCA77) in
+  let out = ref [] in
+  for dx = -1 to 1 do
+    for dy = -1 to 1 do
+      out := id (ix + dx) (iy + dy) :: !out
+    done
+  done;
+  !out

@@ -1,0 +1,44 @@
+(** Agent-based simulation steps as self-joins (Wang et al. [55], §2.1).
+
+    Each row of the agent table is one agent's internal state; a
+    simulation step joins the table with itself so that every agent sees
+    its interaction partners, then maps each (agent, neighbors) group
+    through an update function. Because agents typically interact only
+    with a small set of "nearby" agents, the join is partitioned into
+    buckets (e.g. spatial cells): agents are only paired within shared
+    buckets, which is exactly the structure that lets a parallel DBMS
+    scale the step. {!stats} reports how many candidate pairs the bucket
+    scheme examined versus the n² a naive self-join would touch. *)
+
+open Mde_relational
+
+type stats = {
+  agents : int;
+  candidate_pairs : int;  (** pairs examined via buckets *)
+  naive_pairs : int;  (** agents² — the unpartitioned cost *)
+  neighbor_links : int;  (** pairs that passed the neighbor predicate *)
+}
+
+val step :
+  ?buckets:(Table.row -> int list) ->
+  neighbor:(Schema.t -> Table.row -> Table.row -> bool) ->
+  update:(Mde_prob.Rng.t -> Schema.t -> Table.row -> Table.row list -> Table.row) ->
+  Mde_prob.Rng.t ->
+  Table.t ->
+  Table.t * stats
+(** [step ~buckets ~neighbor ~update rng agents]:
+    - [buckets row] lists the partition cells the agent belongs to
+      (default: a single shared bucket, i.e. the full self-join);
+    - [neighbor schema a b] decides whether agent [b] is visible to
+      agent [a] (need not be symmetric);
+    - [update rng schema a nbrs] computes agent [a]'s next state from its
+      current row and its visible neighbors' rows.
+
+    All updates read the pre-step table — the synchronous-step semantics
+    of the self-join formulation. *)
+
+val grid_buckets :
+  x:string -> y:string -> cell:float -> Schema.t -> Table.row -> int list
+(** Standard 2-D spatial bucketing: an agent at (x, y) with interaction
+    radius ≤ [cell] belongs to its own grid cell and the 8 surrounding
+    ones, so any pair within [cell] distance shares at least one bucket. *)

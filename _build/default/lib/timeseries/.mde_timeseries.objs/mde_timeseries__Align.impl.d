@@ -1,0 +1,1 @@
+lib/timeseries/align.ml: Array Float List Series Spline

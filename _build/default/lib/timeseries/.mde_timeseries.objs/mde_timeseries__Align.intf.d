@@ -1,0 +1,1 @@
+lib/timeseries/align.mli: Series

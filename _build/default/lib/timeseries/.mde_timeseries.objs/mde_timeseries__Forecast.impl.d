@@ -1,0 +1,1 @@
+lib/timeseries/forecast.ml: Array List Mde_linalg Mde_prob Series

@@ -1,0 +1,1 @@
+lib/timeseries/forecast.mli: Series

@@ -1,0 +1,1 @@
+lib/timeseries/frame.ml: Align Array Format Hashtbl List Mde_relational Printf Schema Series Table Value

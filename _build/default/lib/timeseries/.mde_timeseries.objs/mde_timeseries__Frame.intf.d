@@ -1,0 +1,1 @@
+lib/timeseries/frame.mli: Align Format Mde_relational Series

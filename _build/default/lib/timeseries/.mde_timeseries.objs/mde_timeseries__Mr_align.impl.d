@@ -1,0 +1,1 @@
+lib/timeseries/mr_align.ml: Array Float List Mde_mapred Series Spline

@@ -1,0 +1,1 @@
+lib/timeseries/mr_align.mli: Mde_mapred Series

@@ -1,0 +1,1 @@
+lib/timeseries/schema_map.ml: Array Expr List Mde_relational Printf Schema Table Value

@@ -1,0 +1,1 @@
+lib/timeseries/schema_map.mli: Expr Mde_relational Schema Table Value

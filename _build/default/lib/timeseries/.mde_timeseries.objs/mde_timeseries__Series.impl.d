@@ -1,0 +1,1 @@
+lib/timeseries/series.ml: Array Format

@@ -1,0 +1,1 @@
+lib/timeseries/series.mli: Format

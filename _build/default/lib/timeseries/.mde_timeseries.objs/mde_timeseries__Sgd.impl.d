@@ -1,0 +1,1 @@
+lib/timeseries/sgd.ml: Array Fun Hashtbl List Mde_linalg Mde_prob

@@ -1,0 +1,1 @@
+lib/timeseries/sgd.mli: Mde_linalg Mde_prob

@@ -1,0 +1,1 @@
+lib/timeseries/spline.ml: Array Mde_linalg Series

@@ -1,0 +1,1 @@
+lib/timeseries/spline.mli: Mde_linalg Series

@@ -1,0 +1,1 @@
+lib/timeseries/synthetic.ml: Array Float Mde_prob Series

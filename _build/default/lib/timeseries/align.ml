@@ -1,0 +1,92 @@
+type aggregation = Mean | Sum | Last | First | Max_agg | Min_agg
+type interpolation = Nearest | Linear | Cubic | Repeat
+type method_ = Aggregate of aggregation | Interpolate of interpolation
+type alignment_class = Needs_aggregation | Needs_interpolation | Identical
+
+let mean_step times =
+  let n = Array.length times in
+  if n < 2 then infinity
+  else (times.(n - 1) -. times.(0)) /. float_of_int (n - 1)
+
+let classify source ~target_times =
+  let src_times = Series.times source in
+  if
+    Array.length src_times = Array.length target_times
+    && Array.for_all2 (fun a b -> a = b) src_times target_times
+  then Identical
+  else begin
+    let src_step = mean_step src_times and tgt_step = mean_step target_times in
+    if tgt_step > src_step then Needs_aggregation else Needs_interpolation
+  end
+
+let aggregate_values kind values =
+  match (kind, values) with
+  | _, [] -> None
+  | Mean, vs -> Some (List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs))
+  | Sum, vs -> Some (List.fold_left ( +. ) 0. vs)
+  | First, v :: _ -> Some v
+  | Last, vs -> Some (List.nth vs (List.length vs - 1))
+  | Max_agg, v :: vs -> Some (List.fold_left Float.max v vs)
+  | Min_agg, v :: vs -> Some (List.fold_left Float.min v vs)
+
+let aggregate kind source ~target_times =
+  let src_times = Series.times source and src_values = Series.values source in
+  let n_src = Array.length src_times in
+  let out = Array.make (Array.length target_times) 0. in
+  let cursor = ref 0 in
+  let last = ref src_values.(0) in
+  Array.iteri
+    (fun i t ->
+      (* Collect source observations in (previous target tick, t]. *)
+      let bucket = ref [] in
+      while !cursor < n_src && src_times.(!cursor) <= t do
+        bucket := src_values.(!cursor) :: !bucket;
+        incr cursor
+      done;
+      (match aggregate_values kind (List.rev !bucket) with
+      | Some v -> last := v
+      | None -> ());
+      out.(i) <- !last)
+    target_times;
+  Series.create ~times:target_times ~values:out
+
+let rec interpolate kind source ~target_times =
+  let src_times = Series.times source and src_values = Series.values source in
+  let n = Array.length src_times in
+  let value_at t =
+    if n = 1 then src_values.(0)
+    else begin
+      let j = Series.locate source t in
+      match kind with
+      | Nearest ->
+        if Float.abs (t -. src_times.(j)) <= Float.abs (src_times.(j + 1) -. t) then
+          src_values.(j)
+        else src_values.(j + 1)
+      | Repeat -> if t >= src_times.(j + 1) then src_values.(j + 1) else src_values.(j)
+      | Linear ->
+        let h = src_times.(j + 1) -. src_times.(j) in
+        let w = (t -. src_times.(j)) /. h in
+        ((1. -. w) *. src_values.(j)) +. (w *. src_values.(j + 1))
+      | Cubic -> assert false (* handled below with a shared spline fit *)
+    end
+  in
+  match kind with
+  | Cubic when n >= 3 ->
+    let spline = Spline.fit source in
+    Series.create ~times:target_times ~values:(Spline.eval_many spline target_times)
+  | Cubic ->
+    (* Too few knots for a cubic: degrade to linear, as Splash's aligner does. *)
+    interpolate Linear source ~target_times
+  | Nearest | Linear | Repeat ->
+    Series.create ~times:target_times ~values:(Array.map value_at target_times)
+
+let align method_ source ~target_times =
+  match method_ with
+  | Aggregate kind -> aggregate kind source ~target_times
+  | Interpolate kind -> interpolate kind source ~target_times
+
+let auto source ~target_times =
+  match classify source ~target_times with
+  | Needs_aggregation as c -> (align (Aggregate Mean) source ~target_times, c)
+  | Needs_interpolation as c -> (align (Interpolate Cubic) source ~target_times, c)
+  | Identical as c -> (source, c)

@@ -1,0 +1,43 @@
+(** Time alignment between models (§2.2, Splash's time aligner).
+
+    Alignment reconciles timescale discrepancies: when the target model
+    runs on a coarser clock than the source, observations are aggregated;
+    when it runs finer, they are interpolated; matching clocks need no
+    transformation. {!classify} makes the tool's automatic determination;
+    {!align} applies a chosen method. *)
+
+type aggregation =
+  | Mean
+  | Sum
+  | Last
+  | First
+  | Max_agg
+  | Min_agg
+
+type interpolation =
+  | Nearest
+  | Linear
+  | Cubic  (** natural cubic spline *)
+  | Repeat  (** step function: carry the last observation forward *)
+
+type method_ =
+  | Aggregate of aggregation
+  | Interpolate of interpolation
+
+type alignment_class =
+  | Needs_aggregation  (** target is coarser than the source *)
+  | Needs_interpolation  (** target is finer than the source *)
+  | Identical  (** tick-for-tick match *)
+
+val classify : Series.t -> target_times:float array -> alignment_class
+
+val align : method_ -> Series.t -> target_times:float array -> Series.t
+(** Aggregation: target tick tᵢ receives the aggregate of source
+    observations in (tᵢ₋₁, tᵢ] (the first tick reaches back to −∞); ticks
+    with no observations carry the previous target value (or the first
+    source value at the start). Interpolation: evaluated at each target
+    time, clamped to the source range for [Nearest]/[Repeat]. *)
+
+val auto : Series.t -> target_times:float array -> Series.t * alignment_class
+(** Splash-style automatic choice: Mean aggregation when coarsening,
+    cubic-spline interpolation when refining, identity otherwise. *)

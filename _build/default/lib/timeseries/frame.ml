@@ -1,0 +1,111 @@
+open Mde_relational
+
+type t = { times : float array; columns : (string * float array) list }
+
+let validate times columns =
+  let n = Array.length times in
+  if n = 0 then invalid_arg "Frame.create: empty";
+  if columns = [] then invalid_arg "Frame.create: no columns";
+  for i = 0 to n - 2 do
+    if times.(i) >= times.(i + 1) then
+      invalid_arg "Frame.create: times must strictly increase"
+  done;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, values) ->
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Frame.create: duplicate column %S" name);
+      Hashtbl.add seen name ();
+      if Array.length values <> n then
+        invalid_arg (Printf.sprintf "Frame.create: column %S length mismatch" name))
+    columns
+
+let create ~times ~columns =
+  validate times columns;
+  {
+    times = Array.copy times;
+    columns = List.map (fun (name, v) -> (name, Array.copy v)) columns;
+  }
+
+let of_series ~name s =
+  { times = Series.times s; columns = [ (name, Series.values s) ] }
+
+let length t = Array.length t.times
+let times t = t.times
+let column_names t = List.map fst t.columns
+
+let values t name =
+  match List.assoc_opt name t.columns with
+  | Some v -> v
+  | None -> raise Not_found
+
+let column t name = Series.create ~times:t.times ~values:(values t name)
+let row t i = List.map (fun (name, v) -> (name, v.(i))) t.columns
+
+let map_column t name f =
+  if not (List.mem_assoc name t.columns) then raise Not_found;
+  {
+    t with
+    columns =
+      List.map
+        (fun (n, v) -> if n = name then (n, Array.map f v) else (n, v))
+        t.columns;
+  }
+
+let add_column t name fresh =
+  validate t.times ((name, fresh) :: t.columns);
+  { t with columns = t.columns @ [ (name, Array.copy fresh) ] }
+
+let drop_column t name =
+  if not (List.mem_assoc name t.columns) then raise Not_found;
+  match List.filter (fun (n, _) -> n <> name) t.columns with
+  | [] -> invalid_arg "Frame.drop_column: cannot drop the last column"
+  | columns -> { t with columns }
+
+let align ?(methods = []) t ~target_times =
+  let align_one name v =
+    let series = Series.create ~times:t.times ~values:v in
+    match List.assoc_opt name methods with
+    | Some m -> Series.values (Align.align m series ~target_times)
+    | None -> Series.values (fst (Align.auto series ~target_times))
+  in
+  {
+    times = Array.copy target_times;
+    columns = List.map (fun (name, v) -> (name, align_one name v)) t.columns;
+  }
+
+let to_table t =
+  let schema =
+    Schema.of_list
+      (("time", Value.Tfloat) :: List.map (fun (n, _) -> (n, Value.Tfloat)) t.columns)
+  in
+  let rows =
+    Array.mapi
+      (fun i time ->
+        Array.of_list
+          (Value.Float time :: List.map (fun (_, v) -> Value.Float v.(i)) t.columns))
+      t.times
+  in
+  Table.of_rows schema rows
+
+let of_table ~time_column table =
+  let schema = Table.schema table in
+  let times = Table.column_floats table time_column in
+  let columns =
+    Schema.column_names schema
+    |> List.filter (fun n -> n <> time_column)
+    |> List.map (fun n -> (n, Table.column_floats table n))
+  in
+  create ~times ~columns
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>time";
+  List.iter (fun (n, _) -> Format.fprintf ppf "\t%s" n) t.columns;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun i time ->
+      Format.fprintf ppf "%g" time;
+      List.iter (fun (_, v) -> Format.fprintf ppf "\t%.6g" v.(i)) t.columns;
+      Format.fprintf ppf "@,")
+    t.times;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Multi-column time series — §2.2's general case where each observation
+    dᵢ is a k-tuple. A frame is a shared time axis plus named float
+    columns; alignment applies column-wise, and frames convert to and
+    from relational tables (time in a ["time"] column), which is how
+    Splash-style platforms exchange them between models. *)
+
+type t
+
+val create : times:float array -> columns:(string * float array) list -> t
+(** Strictly increasing times; every column the same length; at least one
+    column; duplicate names rejected. *)
+
+val of_series : name:string -> Series.t -> t
+val length : t -> int
+val times : t -> float array
+val column_names : t -> string list
+(** In declaration order. *)
+
+val column : t -> string -> Series.t
+(** One column as a scalar series. Raises [Not_found]. *)
+
+val values : t -> string -> float array
+val row : t -> int -> (string * float) list
+val map_column : t -> string -> (float -> float) -> t
+val add_column : t -> string -> float array -> t
+val drop_column : t -> string -> t
+(** Raises [Invalid_argument] when dropping the last column. *)
+
+val align : ?methods:(string * Align.method_) list -> t -> target_times:float array -> t
+(** Align every column onto the target axis: columns listed in [methods]
+    use the given method, the rest use Splash's automatic choice. *)
+
+val to_table : t -> Mde_relational.Table.t
+(** Schema: (time : float, <column> : float ...). *)
+
+val of_table : time_column:string -> Mde_relational.Table.t -> t
+(** Inverse of {!to_table}: rows must be sorted by strictly increasing
+    time and all columns numeric. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+open Mde_relational
+
+type field = { target : string; ty : Value.ty; source : Expr.t }
+
+type t = { source_schema : Schema.t; fields : field list; target_schema : Schema.t }
+
+let create ~source fields =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun col ->
+          if not (Schema.mem source col) then
+            invalid_arg
+              (Printf.sprintf
+                 "Schema_map.create: field %S references unknown source column %S"
+                 f.target col))
+        (Expr.columns_used f.source))
+    fields;
+  let target_schema = Schema.of_list (List.map (fun f -> (f.target, f.ty)) fields) in
+  { source_schema = source; fields; target_schema }
+
+let target_schema t = t.target_schema
+
+let compile t =
+  let exprs = Array.of_list (List.map (fun f -> f.source) t.fields) in
+  fun row -> Array.map (fun e -> Expr.eval t.source_schema row e) exprs
+
+let apply t table =
+  if not (Schema.equal (Table.schema table) t.source_schema) then
+    invalid_arg "Schema_map.apply: table schema differs from mapping source";
+  let transform = compile t in
+  Table.of_rows t.target_schema (Array.map transform (Table.rows table))
+
+let field target ty source = { target; ty; source }
+let rename_field target ~ty ~from = { target; ty; source = Expr.col from }
+
+let scale_field target ~from ~factor =
+  { target; ty = Value.Tfloat; source = Expr.(col from * float factor) }
+
+(* Substitute column references by expressions: the classic mapping
+   composition, yielding a single-pass transform. *)
+let rec subst bindings expr =
+  let open Expr in
+  match expr with
+  | Col name -> (
+    match List.assoc_opt name bindings with
+    | Some e -> e
+    | None -> expr)
+  | Lit _ -> expr
+  | Add (a, b) -> Add (subst bindings a, subst bindings b)
+  | Sub (a, b) -> Sub (subst bindings a, subst bindings b)
+  | Mul (a, b) -> Mul (subst bindings a, subst bindings b)
+  | Div (a, b) -> Div (subst bindings a, subst bindings b)
+  | Neg a -> Neg (subst bindings a)
+  | Eq (a, b) -> Eq (subst bindings a, subst bindings b)
+  | Ne (a, b) -> Ne (subst bindings a, subst bindings b)
+  | Lt (a, b) -> Lt (subst bindings a, subst bindings b)
+  | Le (a, b) -> Le (subst bindings a, subst bindings b)
+  | Gt (a, b) -> Gt (subst bindings a, subst bindings b)
+  | Ge (a, b) -> Ge (subst bindings a, subst bindings b)
+  | And (a, b) -> And (subst bindings a, subst bindings b)
+  | Or (a, b) -> Or (subst bindings a, subst bindings b)
+  | Not a -> Not (subst bindings a)
+  | Is_null a -> Is_null (subst bindings a)
+  | If (a, b, c) -> If (subst bindings a, subst bindings b, subst bindings c)
+
+let compose f g =
+  if not (Schema.equal f.target_schema g.source_schema) then
+    invalid_arg "Schema_map.compose: schemas do not line up";
+  let bindings = List.map (fun ff -> (ff.target, ff.source)) f.fields in
+  create ~source:f.source_schema
+    (List.map (fun gf -> { gf with source = subst bindings gf.source }) g.fields)

@@ -1,0 +1,36 @@
+(** Clio-style schema mappings (§2.2, Clio++/Splash).
+
+    A mapping declares, for each target column, an expression over the
+    source schema (renames, unit conversions, derived fields). Like
+    Clio++, the graphical spec is replaced by a declarative value which
+    {!compile} turns into runtime transformation code; the compiled
+    transform is what a Splash-style platform runs at every Monte Carlo
+    repetition. *)
+
+open Mde_relational
+
+type field = { target : string; ty : Value.ty; source : Expr.t }
+
+type t
+
+val create : source:Schema.t -> field list -> t
+(** Validates that every source expression references only source
+    columns. Raises [Invalid_argument] otherwise. *)
+
+val target_schema : t -> Schema.t
+
+val compile : t -> Table.row -> Table.row
+(** The compiled row transform. *)
+
+val apply : t -> Table.t -> Table.t
+(** Transform a whole table (checks the table's schema matches the
+    mapping's source schema). *)
+
+val field : string -> Value.ty -> Expr.t -> field
+val rename_field : string -> ty:Value.ty -> from:string -> field
+val scale_field : string -> from:string -> factor:float -> field
+(** Unit conversion: target = source × factor (float typed). *)
+
+val compose : t -> t -> t
+(** [compose f g]: apply [f] then [g]; [g]'s source schema must equal
+    [f]'s target schema. *)

@@ -1,0 +1,51 @@
+type t = { series : Series.t; sigma : float array }
+
+let system s =
+  let m = Series.length s - 1 in
+  if m < 2 then invalid_arg "Spline.system: need at least 3 observations";
+  let times = Series.times s and values = Series.values s in
+  let h j = times.(j + 1) -. times.(j) in
+  let slope j = (values.(j + 1) -. values.(j)) /. h j in
+  let dim = m - 1 in
+  (* Row i (0-based) is the continuity equation at interior knot i+1. *)
+  let lower = Array.init dim (fun i -> if i = 0 then 0. else h i /. 6.) in
+  let diag = Array.init dim (fun i -> (h i +. h (i + 1)) /. 3.) in
+  let upper = Array.init dim (fun i -> if i = dim - 1 then 0. else h (i + 1) /. 6.) in
+  let b = Array.init dim (fun i -> slope (i + 1) -. slope i) in
+  (Mde_linalg.Tridiag.create ~lower ~diag ~upper, b)
+
+let of_sigma series sigma =
+  if Array.length sigma <> Series.length series then
+    invalid_arg "Spline.of_sigma: constant count must equal knot count";
+  { series; sigma = Array.copy sigma }
+
+let fit s =
+  let n = Series.length s in
+  if n < 2 then invalid_arg "Spline.fit: need at least 2 observations";
+  if n = 2 then { series = s; sigma = [| 0.; 0. |] }
+  else begin
+    let a, b = system s in
+    let interior = Mde_linalg.Tridiag.solve a b in
+    let sigma = Array.make n 0. in
+    Array.blit interior 0 sigma 1 (n - 2);
+    { series = s; sigma }
+  end
+
+let sigma t = t.sigma
+let series t = t.series
+
+let eval t x =
+  let s = t.series in
+  let j = Series.locate s x in
+  let times = Series.times s and values = Series.values s in
+  let sj = times.(j) and sj1 = times.(j + 1) in
+  let dj = values.(j) and dj1 = values.(j + 1) in
+  let hj = sj1 -. sj in
+  let sig_j = t.sigma.(j) and sig_j1 = t.sigma.(j + 1) in
+  (* The paper's formula, verbatim. *)
+  (sig_j /. (6. *. hj) *. ((sj1 -. x) ** 3.))
+  +. (sig_j1 /. (6. *. hj) *. ((x -. sj) ** 3.))
+  +. (((dj1 /. hj) -. (sig_j1 *. hj /. 6.)) *. (x -. sj))
+  +. (((dj /. hj) -. (sig_j *. hj /. 6.)) *. (sj1 -. x))
+
+let eval_many t xs = Array.map (eval t) xs

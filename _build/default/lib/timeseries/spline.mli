@@ -1,0 +1,32 @@
+(** Natural cubic splines over a time series (§2.2).
+
+    The spline constants σ₀..σ_m are the knot second derivatives; with
+    natural boundary conditions σ₀ = σ_m = 0 the interior constants solve
+    an (m−1)×(m−1) tridiagonal system A x = b. {!fit} solves it directly
+    (Thomas algorithm); {!Dsgd} below re-derives the same constants by
+    minimizing ‖Ax−b‖² with stratified distributed stochastic gradient
+    descent — the paper's MapReduce-friendly formulation. *)
+
+type t
+
+val fit : Series.t -> t
+(** Direct fit. Requires ≥ 2 observations (with exactly 2, the spline
+    degenerates to linear interpolation). *)
+
+val of_sigma : Series.t -> float array -> t
+(** Assemble a spline from externally computed constants
+    (length = series length), e.g. the DSGD solution. *)
+
+val sigma : t -> float array
+val series : t -> Series.t
+
+val eval : t -> float -> float
+(** Evaluate the paper's interpolation formula at any point inside the
+    knot range; outside, extrapolates with the boundary cubic. *)
+
+val eval_many : t -> float array -> float array
+
+val system : Series.t -> Mde_linalg.Tridiag.t * float array
+(** The tridiagonal system (A, b) whose solution gives σ₁..σ_{m−1};
+    exposed for the DSGD solver and the benchmarks. Requires ≥ 3
+    observations. *)

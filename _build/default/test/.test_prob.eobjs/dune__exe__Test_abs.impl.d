@@ -1,0 +1,1 @@
+test/test_abs.ml: Alcotest Array Float List Mde_abs Mde_prob Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_assimilate.ml: Alcotest Array Float Fun List Mde_assimilate Mde_prob Printf

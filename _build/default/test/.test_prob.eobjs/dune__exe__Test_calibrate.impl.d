@@ -1,0 +1,1 @@
+test/test_calibrate.ml: Alcotest Array Float Mde_calibrate Mde_linalg Mde_optimize Mde_prob Printf

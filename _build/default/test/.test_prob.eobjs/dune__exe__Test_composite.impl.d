@@ -1,0 +1,1 @@
+test/test_composite.ml: Alcotest Array Float List Mde_composite Mde_metamodel Mde_prob Mde_timeseries Printf

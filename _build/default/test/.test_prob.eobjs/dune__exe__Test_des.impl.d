@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Float Fun List Mde_des Mde_prob QCheck QCheck_alcotest

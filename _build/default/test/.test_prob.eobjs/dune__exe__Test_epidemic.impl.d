@@ -1,0 +1,1 @@
+test/test_epidemic.ml: Alcotest Array Catalog Expr Float List Mde_epidemic Mde_prob Mde_relational Printf Query Stdlib Table Value

@@ -1,0 +1,1 @@
+test/test_gridfields.ml: Alcotest Array Float List Mde_gridfields Printf QCheck QCheck_alcotest

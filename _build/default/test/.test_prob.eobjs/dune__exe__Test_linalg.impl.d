@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float List Mde_linalg Mde_prob Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mapred.ml: Alcotest Array Fun Int List Mde_mapred Mde_prob Printf QCheck QCheck_alcotest

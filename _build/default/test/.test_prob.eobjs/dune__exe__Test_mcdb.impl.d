@@ -1,0 +1,1 @@
+test/test_mcdb.ml: Alcotest Algebra Array Catalog Expr Float Hashtbl List Mde_mcdb Mde_prob Mde_relational Option Printf Schema Table Value

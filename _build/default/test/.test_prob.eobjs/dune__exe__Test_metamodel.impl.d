@@ -1,0 +1,1 @@
+test/test_metamodel.ml: Alcotest Array Float Fun List Mde_metamodel Mde_prob Printf QCheck QCheck_alcotest String

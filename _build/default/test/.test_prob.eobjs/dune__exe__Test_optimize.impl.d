@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Float List Mde_optimize Mde_prob Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Float Fun Gen Int Int64 List Mde_prob Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Array Catalog Expr List Mde_prob Mde_relational Option Plan Printf QCheck QCheck_alcotest Query Schema String Table Value

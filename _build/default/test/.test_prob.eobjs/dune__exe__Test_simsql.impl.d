@@ -1,0 +1,1 @@
+test/test_simsql.ml: Alcotest Array Float List Mde_mcdb Mde_prob Mde_relational Mde_simsql Printf QCheck QCheck_alcotest Schema Table Value

@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Array Expr Float Gen List Mde_linalg Mde_mapred Mde_prob Mde_relational Mde_timeseries Printf QCheck QCheck_alcotest Schema Table Value

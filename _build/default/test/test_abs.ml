@@ -1,0 +1,294 @@
+module Framework = Mde_abs.Framework
+module Traffic = Mde_abs.Traffic
+module Schelling = Mde_abs.Schelling
+module Range_query = Mde_abs.Range_query
+module Rng = Mde_prob.Rng
+
+(* --- Framework --- *)
+
+let counter_spec =
+  {
+    Framework.step_agent = (fun _rng env agents i -> agents.(i) + env);
+    step_env = (fun _rng env _agents -> env + 1);
+  }
+
+let test_framework_run () =
+  let init = { Framework.agents = [| 0; 10 |]; env = 1 } in
+  let final = Framework.run counter_spec (Rng.create ()) ~steps:3 ~init in
+  (* env: 1→2→3→4; agent gets +1, +2, +3. *)
+  Alcotest.(check int) "agent 0" 6 final.Framework.agents.(0);
+  Alcotest.(check int) "agent 1" 16 final.Framework.agents.(1);
+  Alcotest.(check int) "env" 4 final.Framework.env
+
+let test_framework_trajectory () =
+  let init = { Framework.agents = [| 0 |]; env = 0 } in
+  let obs =
+    Framework.trajectory counter_spec (Rng.create ()) ~steps:5 ~init
+      ~observe:(fun s -> s.Framework.agents.(0))
+  in
+  Alcotest.(check int) "length" 6 (Array.length obs);
+  Alcotest.(check int) "initial" 0 obs.(0)
+
+let test_framework_synchronous () =
+  (* Each agent copies its left neighbour's pre-step value. *)
+  let spec =
+    {
+      Framework.step_agent =
+        (fun _ _ agents i -> agents.((i + Array.length agents - 1) mod Array.length agents));
+      step_env = (fun _ env _ -> env);
+    }
+  in
+  let init = { Framework.agents = [| 1; 2; 3 |]; env = () } in
+  let next = Framework.step spec (Rng.create ()) init in
+  Alcotest.(check (array int)) "rotated" [| 3; 1; 2 |] next.Framework.agents
+
+(* --- Traffic --- *)
+
+let test_traffic_conserves_cars () =
+  let rng = Rng.create ~seed:1 () in
+  let t = Traffic.create Traffic.default_params ~density:0.3 rng in
+  let before = Traffic.car_count t in
+  for _ = 1 to 50 do
+    Traffic.step t
+  done;
+  Alcotest.(check int) "conserved" before (Traffic.car_count t)
+
+let test_traffic_free_flow () =
+  (* At very low density, mean speed approaches vmax − p_brake. *)
+  let params = { Traffic.default_params with p_brake = 0.1 } in
+  let rng = Rng.create ~seed:2 () in
+  let t = Traffic.create params ~density:0.02 rng in
+  for _ = 1 to 100 do
+    Traffic.step t
+  done;
+  let speeds = ref [] in
+  for _ = 1 to 50 do
+    Traffic.step t;
+    speeds := Traffic.mean_speed t :: !speeds
+  done;
+  let avg = Mde_prob.Stats.mean (Array.of_list !speeds) in
+  Alcotest.(check bool)
+    (Printf.sprintf "free flow speed %.2f > 4.2" avg)
+    true (avg > 4.2)
+
+let test_traffic_jams_at_high_density () =
+  let rng = Rng.create ~seed:3 () in
+  let t = Traffic.create Traffic.default_params ~density:0.6 rng in
+  for _ = 1 to 100 do
+    Traffic.step t
+  done;
+  Alcotest.(check bool) "substantial jamming" true (Traffic.jammed_fraction t > 0.3);
+  Alcotest.(check bool) "slow" true (Traffic.mean_speed t < 1.5)
+
+let test_traffic_fundamental_diagram_shape () =
+  (* Flow rises with density, peaks, then falls — the jam transition. *)
+  let points =
+    Traffic.density_sweep ~seed:5 Traffic.default_params
+      ~densities:[| 0.05; 0.15; 0.5; 0.8 |]
+      ~warmup:80 ~measure:40
+  in
+  Alcotest.(check bool) "rising branch" true
+    (points.(1).Traffic.mean_flow > points.(0).Traffic.mean_flow);
+  Alcotest.(check bool) "falling branch" true
+    (points.(3).Traffic.mean_flow < points.(1).Traffic.mean_flow);
+  Alcotest.(check bool) "jam grows with density" true
+    (points.(3).Traffic.jammed > points.(0).Traffic.jammed)
+
+let test_traffic_multilane () =
+  let params = { Traffic.default_params with lanes = 2; length = 200 } in
+  let rng = Rng.create ~seed:7 () in
+  let t = Traffic.create params ~density:0.2 rng in
+  let before = Traffic.car_count t in
+  for _ = 1 to 60 do
+    Traffic.step t
+  done;
+  Alcotest.(check int) "conserved across lanes" before (Traffic.car_count t)
+
+let test_traffic_diagram_dimensions () =
+  let rng = Rng.create ~seed:9 () in
+  let t = Traffic.create { Traffic.default_params with length = 50 } ~density:0.3 rng in
+  let diagram = Traffic.space_time_diagram t ~steps:10 ~lane:0 in
+  let lines = String.split_on_char '\n' diagram |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "10 rows" 10 (List.length lines);
+  List.iter (fun l -> Alcotest.(check int) "50 cols" 50 (String.length l)) lines
+
+(* --- Schelling --- *)
+
+let test_schelling_segregation_rises () =
+  let t = Schelling.create ~seed:11 ~size:20 ~vacancy:0.2 ~threshold:0.4 () in
+  let before = Schelling.segregation_index t in
+  let _ = Schelling.run_until_settled ~max_steps:100 t in
+  let after = Schelling.segregation_index t in
+  Alcotest.(check bool)
+    (Printf.sprintf "segregation %.2f -> %.2f" before after)
+    true
+    (after > before +. 0.15)
+
+let test_schelling_settles () =
+  let t = Schelling.create ~seed:13 ~size:15 ~vacancy:0.25 ~threshold:0.35 () in
+  let steps = Schelling.run_until_settled ~max_steps:200 t in
+  Alcotest.(check bool) "settled before cap" true (steps < 200);
+  Alcotest.(check int) "no unhappy agents" 0 (Schelling.unhappy_count t)
+
+let test_schelling_zero_threshold_static () =
+  let t = Schelling.create ~seed:17 ~size:10 ~vacancy:0.3 ~threshold:0.0 () in
+  Alcotest.(check int) "nobody moves" 0 (Schelling.step t)
+
+let test_schelling_render () =
+  let t = Schelling.create ~seed:19 ~size:8 ~vacancy:0.2 ~threshold:0.3 () in
+  let s = Schelling.to_string t in
+  Alcotest.(check int) "8 lines of 8" (8 * 9) (String.length s)
+
+(* --- PDES-MAS range queries --- *)
+
+let test_range_query_basic () =
+  let t = Range_query.create ~n_agents:10 () in
+  for agent = 0 to 9 do
+    Range_query.write t ~agent ~time:1.0 ~value:(float_of_int agent)
+  done;
+  let result, stats = Range_query.range_query t ~time:1.0 ~lo:3. ~hi:6. in
+  Alcotest.(check (list int)) "ids 3..6" [ 3; 4; 5; 6 ] result;
+  Alcotest.(check int) "matched" 4 stats.Range_query.matched
+
+let test_range_query_timestamped () =
+  let t = Range_query.create ~n_agents:3 () in
+  Range_query.write t ~agent:0 ~time:1. ~value:10.;
+  Range_query.write t ~agent:0 ~time:5. ~value:50.;
+  (* Query in the past sees the old value. *)
+  let past, _ = Range_query.range_query t ~time:2. ~lo:0. ~hi:20. in
+  Alcotest.(check (list int)) "old value visible" [ 0 ] past;
+  let now, _ = Range_query.range_query t ~time:6. ~lo:0. ~hi:20. in
+  Alcotest.(check (list int)) "new value out of range" [] now;
+  (* Before any write the agent has no value. *)
+  Alcotest.(check (option (float 0.)) ) "none before first write" None
+    (Range_query.value_at t ~agent:1 ~time:100.)
+
+let test_range_query_time_monotonic () =
+  let t = Range_query.create ~n_agents:2 () in
+  Range_query.write t ~agent:0 ~time:5. ~value:1.;
+  Alcotest.(check bool) "backwards write rejected" true
+    (try
+       Range_query.write t ~agent:0 ~time:4. ~value:2.;
+       false
+     with Invalid_argument _ -> true)
+
+let test_range_query_pruning () =
+  let t = Range_query.create ~n_agents:128 () in
+  for agent = 0 to 127 do
+    Range_query.write t ~agent ~time:1. ~value:(float_of_int (agent mod 4))
+  done;
+  (* A query far outside every value's range prunes at the root. *)
+  let empty, stats = Range_query.range_query t ~time:1. ~lo:100. ~hi:200. in
+  Alcotest.(check (list int)) "empty" [] empty;
+  Alcotest.(check int) "pruned at root" 1 stats.Range_query.clp_nodes_visited
+
+let test_range_query_bucketed_prunes_better () =
+  let n_agents = 256 in
+  let plain = Range_query.create ~n_agents () in
+  let bucketed = Range_query.create ~bucket_width:1.0 ~n_agents () in
+  let rng = Rng.create ~seed:33 () in
+  let clock = Array.make n_agents 0. and position = Array.make n_agents 0. in
+  for _ = 1 to n_agents * 30 do
+    let agent = Rng.int rng n_agents in
+    clock.(agent) <- clock.(agent) +. Rng.float_pos rng;
+    position.(agent) <- position.(agent) +. Rng.float_range rng (-1.) 1.;
+    Range_query.write plain ~agent ~time:clock.(agent) ~value:position.(agent);
+    Range_query.write bucketed ~agent ~time:clock.(agent) ~value:position.(agent)
+  done;
+  (* Early-time queries: positions have not diffused yet, so bucketed
+     bounds are much tighter than whole-history bounds. *)
+  let total t =
+    let visited = ref 0 in
+    for q = 0 to 49 do
+      let time = 0.5 +. (0.05 *. float_of_int q) in
+      let answer, stats = Range_query.range_query t ~time ~lo:3. ~hi:6. in
+      Alcotest.(check (list int))
+        (Printf.sprintf "query %d correct" q)
+        (Range_query.range_query_brute t ~time ~lo:3. ~hi:6.)
+        answer;
+      visited := !visited + stats.Range_query.clp_nodes_visited
+    done;
+    !visited
+  in
+  let plain_visited = total plain in
+  let bucketed_visited = total bucketed in
+  Alcotest.(check bool)
+    (Printf.sprintf "bucketed prunes more (%d < %d)" bucketed_visited plain_visited)
+    true
+    (bucketed_visited < plain_visited)
+
+let prop_bucketed_matches_brute =
+  QCheck.Test.make ~name:"time-bucketed range query = brute force" ~count:60
+    QCheck.(triple (int_range 1 30) (int_range 0 60) (float_range 0.2 3.))
+    (fun (n_agents, n_writes, width) ->
+      let t = Range_query.create ~bucket_width:width ~n_agents () in
+      let rng = Rng.create ~seed:(n_agents + (7 * n_writes)) () in
+      let clock = Array.make n_agents 0. in
+      for _ = 1 to n_writes do
+        let agent = Rng.int rng n_agents in
+        clock.(agent) <- clock.(agent) +. Rng.float rng;
+        Range_query.write t ~agent ~time:clock.(agent)
+          ~value:(Rng.float_range rng (-5.) 5.)
+      done;
+      let time = Rng.float_range rng 0. 10. in
+      let lo = Rng.float_range rng (-5.) 3. in
+      let hi = lo +. 2. in
+      fst (Range_query.range_query t ~time ~lo ~hi)
+      = Range_query.range_query_brute t ~time ~lo ~hi)
+
+let prop_range_query_matches_brute =
+  QCheck.Test.make ~name:"CLP-tree range query = brute force" ~count:100
+    QCheck.(triple (int_range 1 40) (int_range 0 80) (pair (float_range 0. 10.) (float_range 0. 10.)))
+    (fun (n_agents, n_writes, (a, b)) ->
+      let t = Range_query.create ~n_agents () in
+      let rng = Rng.create ~seed:(n_agents + n_writes) () in
+      let clock = Array.make n_agents 0. in
+      for _ = 1 to n_writes do
+        let agent = Rng.int rng n_agents in
+        clock.(agent) <- clock.(agent) +. Rng.float rng;
+        Range_query.write t ~agent ~time:clock.(agent)
+          ~value:(Rng.float_range rng (-5.) 5.)
+      done;
+      let lo = Float.min a b -. 5. and hi = Float.max a b -. 5. in
+      let time = Rng.float_range rng 0. 10. in
+      let via_tree, _ = Range_query.range_query t ~time ~lo ~hi in
+      let brute = Range_query.range_query_brute t ~time ~lo ~hi in
+      via_tree = brute)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "mde_abs"
+    [
+      ( "framework",
+        [
+          Alcotest.test_case "run" `Quick test_framework_run;
+          Alcotest.test_case "trajectory" `Quick test_framework_trajectory;
+          Alcotest.test_case "synchronous" `Quick test_framework_synchronous;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "conserves cars" `Quick test_traffic_conserves_cars;
+          Alcotest.test_case "free flow" `Quick test_traffic_free_flow;
+          Alcotest.test_case "jams at high density" `Quick test_traffic_jams_at_high_density;
+          Alcotest.test_case "fundamental diagram" `Slow test_traffic_fundamental_diagram_shape;
+          Alcotest.test_case "multilane conserves" `Quick test_traffic_multilane;
+          Alcotest.test_case "space-time diagram" `Quick test_traffic_diagram_dimensions;
+        ] );
+      ( "schelling",
+        [
+          Alcotest.test_case "segregation rises" `Quick test_schelling_segregation_rises;
+          Alcotest.test_case "settles" `Quick test_schelling_settles;
+          Alcotest.test_case "zero threshold static" `Quick test_schelling_zero_threshold_static;
+          Alcotest.test_case "render" `Quick test_schelling_render;
+        ] );
+      ( "range_query",
+        [
+          Alcotest.test_case "basic" `Quick test_range_query_basic;
+          Alcotest.test_case "timestamped" `Quick test_range_query_timestamped;
+          Alcotest.test_case "time monotonic" `Quick test_range_query_time_monotonic;
+          Alcotest.test_case "pruning" `Quick test_range_query_pruning;
+          Alcotest.test_case "bucketed pruning" `Quick test_range_query_bucketed_prunes_better;
+        ] );
+      ( "properties",
+        qc [ prop_range_query_matches_brute; prop_bucketed_matches_brute ] );
+    ]

@@ -1,0 +1,435 @@
+module Importance = Mde_assimilate.Importance
+module Particle = Mde_assimilate.Particle
+module Wildfire = Mde_assimilate.Wildfire
+module Sensors = Mde_assimilate.Sensors
+module Assimilation = Mde_assimilate.Assimilation
+module Rng = Mde_prob.Rng
+module Dist = Mde_prob.Dist
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Importance sampling --- *)
+
+let test_is_estimates_mean () =
+  (* Target N(2,1) sampled through proposal N(0,2): the weighted estimate
+     must still recover E[X] = 2. *)
+  let rng = Rng.create ~seed:1 () in
+  let target = Dist.Normal { mean = 2.; std = 1. } in
+  let proposal_dist = Dist.Normal { mean = 0.; std = 2. } in
+  let w =
+    Importance.sample ~rng ~n:20_000
+      ~proposal:(fun rng -> Dist.sample proposal_dist rng)
+      ~log_gamma:(Dist.log_pdf target)
+      ~log_proposal:(Dist.log_pdf proposal_dist)
+  in
+  check_close 0.05 "mean" 2. (Importance.estimate w Fun.id);
+  (* gamma here is normalized, so Z = 1. *)
+  check_close 0.05 "log Z" 0. (Importance.log_normalizer w)
+
+let test_ess_bounds () =
+  let uniform = Array.make 10 0.1 in
+  check_close 1e-9 "uniform ESS = N" 10. (Importance.effective_sample_size uniform);
+  let collapsed = Array.init 10 (fun i -> if i = 0 then 1. else 0.) in
+  check_close 1e-9 "collapsed ESS = 1" 1. (Importance.effective_sample_size collapsed)
+
+let test_normalized_weights_sum () =
+  let rng = Rng.create ~seed:2 () in
+  let w =
+    Importance.sample ~rng ~n:100
+      ~proposal:(fun rng -> Rng.float rng)
+      ~log_gamma:(fun x -> -.x)
+      ~log_proposal:(fun _ -> 0.)
+  in
+  let weights = Importance.normalized_weights w in
+  check_close 1e-9 "sum to 1" 1. (Array.fold_left ( +. ) 0. weights)
+
+(* --- Particle filter on a linear-Gaussian HMM --- *)
+
+(* X_n = 0.9 X_{n-1} + N(0, 0.3²); Y_n = X_n + N(0, 0.5²). *)
+let lg_model =
+  {
+    Particle.init = (fun rng -> Dist.sample (Dist.Normal { mean = 0.; std = 1. }) rng);
+    transition =
+      (fun rng x -> (0.9 *. x) +. Dist.sample (Dist.Normal { mean = 0.; std = 0.3 }) rng);
+    obs_log_likelihood =
+      (fun y x -> Dist.log_pdf (Dist.Normal { mean = x; std = 0.5 }) y);
+  }
+
+(* Exact Kalman filter for the same model — the correctness oracle. *)
+module Kalman = Mde_assimilate.Kalman
+
+let lg_kalman_model =
+  { Kalman.a = 0.9; q = 0.09; h = 1.; r = 0.25; mu0 = 0.; p0 = 1. }
+
+let kalman observations = Kalman.filter_all lg_kalman_model observations
+
+let simulate_lg seed steps =
+  let rng = Rng.create ~seed () in
+  let x = ref (Dist.sample (Dist.Normal { mean = 0.; std = 1. }) rng) in
+  Array.init steps (fun _ ->
+      x := (0.9 *. !x) +. Dist.sample (Dist.Normal { mean = 0.; std = 0.3 }) rng;
+      let y = !x +. Dist.sample (Dist.Normal { mean = 0.; std = 0.5 }) rng in
+      (!x, y))
+
+let test_particle_filter_tracks_kalman () =
+  let trajectory = simulate_lg 3 50 in
+  let observations = Array.map snd trajectory in
+  let kalman_means = kalman observations in
+  let filter =
+    Particle.create ~n_particles:2000 ~model:lg_model
+      ~proposal:(Particle.bootstrap lg_model)
+      (Rng.create ~seed:4 ())
+  in
+  let pf_means =
+    Array.map
+      (fun y ->
+        Particle.step filter y;
+        Particle.estimate filter Fun.id)
+      observations
+  in
+  let rmse = Mde_prob.Stats.root_mean_square_error pf_means kalman_means in
+  Alcotest.(check bool)
+    (Printf.sprintf "PF ~ Kalman (rmse %.3f)" rmse)
+    true (rmse < 0.08)
+
+let test_sis_degenerates_without_resampling () =
+  (* The paper's SIS collapse: without resampling the ESS decays. *)
+  let observations = Array.map snd (simulate_lg 5 40) in
+  let run threshold =
+    let filter =
+      Particle.create ~n_particles:300 ~resample_threshold:threshold ~model:lg_model
+        ~proposal:(Particle.bootstrap lg_model)
+        (Rng.create ~seed:6 ())
+    in
+    Array.iter (Particle.step filter) observations;
+    Particle.effective_sample_size (Particle.population filter)
+  in
+  let sis_ess = run 0.0 in
+  let sir_ess = run 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "SIS collapses (ess %.1f), SIR does not (%.1f)" sis_ess sir_ess)
+    true
+    (sis_ess < 10. && sir_ess > 50.)
+
+let test_resampling_preserves_mean () =
+  let rng = Rng.create ~seed:7 () in
+  let particles = Array.init 5000 float_of_int in
+  let weights = Array.init 5000 (fun i -> if i < 2500 then 3. else 1.) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let weights = Array.map (fun w -> w /. total) weights in
+  let pop = { Particle.particles; weights } in
+  let weighted_mean =
+    Array.fold_left ( +. ) 0. (Array.mapi (fun i w -> w *. particles.(i)) weights)
+  in
+  List.iter
+    (fun scheme ->
+      let resampled = Particle.resample ~scheme rng pop in
+      let mean = Mde_prob.Stats.mean resampled.Particle.particles in
+      check_close 60. "mean preserved" weighted_mean mean;
+      check_close 1e-9 "uniform weights" (1. /. 5000.) resampled.Particle.weights.(0))
+    [ Particle.Multinomial; Particle.Systematic ]
+
+let test_kalman_variance_converges () =
+  (* The posterior variance reaches the Riccati fixed point. *)
+  let t = Kalman.create lg_kalman_model in
+  for i = 1 to 200 do
+    Kalman.step t (float_of_int (i mod 3))
+  done;
+  let p1 = Kalman.variance t in
+  Kalman.step t 0.;
+  Alcotest.(check (float 1e-9)) "fixed point" p1 (Kalman.variance t);
+  Alcotest.(check int) "steps" 201 (Kalman.steps t)
+
+let test_kalman_certain_observation () =
+  (* Tiny observation noise: the posterior jumps (almost) to the data. *)
+  let t = Kalman.create { lg_kalman_model with Kalman.r = 1e-9 } in
+  Kalman.step t 5.;
+  check_close 1e-4 "mean follows data" 5. (Kalman.mean t);
+  Alcotest.(check bool) "variance collapses" true (Kalman.variance t < 1e-6)
+
+let test_pf_evidence_matches_kalman () =
+  (* The SMC evidence estimate should agree with the exact Kalman
+     log-likelihood on a linear-Gaussian model. *)
+  let observations = Array.map snd (simulate_lg 11 40) in
+  let exact = Kalman.create lg_kalman_model in
+  Array.iter (Kalman.step exact) observations;
+  let filter =
+    Particle.create ~n_particles:4000 ~model:lg_model
+      ~proposal:(Particle.bootstrap lg_model)
+      (Rng.create ~seed:12 ())
+  in
+  Array.iter (Particle.step filter) observations;
+  let exact_ll = Kalman.log_likelihood exact in
+  let pf_ll = Particle.log_marginal_likelihood filter in
+  Alcotest.(check bool)
+    (Printf.sprintf "PF logZ %.2f ~ Kalman %.2f" pf_ll exact_ll)
+    true
+    (Float.abs (pf_ll -. exact_ll) < 0.02 *. Float.abs exact_ll +. 1.)
+
+let test_log_marginal_model_selection () =
+  (* The evidence estimate must prefer the true model over one with the
+     wrong dynamics on the same observation stream. *)
+  let observations = Array.map snd (simulate_lg 9 60) in
+  let wrong_model =
+    { lg_model with
+      transition =
+        (fun rng x -> (-0.9 *. x) +. Dist.sample (Dist.Normal { mean = 0.; std = 0.3 }) rng)
+    }
+  in
+  let log_z model seed =
+    let filter =
+      Particle.create ~n_particles:500 ~model ~proposal:(Particle.bootstrap model)
+        (Rng.create ~seed ())
+    in
+    Array.iter (Particle.step filter) observations;
+    Particle.log_marginal_likelihood filter
+  in
+  let true_z = log_z lg_model 10 and wrong_z = log_z wrong_model 10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "log Z: true %.1f > wrong %.1f" true_z wrong_z)
+    true (true_z > wrong_z +. 5.)
+
+let test_filter_requires_step () =
+  let filter =
+    Particle.create ~n_particles:10 ~model:lg_model
+      ~proposal:(Particle.bootstrap lg_model)
+      (Rng.create ~seed:8 ())
+  in
+  Alcotest.(check bool) "population before step raises" true
+    (try
+       ignore (Particle.population filter);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Wildfire --- *)
+
+let fire_params = Wildfire.default_params ~width:12 ~height:12
+
+let test_wildfire_ignite () =
+  let s = Wildfire.ignite fire_params [ (5, 5) ] in
+  Alcotest.(check int) "one burning" 1 (Wildfire.burning_count s);
+  Alcotest.(check bool) "cell state" true
+    (match Wildfire.cell s 5 5 with Wildfire.Burning 1 -> true | _ -> false)
+
+let test_wildfire_burned_never_unburns () =
+  let rng = Rng.create ~seed:9 () in
+  let s = ref (Wildfire.ignite fire_params [ (5, 5) ]) in
+  for _ = 1 to 30 do
+    let next = Wildfire.step rng !s in
+    (* Monotonicity: burned stays burned; unburned cells never jump to
+       burned without burning. *)
+    for y = 0 to 11 do
+      for x = 0 to 11 do
+        match (Wildfire.cell !s x y, Wildfire.cell next x y) with
+        | Wildfire.Burned, c ->
+          Alcotest.(check bool) "burned persists" true (c = Wildfire.Burned)
+        | Wildfire.Unburned, Wildfire.Burned ->
+          Alcotest.fail "unburned jumped to burned"
+        | (Wildfire.Unburned | Wildfire.Burning _), _ -> ()
+      done
+    done;
+    s := next
+  done
+
+let test_wildfire_spreads () =
+  let rng = Rng.create ~seed:10 () in
+  let s = ref (Wildfire.ignite fire_params [ (6, 6) ]) in
+  for _ = 1 to 20 do
+    s := Wildfire.step rng !s
+  done;
+  Alcotest.(check bool) "fire grew" true (Wildfire.burned_area_fraction !s > 0.05)
+
+let test_wildfire_wind_bias () =
+  (* Strong +x wind: fire reaches the right edge before the left. *)
+  let params =
+    { fire_params with Wildfire.width = 31; height = 9; wind = (1., 0.); wind_boost = 0.9 }
+  in
+  let trials = 30 in
+  let right_first = ref 0 in
+  for seed = 1 to trials do
+    let rng = Rng.create ~seed () in
+    let s = ref (Wildfire.ignite params [ (15, 4) ]) in
+    let result = ref None in
+    let steps = ref 0 in
+    while !result = None && !steps < 200 do
+      incr steps;
+      s := Wildfire.step rng !s;
+      let touched x =
+        List.exists (fun (cx, _) -> cx = x) (Wildfire.front_cells !s)
+        || (match Wildfire.cell !s x 4 with Wildfire.Burned -> true | _ -> false)
+      in
+      let left = ref false and right = ref false in
+      for y = 0 to 8 do
+        (match Wildfire.cell !s 0 y with
+        | Wildfire.Burning _ | Wildfire.Burned -> left := true
+        | Wildfire.Unburned -> ());
+        match Wildfire.cell !s 30 y with
+        | Wildfire.Burning _ | Wildfire.Burned -> right := true
+        | Wildfire.Unburned -> ()
+      done;
+      ignore touched;
+      if !right && not !left then result := Some true
+      else if !left && not !right then result := Some false
+    done;
+    if !result = Some true then incr right_first
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "downwind first in %d/%d" !right_first trials)
+    true
+    (float_of_int !right_first > 0.7 *. float_of_int trials)
+
+let test_cell_difference_metric () =
+  let a = Wildfire.ignite fire_params [ (1, 1) ] in
+  let b = Wildfire.ignite fire_params [ (1, 1); (2, 2) ] in
+  Alcotest.(check int) "self distance" 0 (Wildfire.cell_difference a a);
+  Alcotest.(check int) "one cell differs" 1 (Wildfire.cell_difference a b)
+
+let test_with_cell () =
+  let s = Wildfire.ignite fire_params [] in
+  let s' = Wildfire.with_cell s 3 3 (Wildfire.Burning 2) in
+  Alcotest.(check int) "original untouched" 0 (Wildfire.burning_count s);
+  Alcotest.(check int) "copy burning" 1 (Wildfire.burning_count s')
+
+let test_fuel_barrier_stops_fire () =
+  (* A zero-fuel column down the middle: fire ignited on the left never
+     reaches the right half. *)
+  let params =
+    { (Wildfire.default_params ~width:21 ~height:9) with
+      Wildfire.fuel = Some (fun x _ -> if x = 10 then 0. else 1.);
+      spread_prob = 0.5
+    }
+  in
+  let rng = Rng.create ~seed:15 () in
+  let s = ref (Wildfire.ignite params [ (3, 4) ]) in
+  for _ = 1 to 60 do
+    s := Wildfire.step rng !s
+  done;
+  let right_touched = ref false in
+  for y = 0 to 8 do
+    for x = 10 to 20 do
+      match Wildfire.cell !s x y with
+      | Wildfire.Burning _ | Wildfire.Burned -> right_touched := true
+      | Wildfire.Unburned -> ()
+    done
+  done;
+  Alcotest.(check bool) "left half burned" true (Wildfire.burned_count !s > 10);
+  Alcotest.(check bool) "fire break held" false !right_touched
+
+let test_smooth_fuel_map_range () =
+  let fuel = Wildfire.smooth_fuel_map ~width:30 ~height:30 () in
+  for x = 0 to 29 do
+    for y = 0 to 29 do
+      let v = fuel x y in
+      Alcotest.(check bool) "in range" true (v >= 0.3 && v <= 1.7)
+    done
+  done
+
+(* --- Sensors --- *)
+
+let test_sensor_layout () =
+  let sensors = Sensors.grid_layout ~spacing:4 fire_params in
+  Alcotest.(check int) "3x3 sensors" 9 (Sensors.count sensors)
+
+let test_sensor_expected_readings () =
+  let sensors = Sensors.grid_layout ~spacing:4 fire_params in
+  let cold = Wildfire.ignite fire_params [] in
+  Array.iter
+    (fun r -> check_close 1e-9 "ambient" Sensors.ambient r)
+    (Sensors.expected sensors cold);
+  (* Put fire exactly at a sensor cell. *)
+  let positions = Sensors.positions sensors in
+  let sx, sy = positions.(0) in
+  let hot = Wildfire.ignite fire_params [ (sx, sy) ] in
+  let expected = Sensors.expected sensors hot in
+  check_close 1e-9 "own-cell contribution" (Sensors.ambient +. 120.) expected.(0)
+
+let test_sensor_log_likelihood_peaks_at_truth () =
+  let sensors = Sensors.grid_layout ~spacing:4 fire_params in
+  let truth = Wildfire.ignite fire_params [ (5, 5); (6, 6) ] in
+  let rng = Rng.create ~seed:11 () in
+  let reading = Sensors.observe ~noise_std:5. sensors rng truth in
+  let ll_truth = Sensors.log_likelihood ~noise_std:5. sensors reading truth in
+  let wrong = Wildfire.ignite fire_params [ (1, 10) ] in
+  let ll_wrong = Sensors.log_likelihood ~noise_std:5. sensors reading wrong in
+  Alcotest.(check bool) "truth more likely" true (ll_truth > ll_wrong)
+
+let test_hot_cool_cells () =
+  let sensors = Sensors.grid_layout ~spacing:4 fire_params in
+  let reading = Array.make (Sensors.count sensors) Sensors.ambient in
+  reading.(0) <- Sensors.ambient +. 200.;
+  Alcotest.(check int) "one hot" 1 (List.length (Sensors.hot_cells sensors reading));
+  Alcotest.(check int) "rest cool" 8 (List.length (Sensors.cool_cells sensors reading))
+
+(* --- Assimilation experiment --- *)
+
+let test_assimilation_beats_open_loop () =
+  let params = Wildfire.default_params ~width:14 ~height:14 in
+  let exp_result =
+    Assimilation.run_experiment ~seed:13 ~n_particles:60 ~params
+      ~ignition:[ (7, 7) ] ~sensor_spacing:3 ~steps:12 ~proposal:`Bootstrap ()
+  in
+  Alcotest.(check int) "all steps recorded" 12 (Array.length exp_result.Assimilation.errors);
+  Alcotest.(check bool)
+    (Printf.sprintf "filter %.1f <= open loop %.1f"
+       exp_result.Assimilation.mean_filter_error
+       exp_result.Assimilation.mean_open_loop_error)
+    true
+    (exp_result.Assimilation.mean_filter_error
+    <= exp_result.Assimilation.mean_open_loop_error)
+
+let test_sensor_aware_proposal_runs () =
+  let params = Wildfire.default_params ~width:10 ~height:10 in
+  let exp_result =
+    Assimilation.run_experiment ~seed:14 ~n_particles:30 ~params
+      ~ignition:[ (5, 5) ] ~sensor_spacing:3 ~steps:6 ~proposal:`Sensor_aware ()
+  in
+  Alcotest.(check int) "runs to completion" 6 (Array.length exp_result.Assimilation.errors);
+  Array.iter
+    (fun (e : Assimilation.step_error) ->
+      Alcotest.(check bool) "ess sane" true (e.Assimilation.ess >= 1. && e.Assimilation.ess <= 30.))
+    exp_result.Assimilation.errors
+
+let () =
+  Alcotest.run "mde_assimilate"
+    [
+      ( "importance",
+        [
+          Alcotest.test_case "estimates mean" `Quick test_is_estimates_mean;
+          Alcotest.test_case "ESS bounds" `Quick test_ess_bounds;
+          Alcotest.test_case "weights normalized" `Quick test_normalized_weights_sum;
+        ] );
+      ( "particle",
+        [
+          Alcotest.test_case "tracks Kalman" `Slow test_particle_filter_tracks_kalman;
+          Alcotest.test_case "SIS degeneracy" `Quick test_sis_degenerates_without_resampling;
+          Alcotest.test_case "resampling preserves mean" `Quick test_resampling_preserves_mean;
+          Alcotest.test_case "evidence model selection" `Slow test_log_marginal_model_selection;
+          Alcotest.test_case "Kalman Riccati fixed point" `Quick test_kalman_variance_converges;
+          Alcotest.test_case "Kalman certain observation" `Quick test_kalman_certain_observation;
+          Alcotest.test_case "PF evidence ~ Kalman" `Slow test_pf_evidence_matches_kalman;
+          Alcotest.test_case "requires step" `Quick test_filter_requires_step;
+        ] );
+      ( "wildfire",
+        [
+          Alcotest.test_case "ignite" `Quick test_wildfire_ignite;
+          Alcotest.test_case "monotone burn" `Quick test_wildfire_burned_never_unburns;
+          Alcotest.test_case "spreads" `Quick test_wildfire_spreads;
+          Alcotest.test_case "wind bias" `Slow test_wildfire_wind_bias;
+          Alcotest.test_case "state metric" `Quick test_cell_difference_metric;
+          Alcotest.test_case "functional update" `Quick test_with_cell;
+          Alcotest.test_case "fuel barrier" `Quick test_fuel_barrier_stops_fire;
+          Alcotest.test_case "fuel map range" `Quick test_smooth_fuel_map_range;
+        ] );
+      ( "sensors",
+        [
+          Alcotest.test_case "layout" `Quick test_sensor_layout;
+          Alcotest.test_case "expected readings" `Quick test_sensor_expected_readings;
+          Alcotest.test_case "likelihood peaks at truth" `Quick test_sensor_log_likelihood_peaks_at_truth;
+          Alcotest.test_case "hot/cool cells" `Quick test_hot_cool_cells;
+        ] );
+      ( "assimilation",
+        [
+          Alcotest.test_case "beats open loop" `Slow test_assimilation_beats_open_loop;
+          Alcotest.test_case "sensor-aware proposal" `Slow test_sensor_aware_proposal_runs;
+        ] );
+    ]

@@ -1,0 +1,198 @@
+module Registry = Mde.Registry
+module Splash = Mde.Composite.Splash
+
+let noop_model name inputs outputs =
+  { Splash.name; description = name; inputs; outputs;
+    run = (fun _ _ -> List.map (fun _ -> Splash.Number 0.) outputs) }
+
+let meta name ?(time_step = None) inputs outputs =
+  {
+    Registry.model_name = name;
+    description = "test model " ^ name;
+    inputs;
+    outputs;
+    time_step;
+    mean_run_cost = None;
+    output_variance = None;
+  }
+
+let test_register_and_lookup () =
+  let reg = Registry.create () in
+  Registry.register_model reg (meta "demand" [] [ "arrivals" ]) (noop_model "demand" [] [ "arrivals" ]);
+  Registry.register_dataset reg
+    {
+      Registry.dataset_name = "census";
+      dataset_description = "synthetic census";
+      provenance = "generator v1";
+      time_step_ds = Some 1.;
+    }
+    (Splash.Number 42.);
+  Alcotest.(check (list string)) "models" [ "demand" ] (Registry.model_names reg);
+  Alcotest.(check (list string)) "datasets" [ "census" ] (Registry.dataset_names reg);
+  (match Registry.dataset reg "census" with
+  | Splash.Number v -> Alcotest.(check (float 0.)) "datum" 42. v
+  | _ -> Alcotest.fail "wrong datum");
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Registry.model reg "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_record_run_refines_stats () =
+  let reg = Registry.create () in
+  Registry.register_model reg (meta "m" [] [ "out" ]) (noop_model "m" [] [ "out" ]);
+  Registry.record_run reg "m" ~cost:10. ~output:2.;
+  let stats1 = (Registry.model_meta reg "m").Registry.mean_run_cost in
+  Alcotest.(check (option (float 1e-9))) "first run sets cost" (Some 10.) stats1;
+  Registry.record_run reg "m" ~cost:20. ~output:2.;
+  (match (Registry.model_meta reg "m").Registry.mean_run_cost with
+  | Some c -> Alcotest.(check (float 1e-9)) "EMA" 12. c
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "variance tracked" true
+    ((Registry.model_meta reg "m").Registry.output_variance <> None)
+
+let test_time_step_mismatch () =
+  let reg = Registry.create () in
+  Registry.register_model reg
+    (meta "hourly" ~time_step:(Some 1.) [] [ "a" ])
+    (noop_model "hourly" [] [ "a" ]);
+  Registry.register_model reg
+    (meta "daily" ~time_step:(Some 24.) [ "a" ] [ "b" ])
+    (noop_model "daily" [ "a" ] [ "b" ]);
+  Registry.register_model reg
+    (meta "untimed" [] [ "c" ])
+    (noop_model "untimed" [] [ "c" ]);
+  Alcotest.(check bool) "mismatch detected" true
+    (Registry.time_step_mismatch reg ~source:"hourly" ~target:"daily");
+  Alcotest.(check bool) "same step ok" false
+    (Registry.time_step_mismatch reg ~source:"hourly" ~target:"hourly");
+  Alcotest.(check bool) "unknown step tolerated" false
+    (Registry.time_step_mismatch reg ~source:"hourly" ~target:"untimed")
+
+let test_registry_compose_auto_aligns () =
+  let module Series = Mde.Timeseries.Series in
+  let reg = Registry.create () in
+  let hourly_producer =
+    {
+      Splash.name = "hourly";
+      description = "hourly series";
+      inputs = [];
+      outputs = [ "signal" ];
+      run =
+        (fun _ _ ->
+          let times = Series.regular_times ~start:0. ~step:1. ~count:48 in
+          [ Splash.Timeseries (Series.create ~times ~values:(Array.map (fun t -> t) times)) ]);
+    }
+  in
+  let daily_consumer =
+    {
+      Splash.name = "daily";
+      description = "consumes a daily series";
+      inputs = [ "signal" ];
+      outputs = [ "ticks" ];
+      run =
+        (fun _ inputs ->
+          match inputs with
+          | [ Splash.Timeseries s ] -> [ Splash.Number (float_of_int (Series.length s)) ]
+          | _ -> Alcotest.fail "daily: bad input");
+    }
+  in
+  Registry.register_model reg
+    (meta "hourly" ~time_step:(Some 1.) [] [ "signal" ])
+    hourly_producer;
+  Registry.register_model reg
+    (meta "daily" ~time_step:(Some 24.) [ "signal" ] [ "ticks" ])
+    daily_consumer;
+  let composite = Registry.compose reg ~name:"auto" ~model_names:[ "hourly"; "daily" ] in
+  let out = Splash.execute composite (Mde.Prob.Rng.create ~seed:1 ()) ~inputs:[] in
+  match List.assoc "ticks" out with
+  | Splash.Number n ->
+    (* 48 hourly ticks spanning [0, 47] resampled at step 24 -> 2 ticks. *)
+    Alcotest.(check (float 0.)) "consumer saw the daily series" 2. n
+  | _ -> Alcotest.fail "expected number"
+
+let test_execution_costs_feed_registry () =
+  (* The §2.3 loop: production runs observe model costs; the registry's
+     metadata refines with each run. *)
+  let module Series = Mde.Timeseries.Series in
+  let reg = Registry.create () in
+  let producer =
+    {
+      Splash.name = "producer";
+      description = "";
+      inputs = [];
+      outputs = [ "series" ];
+      run =
+        (fun _ _ ->
+          (* Burn a little CPU so the measured cost is nonzero. *)
+          let acc = ref 0. in
+          for i = 1 to 200_000 do
+            acc := !acc +. sin (float_of_int i)
+          done;
+          ignore !acc;
+          let times = Series.regular_times ~start:0. ~step:1. ~count:4 in
+          [ Splash.Timeseries (Series.create ~times ~values:[| 1.; 2.; 3.; 4. |]) ]);
+    }
+  in
+  Registry.register_model reg (meta "producer" [] [ "series" ]) producer;
+  let composite = Registry.compose reg ~name:"p" ~model_names:[ "producer" ] in
+  let _, costs =
+    Splash.execute_timed composite (Mde.Prob.Rng.create ~seed:1 ()) ~inputs:[]
+  in
+  Alcotest.(check int) "one cost record" 1 (List.length costs);
+  List.iter (fun (name, cost) -> Registry.record_run reg name ~cost ~output:0.) costs;
+  match (Registry.model_meta reg "producer").Registry.mean_run_cost with
+  | Some c -> Alcotest.(check bool) "cost recorded" true (c >= 0.)
+  | None -> Alcotest.fail "cost not folded into metadata"
+
+let test_registry_compose_unknown_model () =
+  let reg = Registry.create () in
+  Alcotest.(check bool) "unknown model rejected" true
+    (try
+       ignore (Registry.compose reg ~name:"x" ~model_names:[ "ghost" ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Smoke-check that the umbrella module exposes every subsystem. *)
+let test_umbrella_aliases () =
+  let rng = Mde.Prob.Rng.create ~seed:1 () in
+  Alcotest.(check bool) "prob" true (Mde.Prob.Rng.float rng >= 0.);
+  Alcotest.(check int) "linalg" 2 (Mde.Linalg.Mat.rows (Mde.Linalg.Mat.identity 2));
+  Alcotest.(check int) "metamodel" 8
+    (Array.length (Mde.Metamodel.Design.resolution_iii_7 ()));
+  Alcotest.(check bool) "optimize" true
+    ((Mde.Optimize.Nelder_mead.minimize
+        ~f:(fun x -> x.(0) *. x.(0))
+        ~x0:[| 1. |] ())
+       .Mde.Optimize.Nelder_mead.f
+    < 1e-6)
+
+let test_registry_pp () =
+  let reg = Registry.create () in
+  Registry.register_model reg (meta "m" [ "a" ] [ "b" ]) (noop_model "m" [ "a" ] [ "b" ]);
+  let rendered = Format.asprintf "%a" Registry.pp reg in
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions model" true (contains rendered "test model m")
+
+let () =
+  Alcotest.run "mde_core"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "register/lookup" `Quick test_register_and_lookup;
+          Alcotest.test_case "record_run EMA" `Quick test_record_run_refines_stats;
+          Alcotest.test_case "time-step mismatch" `Quick test_time_step_mismatch;
+          Alcotest.test_case "compose auto-aligns" `Quick test_registry_compose_auto_aligns;
+          Alcotest.test_case "compose unknown model" `Quick test_registry_compose_unknown_model;
+          Alcotest.test_case "costs feed registry" `Quick test_execution_costs_feed_registry;
+        ] );
+      ( "umbrella",
+        [
+          Alcotest.test_case "aliases" `Quick test_umbrella_aliases;
+          Alcotest.test_case "pp" `Quick test_registry_pp;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+module Dataset = Mde_mapred.Dataset
+module Job = Mde_mapred.Job
+
+let test_partition_roundtrip () =
+  let data = Array.init 103 Fun.id in
+  let ds = Dataset.of_array ~partitions:7 data in
+  Alcotest.(check int) "partitions" 7 (Dataset.partition_count ds);
+  Alcotest.(check int) "total" 103 (Dataset.total_length ds);
+  Alcotest.(check (array int)) "roundtrip" data (Dataset.to_array ds)
+
+let test_partition_small_input () =
+  let ds = Dataset.of_array ~partitions:10 [| 1; 2; 3 |] in
+  Alcotest.(check int) "capped partitions" 3 (Dataset.partition_count ds);
+  let empty = Dataset.of_array ~partitions:4 ([||] : int array) in
+  Alcotest.(check int) "empty ok" 0 (Dataset.total_length empty)
+
+let test_map_preserves_structure () =
+  let ds = Dataset.of_array ~partitions:3 [| 1; 2; 3; 4; 5 |] in
+  let doubled = Dataset.map (fun x -> x * 2) ds in
+  Alcotest.(check int) "same partitions" 3 (Dataset.partition_count doubled);
+  Alcotest.(check (array int)) "values" [| 2; 4; 6; 8; 10 |] (Dataset.to_array doubled)
+
+let test_mapi_global_index () =
+  let ds = Dataset.of_array ~partitions:4 (Array.make 10 'x') in
+  let indexed = Dataset.mapi (fun i _ -> i) ds in
+  Alcotest.(check (array int)) "indices" (Array.init 10 Fun.id) (Dataset.to_array indexed)
+
+let test_filter_fold () =
+  let ds = Dataset.of_array ~partitions:4 (Array.init 20 Fun.id) in
+  let evens = Dataset.filter (fun x -> x mod 2 = 0) ds in
+  Alcotest.(check int) "evens" 10 (Dataset.total_length evens);
+  Alcotest.(check int) "sum" 90 (Dataset.fold ( + ) 0 evens)
+
+let test_of_partitions_copies () =
+  let source = [| [| 1; 2 |]; [| 3 |] |] in
+  let ds = Dataset.of_partitions source in
+  source.(0).(0) <- 99;
+  Alcotest.(check (array int)) "defensive copy" [| 1; 2; 3 |] (Dataset.to_array ds)
+
+let test_word_count () =
+  let words =
+    [| "the"; "quick"; "fox"; "the"; "lazy"; "dog"; "the"; "fox" |]
+  in
+  let ds = Dataset.of_array ~partitions:3 words in
+  let result, stats =
+    Job.map_reduce
+      ~map:(fun w -> [ (w, 1) ])
+      ~reduce:(fun w counts -> [ (w, List.fold_left ( + ) 0 counts) ])
+      ds
+  in
+  let counts = Dataset.to_array result in
+  let find w = snd (Array.get (Array.of_list (List.filter (fun (k, _) -> k = w) (Array.to_list counts))) 0) in
+  Alcotest.(check int) "the" 3 (find "the");
+  Alcotest.(check int) "fox" 2 (find "fox");
+  Alcotest.(check int) "dog" 1 (find "dog");
+  Alcotest.(check int) "mapped" 8 stats.Job.records_mapped
+
+let test_combiner_reduces_shuffle () =
+  let data = Array.init 1000 (fun i -> i mod 5) in
+  let ds = Dataset.of_array ~partitions:8 data in
+  let run combine =
+    let _, stats =
+      Job.map_reduce ?combine
+        ~map:(fun k -> [ (k, 1) ])
+        ~reduce:(fun k vs -> [ (k, List.fold_left ( + ) 0 vs) ])
+        ds
+    in
+    stats.Job.records_shuffled
+  in
+  let without = run None in
+  let with_comb = run (Some (fun _ vs -> [ List.fold_left ( + ) 0 vs ])) in
+  Alcotest.(check bool)
+    (Printf.sprintf "combiner shrinks shuffle (%d -> %d)" without with_comb)
+    true (with_comb < without / 5)
+
+let test_reduce_groups_all_values () =
+  let ds = Dataset.of_array ~partitions:4 (Array.init 100 Fun.id) in
+  let result, _ =
+    Job.map_reduce
+      ~map:(fun i -> [ (i mod 3, i) ])
+      ~reduce:(fun _ vs -> [ List.length vs ])
+      ds
+  in
+  let sizes = Array.to_list (Dataset.to_array result) in
+  Alcotest.(check int) "3 groups" 3 (List.length sizes);
+  Alcotest.(check int) "all values" 100 (List.fold_left ( + ) 0 sizes)
+
+let test_equi_join () =
+  let rng = Mde_prob.Rng.create ~seed:5 () in
+  let left = Array.init 120 (fun i -> (i, Mde_prob.Rng.int rng 20)) in
+  let right = Array.init 80 (fun i -> (Mde_prob.Rng.int rng 20, i)) in
+  let joined, stats =
+    Job.equi_join
+      ~left_key:(fun (_, k) -> k)
+      ~right_key:(fun (k, _) -> k)
+      (Dataset.of_array ~partitions:4 left)
+      (Dataset.of_array ~partitions:3 right)
+  in
+  let expected =
+    Array.fold_left
+      (fun acc (_, lk) ->
+        acc + Array.length (Array.of_list (List.filter (fun (rk, _) -> rk = lk) (Array.to_list right))))
+      0 left
+  in
+  Alcotest.(check int) "pair count = nested loop" expected
+    (Dataset.total_length joined);
+  Dataset.iter
+    (fun ((_, lk), (rk, _)) -> Alcotest.(check int) "keys agree" lk rk)
+    joined;
+  Alcotest.(check int) "all records mapped" 200 stats.Job.records_mapped
+
+let test_sort_by () =
+  let rng = Mde_prob.Rng.create ~seed:3 () in
+  let data = Array.init 500 (fun _ -> Mde_prob.Rng.int rng 1000) in
+  let ds = Dataset.of_array ~partitions:6 data in
+  let sorted, stats = Job.sort_by ~cmp:Int.compare ds in
+  let out = Dataset.to_array sorted in
+  let expected = Array.copy data in
+  Array.sort Int.compare expected;
+  Alcotest.(check (array int)) "globally sorted" expected out;
+  Alcotest.(check int) "nothing lost" 500 stats.Job.records_mapped
+
+let test_sort_empty () =
+  let ds = Dataset.of_array ~partitions:4 ([||] : int array) in
+  let sorted, _ = Job.sort_by ~cmp:Int.compare ds in
+  Alcotest.(check int) "empty" 0 (Dataset.total_length sorted)
+
+let test_global_counter () =
+  Job.reset_global_counter ();
+  let ds = Dataset.of_array ~partitions:4 (Array.init 50 Fun.id) in
+  let _ =
+    Job.map_reduce ~map:(fun i -> [ (i, i) ]) ~reduce:(fun _ vs -> vs) ds
+  in
+  Alcotest.(check bool) "counter advanced" true (Job.global_records_shuffled () > 0);
+  Job.reset_global_counter ();
+  Alcotest.(check int) "reset" 0 (Job.global_records_shuffled ())
+
+let prop_mapreduce_identity =
+  QCheck.Test.make ~name:"map_reduce with identity preserves multiset" ~count:100
+    QCheck.(list (int_range 0 50))
+    (fun xs ->
+      let ds = Dataset.of_array ~partitions:5 (Array.of_list xs) in
+      let out, _ =
+        Job.map_reduce ~map:(fun x -> [ (x, x) ]) ~reduce:(fun _ vs -> vs) ds
+      in
+      let sort l = List.sort Int.compare l in
+      sort (Array.to_list (Dataset.to_array out)) = sort xs)
+
+let prop_sort_by_sorts =
+  QCheck.Test.make ~name:"sort_by output is sorted and complete" ~count:100
+    QCheck.(list (int_range (-1000) 1000))
+    (fun xs ->
+      let ds = Dataset.of_array ~partitions:4 (Array.of_list xs) in
+      let out, _ = Job.sort_by ~cmp:Int.compare ds in
+      let result = Array.to_list (Dataset.to_array out) in
+      result = List.sort Int.compare xs)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "mde_mapred"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_partition_roundtrip;
+          Alcotest.test_case "small input" `Quick test_partition_small_input;
+          Alcotest.test_case "map" `Quick test_map_preserves_structure;
+          Alcotest.test_case "mapi" `Quick test_mapi_global_index;
+          Alcotest.test_case "filter/fold" `Quick test_filter_fold;
+          Alcotest.test_case "of_partitions copies" `Quick test_of_partitions_copies;
+        ] );
+      ( "job",
+        [
+          Alcotest.test_case "word count" `Quick test_word_count;
+          Alcotest.test_case "combiner shrinks shuffle" `Quick test_combiner_reduces_shuffle;
+          Alcotest.test_case "reduce sees all values" `Quick test_reduce_groups_all_values;
+          Alcotest.test_case "reduce-side join" `Quick test_equi_join;
+          Alcotest.test_case "sample sort" `Quick test_sort_by;
+          Alcotest.test_case "sort empty" `Quick test_sort_empty;
+          Alcotest.test_case "global counter" `Quick test_global_counter;
+        ] );
+      ("properties", qc [ prop_mapreduce_identity; prop_sort_by_sorts ]);
+    ]

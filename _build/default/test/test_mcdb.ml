@@ -1,0 +1,479 @@
+open Mde_relational
+module Rng = Mde_prob.Rng
+module Vg = Mde_mcdb.Vg
+module St = Mde_mcdb.Stochastic_table
+module Bundle = Mde_mcdb.Bundle
+module Estimator = Mde_mcdb.Estimator
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+let v_float f = Value.Float f
+
+(* The paper's SBP_DATA example: patients drive a Normal VG function
+   parametrized from a one-row parameter table. *)
+let patients_schema =
+  Schema.of_list [ ("pid", Value.Tint); ("gender", Value.Tstring) ]
+
+let patients n =
+  Table.create patients_schema
+    (List.init n (fun i ->
+         [| v_int i; v_str (if i mod 2 = 0 then "F" else "M") |]))
+
+let sbp_param = Table.create
+    (Schema.of_list [ ("mean", Value.Tfloat); ("std", Value.Tfloat) ])
+    [ [| v_float 120.; v_float 15. |] ]
+
+let sbp_schema =
+  Schema.of_list
+    [ ("pid", Value.Tint); ("gender", Value.Tstring); ("sbp", Value.Tfloat) ]
+
+let sbp_table n =
+  St.define ~name:"SBP_DATA" ~schema:sbp_schema ~driver:(patients n) ~vg:Vg.normal
+    ~params:(fun _ -> [ sbp_param ])
+    ~combine:(fun driver vg_row -> [| driver.(0); driver.(1); vg_row.(0) |])
+
+(* --- VG functions --- *)
+
+let test_vg_normal_stats () =
+  let rng = Rng.create ~seed:1 () in
+  let xs =
+    Array.init 20_000 (fun _ ->
+        match Vg.normal.Vg.generate rng [ sbp_param ] with
+        | [ [| Value.Float x |] ] -> x
+        | _ -> Alcotest.fail "unexpected VG output")
+  in
+  Alcotest.(check (float 0.5)) "mean" 120. (Mde_prob.Stats.mean xs);
+  Alcotest.(check (float 0.5)) "std" 15. (Mde_prob.Stats.std xs)
+
+let test_vg_discrete_choice () =
+  let weights =
+    Table.create
+      (Schema.of_list [ ("label", Value.Tstring); ("w", Value.Tfloat) ])
+      [ [| v_str "a"; v_float 1. |]; [| v_str "b"; v_float 3. |] ]
+  in
+  let rng = Rng.create ~seed:2 () in
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 10_000 do
+    match Vg.discrete_choice.Vg.generate rng [ weights ] with
+    | [ [| Value.String s |] ] ->
+      Hashtbl.replace counts s (1 + Option.value ~default:0 (Hashtbl.find_opt counts s))
+    | _ -> Alcotest.fail "unexpected"
+  done;
+  let b = float_of_int (Hashtbl.find counts "b") in
+  Alcotest.(check bool) "b ~ 75%" true (b > 7200. && b < 7800.)
+
+let test_vg_backward_walk () =
+  let param =
+    Table.create
+      (Schema.of_list [ ("price", Value.Tfloat); ("vol", Value.Tfloat) ])
+      [ [| v_float 100.; v_float 0.01 |] ]
+  in
+  let vg = Vg.backward_walk ~steps:5 in
+  let rng = Rng.create ~seed:3 () in
+  let rows = vg.Vg.generate rng [ param ] in
+  Alcotest.(check int) "6 rows" 6 (List.length rows);
+  Alcotest.(check bool) "not row stable" false vg.Vg.row_stable;
+  (match List.rev rows with
+  | last :: _ -> Alcotest.(check (float 1e-9)) "anchored at today" 100. (Value.to_float last.(1))
+  | [] -> Alcotest.fail "empty")
+
+let test_vg_option_value_nonnegative () =
+  let param =
+    Table.create
+      (Schema.of_list
+         [ ("s0", Value.Tfloat); ("drift", Value.Tfloat); ("vol", Value.Tfloat) ])
+      [ [| v_float 100.; v_float 0.; v_float 0.05 |] ]
+  in
+  let vg = Vg.option_value ~horizon:10 ~strike:105. in
+  let rng = Rng.create ~seed:4 () in
+  for _ = 1 to 1000 do
+    match vg.Vg.generate rng [ param ] with
+    | [ [| Value.Float payoff |] ] ->
+      if payoff < 0. then Alcotest.fail "negative payoff"
+    | _ -> Alcotest.fail "unexpected"
+  done
+
+let test_vg_resample_row () =
+  let schema = Schema.of_list [ ("k", Value.Tint); ("v", Value.Tfloat) ] in
+  let history =
+    Table.create schema
+      [ [| v_int 1; v_float 10. |]; [| v_int 2; v_float 20. |]; [| v_int 3; v_float 30. |] ]
+  in
+  let vg = Vg.resample_row ~output:schema in
+  let rng = Rng.create ~seed:20 () in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 3000 do
+    match vg.Vg.generate rng [ history ] with
+    | [ [| Value.Int k; Value.Float v |] ] ->
+      Alcotest.(check (float 1e-9)) "row intact" (float_of_int (k * 10)) v;
+      counts.(k) <- counts.(k) + 1
+    | _ -> Alcotest.fail "unexpected shape"
+  done;
+  for k = 1 to 3 do
+    Alcotest.(check bool) "roughly uniform" true (counts.(k) > 800 && counts.(k) < 1200)
+  done;
+  Alcotest.(check bool) "schema mismatch rejected" true
+    (try
+       ignore
+         (vg.Vg.generate rng
+            [ Table.create (Schema.of_list [ ("x", Value.Tint) ]) [ [| v_int 1 |] ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- stochastic tables --- *)
+
+let test_instantiate_row_count () =
+  let rng = Rng.create ~seed:5 () in
+  let t = St.instantiate (sbp_table 37) rng in
+  Alcotest.(check int) "one row per patient" 37 (Table.cardinality t);
+  Alcotest.(check bool) "schema" true (Schema.equal sbp_schema (Table.schema t))
+
+let test_instantiate_many_differ () =
+  let rng = Rng.create ~seed:6 () in
+  let instances = St.instantiate_many (sbp_table 5) rng 2 in
+  let a = Table.column_floats instances.(0) "sbp" in
+  let b = Table.column_floats instances.(1) "sbp" in
+  Alcotest.(check bool) "realizations differ" true (a <> b)
+
+let test_empty_driver () =
+  let rng = Rng.create ~seed:19 () in
+  (* A stochastic table over an empty driver realizes as an empty table. *)
+  let st =
+    St.define ~name:"EMPTY" ~schema:sbp_schema ~driver:(Table.empty patients_schema)
+      ~vg:Vg.normal
+      ~params:(fun _ -> [ sbp_param ])
+      ~combine:(fun d v -> [| d.(0); d.(1); v.(0) |])
+  in
+  Alcotest.(check int) "no rows" 0 (Table.cardinality (St.instantiate st rng));
+  let bundle = Bundle.of_stochastic_table st rng ~n_reps:5 in
+  Alcotest.(check int) "empty bundle" 0 (Bundle.row_count bundle);
+  match Bundle.aggregate [ ("n", Bundle.Count) ] bundle with
+  | [ (_, per) ] -> Alcotest.(check (float 0.)) "count 0" 0. per.(0).(0)
+  | _ -> Alcotest.fail "expected the global group"
+
+(* --- the Monte Carlo database facade --- *)
+
+module Database = Mde_mcdb.Database
+
+let test_database_instantiate () =
+  let db = Database.create () in
+  Database.add_table db "PATIENTS" (patients 12);
+  Database.add_table db "SBP_PARAM" sbp_param;
+  Database.add_stochastic db (sbp_table 12);
+  Alcotest.(check (list string)) "deterministic" [ "PATIENTS"; "SBP_PARAM" ]
+    (Database.deterministic_tables db);
+  Alcotest.(check (list string)) "stochastic" [ "SBP_DATA" ] (Database.stochastic_tables db);
+  let rng = Rng.create ~seed:30 () in
+  let instance = Database.instantiate db rng in
+  Alcotest.(check int) "realized rows" 12
+    (Table.cardinality (Catalog.find instance "SBP_DATA"));
+  Alcotest.(check int) "ordinary tables present" 12
+    (Table.cardinality (Catalog.find instance "PATIENTS"))
+
+let test_database_name_clash () =
+  let db = Database.create () in
+  Database.add_table db "X" (patients 2);
+  Alcotest.(check bool) "stochastic clash rejected" true
+    (try
+       Database.add_stochastic db
+         (St.define ~name:"X" ~schema:sbp_schema ~driver:(patients 1) ~vg:Vg.normal
+            ~params:(fun _ -> [ sbp_param ])
+            ~combine:(fun d v -> [| d.(0); d.(1); v.(0) |]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_database_monte_carlo () =
+  let db = Database.create () in
+  Database.add_stochastic db (sbp_table 40);
+  let rng = Rng.create ~seed:31 () in
+  (* Mean SBP over the realized table, per repetition. *)
+  let query catalog =
+    Mde_prob.Stats.mean (Table.column_floats (Catalog.find catalog "SBP_DATA") "sbp")
+  in
+  let samples = Database.monte_carlo db rng ~reps:200 ~query in
+  Alcotest.(check int) "reps" 200 (Array.length samples);
+  Alcotest.(check bool) "reps differ" true (samples.(0) <> samples.(1));
+  let e = Database.estimate db rng ~reps:200 ~query in
+  Alcotest.(check bool) "mean near 120" true (Float.abs (e.Estimator.mean -. 120.) < 2.)
+
+(* --- tuple bundles --- *)
+
+let test_bundle_shape () =
+  let rng = Rng.create ~seed:7 () in
+  let b = Bundle.of_stochastic_table (sbp_table 10) rng ~n_reps:25 in
+  Alcotest.(check int) "rows" 10 (Bundle.row_count b);
+  Alcotest.(check int) "reps" 25 (Bundle.n_reps b);
+  (* pid is deterministic across reps, sbp uncertain. *)
+  let r0 = Bundle.realize_row b 0 0 and r1 = Bundle.realize_row b 0 1 in
+  Alcotest.(check bool) "pid stable" true (Value.equal r0.(0) r1.(0))
+
+let test_bundle_rejects_unstable_vg () =
+  let st =
+    St.define ~name:"walks" ~schema:(Schema.of_list [ ("step", Value.Tint); ("price", Value.Tfloat) ])
+      ~driver:(patients 2)
+      ~vg:(Vg.backward_walk ~steps:3)
+      ~params:(fun _ ->
+        [
+          Table.create
+            (Schema.of_list [ ("p", Value.Tfloat); ("v", Value.Tfloat) ])
+            [ [| v_float 10.; v_float 0.1 |] ];
+        ])
+      ~combine:(fun _ vg_row -> vg_row)
+  in
+  let rng = Rng.create ~seed:8 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Bundle.of_stochastic_table st rng ~n_reps:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* Equivalence: bundle operators vs per-instance relational execution. *)
+let bundle_and_instances () =
+  let rng = Rng.create ~seed:9 () in
+  let b = Bundle.of_stochastic_table (sbp_table 30) rng ~n_reps:40 in
+  (b, Bundle.to_instances b)
+
+let test_bundle_select_equivalence () =
+  let b, instances = bundle_and_instances () in
+  let pred = Expr.(col "sbp" > float 125.) in
+  let selected = Bundle.select pred b in
+  let per_rep = Bundle.to_instances selected in
+  Array.iteri
+    (fun r inst ->
+      let expected = Algebra.select pred instances.(r) in
+      Alcotest.(check int)
+        (Printf.sprintf "rep %d cardinality" r)
+        (Table.cardinality expected) (Table.cardinality inst))
+    per_rep
+
+let test_bundle_aggregate_equivalence () =
+  let b, instances = bundle_and_instances () in
+  let groups =
+    Bundle.aggregate ~keys:[ "gender" ]
+      [ ("n", Bundle.Count); ("avg_sbp", Bundle.Avg (Expr.col "sbp")) ]
+      b
+  in
+  Alcotest.(check int) "two genders" 2 (List.length groups);
+  List.iter
+    (fun (key, per_agg) ->
+      let gender = key.(0) in
+      Array.iteri
+        (fun r inst ->
+          let expected =
+            Algebra.group_by ~keys:[ "gender" ]
+              ~aggs:[ ("n", Algebra.Count); ("avg", Algebra.Avg (Expr.col "sbp")) ]
+              inst
+            |> Algebra.select Expr.(col "gender" = Lit gender)
+          in
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "count rep %d" r)
+            (Value.to_float (Table.get expected 0 "n"))
+            per_agg.(0).(r);
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "avg rep %d" r)
+            (Value.to_float (Table.get expected 0 "avg"))
+            per_agg.(1).(r))
+        instances)
+    groups
+
+let test_bundle_extend_and_join () =
+  let b, _ = bundle_and_instances () in
+  let extended =
+    Bundle.extend [ ("high", Value.Tbool, Expr.(col "sbp" > float 140.)) ] b
+  in
+  Alcotest.(check int) "arity grew" 4 (Schema.arity (Bundle.schema extended));
+  (* Join against a deterministic region table on pid. *)
+  let region =
+    Bundle.of_table
+      (Table.create
+         (Schema.of_list [ ("pid2", Value.Tint); ("region", Value.Tstring) ])
+         (List.init 30 (fun i ->
+              [| v_int i; v_str (if i < 15 then "east" else "west") |])))
+      ~n_reps:(Bundle.n_reps b)
+  in
+  let joined = Bundle.join ~on:[ ("pid", "pid2") ] b region in
+  Alcotest.(check int) "join preserves rows" 30 (Bundle.row_count joined);
+  let groups =
+    Bundle.aggregate ~keys:[ "region" ] [ ("n", Bundle.Count) ] joined
+  in
+  Alcotest.(check int) "two regions" 2 (List.length groups)
+
+let test_bundle_det_compression () =
+  (* A VG that adds a constant yields Det cells, and selection on it is
+     evaluated once (observable through equal results, cheaply). *)
+  let const_vg =
+    Vg.create ~name:"Const" ~output:(Schema.of_list [ ("value", Value.Tfloat) ])
+      ~row_stable:true
+      (fun _rng _params -> [ [| v_float 1.0 |] ])
+  in
+  let st =
+    St.define ~name:"const" ~schema:(Schema.of_list [ ("pid", Value.Tint); ("value", Value.Tfloat) ])
+      ~driver:(patients 5) ~vg:const_vg
+      ~params:(fun _ -> [ sbp_param ])
+      ~combine:(fun d v -> [| d.(0); v.(0) |])
+  in
+  let rng = Rng.create ~seed:10 () in
+  let b = Bundle.of_stochastic_table st rng ~n_reps:10 in
+  let selected = Bundle.select Expr.(col "value" > float 0.5) b in
+  for r = 0 to 9 do
+    Alcotest.(check bool) "all present" true (Bundle.present selected 0 r)
+  done
+
+(* --- estimators --- *)
+
+let test_estimator_basic () =
+  let rng = Rng.create ~seed:11 () in
+  let xs = Mde_prob.Dist.sample_n (Mde_prob.Dist.Normal { mean = 10.; std = 2. }) rng 5000 in
+  let e = Estimator.of_samples xs in
+  Alcotest.(check bool) "mean close" true (Float.abs (e.Estimator.mean -. 10.) < 0.15);
+  let lo, hi = e.Estimator.ci95 in
+  Alcotest.(check bool) "ci contains" true (lo < 10. && 10. < hi)
+
+let test_estimator_nan_dropped () =
+  let e = Estimator.of_samples [| 1.; nan; 3.; nan; 5. |] in
+  Alcotest.(check int) "n" 3 e.Estimator.n;
+  Alcotest.(check (float 1e-9)) "mean" 3. e.Estimator.mean
+
+let test_threshold_probability () =
+  let xs = Array.init 1000 (fun i -> float_of_int i) in
+  let p, (lo, hi) = Estimator.threshold_probability xs 499.5 in
+  Alcotest.(check (float 1e-9)) "phat" 0.5 p;
+  Alcotest.(check bool) "wilson interval" true (lo < 0.5 && 0.5 < hi);
+  Alcotest.(check bool) "decision" true
+    (Estimator.exceeds_with_probability xs ~cutoff:100. ~prob:0.5)
+
+let test_extreme_quantile_guard () =
+  Alcotest.(check bool) "too few samples raises" true
+    (try
+       ignore (Estimator.extreme_quantile (Array.init 10 float_of_int) 0.999);
+       false
+     with Invalid_argument _ -> true);
+  let xs = Array.init 10_000 float_of_int in
+  Alcotest.(check bool) "q99 large" true (Estimator.extreme_quantile xs 0.99 > 9800.)
+
+let test_conditional_tail_expectation () =
+  let xs = Array.init 100 (fun i -> float_of_int i) in
+  let cte = Estimator.conditional_tail_expectation xs 0.9 in
+  Alcotest.(check bool) "CTE above quantile" true (cte >= 89.)
+
+let test_quantile_ci_orders () =
+  let rng = Rng.create ~seed:12 () in
+  let xs = Mde_prob.Dist.sample_n (Mde_prob.Dist.Uniform (0., 1.)) rng 2000 in
+  let lo, hi = Estimator.quantile_ci xs 0.5 0.95 in
+  Alcotest.(check bool) "brackets median" true (lo <= 0.5 && 0.5 <= hi)
+
+let test_quantile_ci_coverage () =
+  (* Order-statistic CI for the median: ~95% coverage over repeated
+     samples. *)
+  let rng = Rng.create ~seed:21 () in
+  let hits = ref 0 in
+  let trials = 300 in
+  for _ = 1 to trials do
+    let xs = Mde_prob.Dist.sample_n (Mde_prob.Dist.Normal { mean = 0.; std = 1. }) rng 100 in
+    let lo, hi = Estimator.quantile_ci xs 0.5 0.95 in
+    if lo <= 0. && 0. <= hi then incr hits
+  done;
+  let coverage = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.2f" coverage)
+    true
+    (coverage > 0.88 && coverage <= 1.0)
+
+(* What-if revenue query: full pipeline through bundles (integration). *)
+let test_whatif_revenue_pipeline () =
+  let customers =
+    Table.create
+      (Schema.of_list
+         [ ("cid", Value.Tint); ("region", Value.Tstring); ("age", Value.Tint) ])
+      (List.init 40 (fun i ->
+           [|
+             v_int i;
+             v_str (if i mod 2 = 0 then "east" else "west");
+             v_int (20 + (i mod 30));
+           |]))
+  in
+  let demand_param =
+    Table.create
+      (Schema.of_list
+         [ ("alpha", Value.Tfloat); ("beta", Value.Tfloat); ("price", Value.Tfloat) ])
+      [ [| v_float 2.0; v_float 1.0; v_float 10.5 |] ]
+  in
+  let history =
+    Table.create (Schema.of_list [ ("q", Value.Tfloat) ]) [ [| v_float 3. |]; [| v_float 2. |] ]
+  in
+  let st =
+    St.define ~name:"DEMAND"
+      ~schema:
+        (Schema.of_list
+           [
+             ("cid", Value.Tint);
+             ("region", Value.Tstring);
+             ("age", Value.Tint);
+             ("demand", Value.Tfloat);
+           ])
+      ~driver:customers ~vg:Vg.bayesian_demand
+      ~params:(fun _ -> [ demand_param; history ])
+      ~combine:(fun d v -> [| d.(0); d.(1); d.(2); v.(0) |])
+  in
+  let rng = Rng.create ~seed:13 () in
+  let b = Bundle.of_stochastic_table st rng ~n_reps:60 in
+  let east_young =
+    Bundle.select Expr.(col "region" = string "east" && col "age" < int 30) b
+  in
+  let revenue =
+    Bundle.extend
+      [ ("revenue", Value.Tfloat, Expr.(col "demand" * float 10.5)) ]
+      east_young
+  in
+  match Bundle.aggregate [ ("total", Bundle.Sum (Expr.col "revenue")) ] revenue with
+  | [ (_, per_agg) ] ->
+    let estimate = Estimator.of_samples per_agg.(0) in
+    Alcotest.(check bool) "positive revenue" true (estimate.Estimator.mean > 0.);
+    Alcotest.(check int) "all reps" 60 estimate.Estimator.n
+  | _ -> Alcotest.fail "expected one group"
+
+let () =
+  Alcotest.run "mde_mcdb"
+    [
+      ( "vg",
+        [
+          Alcotest.test_case "normal stats" `Slow test_vg_normal_stats;
+          Alcotest.test_case "discrete choice" `Quick test_vg_discrete_choice;
+          Alcotest.test_case "backward walk" `Quick test_vg_backward_walk;
+          Alcotest.test_case "option payoff >= 0" `Quick test_vg_option_value_nonnegative;
+          Alcotest.test_case "bootstrap resample" `Quick test_vg_resample_row;
+        ] );
+      ( "stochastic_table",
+        [
+          Alcotest.test_case "row count" `Quick test_instantiate_row_count;
+          Alcotest.test_case "instances differ" `Quick test_instantiate_many_differ;
+          Alcotest.test_case "empty driver" `Quick test_empty_driver;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "instantiate" `Quick test_database_instantiate;
+          Alcotest.test_case "name clash" `Quick test_database_name_clash;
+          Alcotest.test_case "monte carlo" `Quick test_database_monte_carlo;
+        ] );
+      ( "bundle",
+        [
+          Alcotest.test_case "shape" `Quick test_bundle_shape;
+          Alcotest.test_case "rejects unstable VG" `Quick test_bundle_rejects_unstable_vg;
+          Alcotest.test_case "select = naive" `Quick test_bundle_select_equivalence;
+          Alcotest.test_case "aggregate = naive" `Quick test_bundle_aggregate_equivalence;
+          Alcotest.test_case "extend + join" `Quick test_bundle_extend_and_join;
+          Alcotest.test_case "det compression" `Quick test_bundle_det_compression;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "basic" `Quick test_estimator_basic;
+          Alcotest.test_case "nan dropped" `Quick test_estimator_nan_dropped;
+          Alcotest.test_case "threshold query" `Quick test_threshold_probability;
+          Alcotest.test_case "extreme quantile" `Quick test_extreme_quantile_guard;
+          Alcotest.test_case "tail expectation" `Quick test_conditional_tail_expectation;
+          Alcotest.test_case "quantile CI" `Quick test_quantile_ci_orders;
+          Alcotest.test_case "quantile CI coverage" `Slow test_quantile_ci_coverage;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "what-if revenue" `Quick test_whatif_revenue_pipeline ] );
+    ]

@@ -1,0 +1,427 @@
+(* Unit and property tests for the probability substrate. *)
+
+module Rng = Mde_prob.Rng
+module Dist = Mde_prob.Dist
+module Stats = Mde_prob.Stats
+module Special = Mde_prob.Special
+module Kde = Mde_prob.Kde
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- RNG --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:1 () and b = Rng.create ~seed:1 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create ~seed:1 () and b = Rng.create ~seed:2 () in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 4)
+
+let test_rng_float_range () =
+  let rng = Rng.create () in
+  for _ = 1 to 10_000 do
+    let u = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0. && u < 1.)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create ~seed:7 () in
+  let xs = Array.init 50_000 (fun _ -> Rng.float rng) in
+  check_close 0.01 "mean 0.5" 0.5 (Stats.mean xs)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create () in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let k = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 7);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true (c > 9_000 && c < 11_000))
+    counts
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:3 () in
+  let a = Rng.split parent and b = Rng.split parent in
+  let xs = Array.init 20_000 (fun _ -> Rng.float a) in
+  let ys = Array.init 20_000 (fun _ -> Rng.float b) in
+  Alcotest.(check bool)
+    "uncorrelated" true
+    (Float.abs (Stats.correlation xs ys) < 0.03)
+
+let test_permutation () =
+  let rng = Rng.create () in
+  let p = Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Special functions --- *)
+
+let test_erf_known () =
+  check_close 1e-6 "erf 0" 0. (Special.erf 0.);
+  check_close 1e-6 "erf 1" 0.8427007929 (Special.erf 1.);
+  check_close 1e-6 "erf -1" (-0.8427007929) (Special.erf (-1.));
+  check_close 1e-6 "erf 2" 0.9953222650 (Special.erf 2.)
+
+let test_log_gamma_factorials () =
+  for n = 1 to 10 do
+    let fact = ref 1. in
+    for k = 2 to n do
+      fact := !fact *. float_of_int k
+    done;
+    check_close 1e-9 (Printf.sprintf "log %d!" n) (log !fact)
+      (Special.log_gamma (float_of_int n +. 1.))
+  done
+
+let test_normal_cdf_known () =
+  check_close 1e-9 "Phi(0)" 0.5 (Special.normal_cdf 0.);
+  check_close 1e-7 "Phi(1.96)" 0.9750021 (Special.normal_cdf 1.96);
+  check_close 1e-7 "Phi(-1.96)" 0.0249979 (Special.normal_cdf (-1.96))
+
+let test_normal_inv_roundtrip () =
+  List.iter
+    (fun p ->
+      check_close 1e-7 "roundtrip" p (Special.normal_cdf (Special.normal_inv_cdf p)))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_gamma_p_known () =
+  (* P(1, x) = 1 - e^-x. *)
+  List.iter
+    (fun x -> check_close 1e-9 "P(1,x)" (1. -. exp (-.x)) (Special.gamma_p 1. x))
+    [ 0.1; 0.5; 1.; 2.; 5. ];
+  check_close 1e-8 "P(0.5, x) = erf(sqrt x)" (Special.erf 1.) (Special.gamma_p 0.5 1.)
+
+let test_beta_inc_known () =
+  (* I_x(1,1) = x. *)
+  List.iter
+    (fun x -> check_close 1e-9 "I_x(1,1)" x (Special.beta_inc 1. 1. x))
+    [ 0.1; 0.3; 0.7; 0.9 ];
+  (* Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a). *)
+  check_close 1e-9 "symmetry"
+    (1. -. Special.beta_inc 5. 2. 0.7)
+    (Special.beta_inc 2. 5. 0.3)
+
+let test_log_choose () =
+  check_close 1e-9 "C(5,2)" (log 10.) (Special.log_choose 5 2);
+  check_close 1e-8 "C(20,10)" (log 184756.) (Special.log_choose 20 10)
+
+(* --- Distributions --- *)
+
+let sample_stats d n seed =
+  let rng = Rng.create ~seed () in
+  let xs = Dist.sample_n d rng n in
+  (Stats.mean xs, Stats.variance xs)
+
+let test_dist_moments () =
+  let cases =
+    [
+      ("uniform", Dist.Uniform (2., 6.));
+      ("normal", Dist.Normal { mean = -1.; std = 2. });
+      ("exponential", Dist.Exponential { rate = 0.5 });
+      ("gamma", Dist.Gamma { shape = 3.; scale = 2. });
+      ("beta", Dist.Beta { alpha = 2.; beta = 5. });
+      ("lognormal", Dist.Lognormal { mu = 0.; sigma = 0.5 });
+      ("triangular", Dist.Triangular { lo = 0.; mode = 1.; hi = 4. });
+      ("weibull", Dist.Weibull { shape = 2.; scale = 1.5 });
+    ]
+  in
+  List.iter
+    (fun (name, d) ->
+      let mean, var = sample_stats d 100_000 5 in
+      let tol_mean = 0.05 *. Float.max 0.2 (Float.abs (Dist.mean d)) in
+      let tol_var = 0.10 *. Float.max 0.2 (Dist.variance d) in
+      check_close tol_mean (name ^ " mean") (Dist.mean d) mean;
+      check_close tol_var (name ^ " variance") (Dist.variance d) var)
+    cases
+
+let test_dist_cdf_quantile_roundtrip () =
+  let dists =
+    [
+      Dist.Uniform (0., 1.);
+      Dist.Normal { mean = 3.; std = 1.5 };
+      Dist.Exponential { rate = 2. };
+      Dist.Gamma { shape = 2.5; scale = 1. };
+      Dist.Beta { alpha = 2.; beta = 3. };
+      Dist.Weibull { shape = 1.5; scale = 2. };
+    ]
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun p -> check_close 1e-5 "cdf(quantile p) = p" p (Dist.cdf d (Dist.quantile d p)))
+        [ 0.05; 0.25; 0.5; 0.75; 0.95 ])
+    dists
+
+let test_discrete_moments () =
+  let cases =
+    [
+      ("bernoulli", Dist.Bernoulli 0.3);
+      ("binomial-small", Dist.Binomial { n = 20; p = 0.4 });
+      ("binomial-large", Dist.Binomial { n = 500; p = 0.07 });
+      ("poisson-small", Dist.Poisson 3.);
+      ("poisson-large", Dist.Poisson 80.);
+      ("geometric", Dist.Geometric 0.25);
+      ("uniform", Dist.Discrete_uniform (3, 9));
+      ("categorical", Dist.Categorical [| 1.; 2.; 3.; 4. |]);
+    ]
+  in
+  List.iter
+    (fun (name, d) ->
+      let rng = Rng.create ~seed:11 () in
+      let xs =
+        Array.map float_of_int (Dist.sample_discrete_n d rng 100_000)
+      in
+      let tol_mean = 0.03 *. Float.max 0.5 (Float.abs (Dist.mean_discrete d)) in
+      let tol_var = 0.08 *. Float.max 0.5 (Dist.variance_discrete d) in
+      check_close tol_mean (name ^ " mean") (Dist.mean_discrete d) (Stats.mean xs);
+      check_close tol_var (name ^ " var") (Dist.variance_discrete d) (Stats.variance xs))
+    cases
+
+let test_pmf_sums_to_one () =
+  let total d lo hi =
+    let acc = ref 0. in
+    for k = lo to hi do
+      acc := !acc +. Dist.pmf d k
+    done;
+    !acc
+  in
+  check_close 1e-9 "binomial" 1. (total (Dist.Binomial { n = 30; p = 0.3 }) 0 30);
+  check_close 1e-9 "poisson" 1. (total (Dist.Poisson 4.) 0 60);
+  check_close 1e-9 "categorical" 1. (total (Dist.Categorical [| 0.5; 1.5; 3. |]) 0 2)
+
+let test_pdf_integrates_to_one () =
+  (* Trapezoid integration over the effective support. *)
+  let integrate d lo hi n =
+    let h = (hi -. lo) /. float_of_int n in
+    let acc = ref 0. in
+    for i = 0 to n do
+      let w = if i = 0 || i = n then 0.5 else 1. in
+      acc := !acc +. (w *. Dist.pdf d (lo +. (float_of_int i *. h)))
+    done;
+    !acc *. h
+  in
+  check_close 1e-4 "normal" 1. (integrate (Dist.Normal { mean = 0.; std = 1. }) (-8.) 8. 4000);
+  check_close 1e-3 "gamma" 1. (integrate (Dist.Gamma { shape = 2.; scale = 1. }) 0. 30. 4000);
+  check_close 1e-3 "triangular" 1.
+    (integrate (Dist.Triangular { lo = 0.; mode = 2.; hi = 5. }) 0. 5. 2000)
+
+(* --- Stats --- *)
+
+let test_stats_known () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Stats.mean xs);
+  check_close 1e-9 "variance" (32. /. 7.) (Stats.variance xs);
+  check_float "median" 4.5 (Stats.median xs);
+  let lo, hi = Stats.min_max xs in
+  check_float "min" 2. lo;
+  check_float "max" 9. hi
+
+let test_quantile_extremes () =
+  let xs = [| 3.; 1.; 2. |] in
+  check_float "q0" 1. (Stats.quantile xs 0.);
+  check_float "q1" 3. (Stats.quantile xs 1.);
+  check_float "q0.5" 2. (Stats.quantile xs 0.5)
+
+let test_online_matches_batch () =
+  let rng = Rng.create ~seed:13 () in
+  let xs = Array.init 1000 (fun _ -> Rng.float_range rng (-5.) 10.) in
+  let acc = Stats.Online.create () in
+  Array.iter (Stats.Online.add acc) xs;
+  check_close 1e-9 "mean" (Stats.mean xs) (Stats.Online.mean acc);
+  check_close 1e-9 "variance" (Stats.variance xs) (Stats.Online.variance acc)
+
+let test_online_merge () =
+  let rng = Rng.create ~seed:17 () in
+  let xs = Array.init 500 (fun _ -> Rng.float rng) in
+  let ys = Array.init 700 (fun _ -> Rng.float_range rng 3. 5.) in
+  let a = Stats.Online.create () and b = Stats.Online.create () in
+  Array.iter (Stats.Online.add a) xs;
+  Array.iter (Stats.Online.add b) ys;
+  let merged = Stats.Online.merge a b in
+  let all = Array.append xs ys in
+  check_close 1e-9 "merged mean" (Stats.mean all) (Stats.Online.mean merged);
+  check_close 1e-9 "merged var" (Stats.variance all) (Stats.Online.variance merged)
+
+let test_covariance_correlation () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = [| 2.; 4.; 6.; 8. |] in
+  check_close 1e-9 "corr=1" 1. (Stats.correlation xs ys);
+  let zs = [| 8.; 6.; 4.; 2. |] in
+  check_close 1e-9 "corr=-1" (-1.) (Stats.correlation xs zs)
+
+let test_autocorrelation () =
+  let xs = Array.init 1000 (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  check_close 1e-2 "acf1 of alternating" (-1.) (Stats.autocorrelation xs 1);
+  check_close 1e-9 "acf0" 1. (Stats.autocorrelation xs 0)
+
+let test_confidence_interval_coverage () =
+  (* 95% CI for the mean should contain the truth about 95% of the time. *)
+  let rng = Rng.create ~seed:19 () in
+  let hits = ref 0 in
+  let trials = 400 in
+  for _ = 1 to trials do
+    let xs = Dist.sample_n (Dist.Normal { mean = 2.; std = 1. }) rng 50 in
+    let lo, hi = Stats.mean_confidence_interval xs 0.95 in
+    if lo <= 2. && 2. <= hi then incr hits
+  done;
+  let coverage = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.3f in [0.90, 0.99]" coverage)
+    true
+    (coverage >= 0.90 && coverage <= 0.99)
+
+let test_bootstrap_ci () =
+  let rng = Rng.create ~seed:37 () in
+  let xs = Dist.sample_n (Dist.Normal { mean = 10.; std = 2. }) rng 400 in
+  (* Mean CI: brackets the truth and roughly matches the normal-theory CI. *)
+  let lo, hi = Stats.bootstrap_ci ~rng ~statistic:Stats.mean xs 0.95 in
+  Alcotest.(check bool) "brackets truth" true (lo < 10. && 10. < hi);
+  let nlo, nhi = Stats.mean_confidence_interval xs 0.95 in
+  Alcotest.(check bool) "agrees with normal theory" true
+    (Float.abs (lo -. nlo) < 0.15 && Float.abs (hi -. nhi) < 0.15);
+  (* Works for a non-mean statistic (median). *)
+  let mlo, mhi = Stats.bootstrap_ci ~rng ~statistic:Stats.median xs 0.95 in
+  Alcotest.(check bool) "median CI brackets" true (mlo < 10. && 10. < mhi)
+
+(* --- KDE --- *)
+
+let test_kde_integrates_to_one () =
+  let rng = Rng.create ~seed:23 () in
+  let samples = Dist.sample_n (Dist.Normal { mean = 0.; std = 1. }) rng 200 in
+  let kde = Kde.fit samples in
+  let h = 0.01 in
+  let acc = ref 0. in
+  let x = ref (-10.) in
+  while !x < 10. do
+    acc := !acc +. (h *. Kde.density kde !x);
+    x := !x +. h
+  done;
+  check_close 0.02 "integral" 1. !acc
+
+let test_kde_tracks_density () =
+  let rng = Rng.create ~seed:29 () in
+  let samples = Dist.sample_n (Dist.Normal { mean = 0.; std = 1. }) rng 5000 in
+  let kde = Kde.fit samples in
+  check_close 0.05 "peak" (Dist.pdf (Dist.Normal { mean = 0.; std = 1. }) 0.)
+    (Kde.density kde 0.)
+
+let test_kde_kernels () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        "kernel max at 0" true
+        (Kde.kernel_value k 0. >= Kde.kernel_value k 0.5))
+    [ Kde.Gaussian; Kde.Laplace; Kde.Epanechnikov ]
+
+(* --- QCheck properties --- *)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"sample quantiles are monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 2 40) (float_range (-100.) 100.))
+              (pair (float_range 0.01 0.99) (float_range 0.01 0.99)))
+    (fun (xs, (p1, p2)) ->
+      QCheck.assume (xs <> []);
+      let arr = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.quantile arr lo <= Stats.quantile arr hi +. 1e-9)
+
+let prop_cdf_bounded =
+  QCheck.Test.make ~name:"normal cdf in [0,1] and nondecreasing" ~count:500
+    QCheck.(pair (float_range (-50.) 50.) (float_range 0. 10.))
+    (fun (x, dx) ->
+      let a = Special.normal_cdf x and b = Special.normal_cdf (x +. dx) in
+      a >= 0. && b <= 1. && a <= b +. 1e-12)
+
+let prop_online_mean =
+  QCheck.Test.make ~name:"online mean equals batch mean" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let acc = Stats.Online.create () in
+      Array.iter (Stats.Online.add acc) arr;
+      Float.abs (Stats.Online.mean acc -. Stats.mean arr)
+      < 1e-6 *. Float.max 1. (Float.abs (Stats.mean arr)))
+
+let prop_categorical_in_support =
+  QCheck.Test.make ~name:"categorical samples stay in support" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 10) (float_range 0.1 10.))
+    (fun ws ->
+      let weights = Array.of_list ws in
+      let rng = Rng.create ~seed:31 () in
+      let d = Dist.Categorical weights in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let k = Dist.sample_discrete d rng in
+        if k < 0 || k >= Array.length weights then ok := false
+      done;
+      !ok)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "mde_prob"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed changes stream" `Quick test_rng_seed_changes_stream;
+          Alcotest.test_case "float in [0,1)" `Quick test_rng_float_range;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "int bounds + uniformity" `Quick test_rng_int_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+        ] );
+      ( "special",
+        [
+          Alcotest.test_case "erf known values" `Quick test_erf_known;
+          Alcotest.test_case "log_gamma factorials" `Quick test_log_gamma_factorials;
+          Alcotest.test_case "normal cdf known" `Quick test_normal_cdf_known;
+          Alcotest.test_case "inv cdf roundtrip" `Quick test_normal_inv_roundtrip;
+          Alcotest.test_case "incomplete gamma" `Quick test_gamma_p_known;
+          Alcotest.test_case "incomplete beta" `Quick test_beta_inc_known;
+          Alcotest.test_case "log choose" `Quick test_log_choose;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "continuous moments" `Slow test_dist_moments;
+          Alcotest.test_case "cdf/quantile roundtrip" `Quick test_dist_cdf_quantile_roundtrip;
+          Alcotest.test_case "discrete moments" `Slow test_discrete_moments;
+          Alcotest.test_case "pmf sums to 1" `Quick test_pmf_sums_to_one;
+          Alcotest.test_case "pdf integrates to 1" `Quick test_pdf_integrates_to_one;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known dataset" `Quick test_stats_known;
+          Alcotest.test_case "quantile extremes" `Quick test_quantile_extremes;
+          Alcotest.test_case "online = batch" `Quick test_online_matches_batch;
+          Alcotest.test_case "online merge" `Quick test_online_merge;
+          Alcotest.test_case "covariance/correlation" `Quick test_covariance_correlation;
+          Alcotest.test_case "autocorrelation" `Quick test_autocorrelation;
+          Alcotest.test_case "CI coverage" `Slow test_confidence_interval_coverage;
+          Alcotest.test_case "bootstrap CI" `Quick test_bootstrap_ci;
+        ] );
+      ( "kde",
+        [
+          Alcotest.test_case "integrates to 1" `Quick test_kde_integrates_to_one;
+          Alcotest.test_case "tracks true density" `Slow test_kde_tracks_density;
+          Alcotest.test_case "kernel shapes" `Quick test_kde_kernels;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_quantile_monotone;
+            prop_cdf_bounded;
+            prop_online_mean;
+            prop_categorical_in_support;
+          ] );
+    ]

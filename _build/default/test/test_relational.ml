@@ -1,0 +1,567 @@
+open Mde_relational
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+let v_float f = Value.Float f
+
+let people_schema =
+  Schema.of_list
+    [ ("id", Value.Tint); ("name", Value.Tstring); ("age", Value.Tint); ("score", Value.Tfloat) ]
+
+let people =
+  Table.create people_schema
+    [
+      [| v_int 1; v_str "ann"; v_int 34; v_float 7.5 |];
+      [| v_int 2; v_str "bob"; v_int 4; v_float 3.0 |];
+      [| v_int 3; v_str "cal"; v_int 61; v_float 9.1 |];
+      [| v_int 4; v_str "dee"; v_int 4; v_float 5.5 |];
+      [| v_int 5; v_str "eli"; v_int 25; Value.Null |];
+    ]
+
+(* --- values and schemas --- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int < float cross" true (Value.compare (v_int 1) (v_float 1.5) < 0);
+  Alcotest.(check bool) "numeric equal" true (Value.equal (v_int 2) (v_float 2.));
+  Alcotest.(check bool) "null smallest" true (Value.compare Value.Null (v_int (-100)) < 0);
+  Alcotest.(check bool) "string order" true (Value.compare (v_str "a") (v_str "b") < 0)
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "duplicate column"
+    (Invalid_argument "Schema.create: duplicate column \"x\"") (fun () ->
+      ignore (Schema.of_list [ ("x", Value.Tint); ("x", Value.Tfloat) ]))
+
+let test_schema_lookup () =
+  Alcotest.(check int) "index" 2 (Schema.column_index people_schema "age");
+  Alcotest.(check bool) "mem" true (Schema.mem people_schema "score");
+  Alcotest.(check bool) "not mem" false (Schema.mem people_schema "missing")
+
+let test_schema_rename_concat () =
+  let renamed = Schema.rename people_schema [ ("id", "pid") ] in
+  Alcotest.(check bool) "renamed" true (Schema.mem renamed "pid");
+  let other = Schema.of_list [ ("city", Value.Tstring) ] in
+  let joined = Schema.concat renamed other in
+  Alcotest.(check int) "arity" 5 (Schema.arity joined)
+
+let test_table_type_check () =
+  Alcotest.(check bool) "bad type raises" true
+    (try
+       ignore (Table.create people_schema [ [| v_str "oops"; v_str "x"; v_int 1; v_float 0. |] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_null_allowed () =
+  Alcotest.(check int) "5 rows" 5 (Table.cardinality people);
+  Alcotest.(check bool) "null kept" true (Value.is_null (Table.get people 4 "score"))
+
+let test_value_display () =
+  Alcotest.(check string) "null" "NULL" (Value.to_display Value.Null);
+  Alcotest.(check string) "int" "42" (Value.to_display (v_int 42));
+  Alcotest.(check string) "bool" "true" (Value.to_display (Value.Bool true));
+  Alcotest.(check string) "float" "2.5" (Value.to_display (v_float 2.5));
+  Alcotest.(check bool) "coercion errors" true
+    (try
+       ignore (Value.to_float (v_str "x"));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- expressions --- *)
+
+let test_expr_eval () =
+  let row = (Table.rows people).(0) in
+  let e = Expr.((col "age" + int 6) / int 2) in
+  Alcotest.(check (float 1e-9)) "arith" 20. (Value.to_float (Expr.eval people_schema row e));
+  Alcotest.(check bool) "bool" true
+    (Expr.eval_bool people_schema row Expr.(col "name" = string "ann"));
+  Alcotest.(check bool) "null comparison false" false
+    (Expr.eval_bool people_schema (Table.rows people).(4) Expr.(col "score" > float 0.))
+
+let test_expr_columns_used () =
+  let e = Expr.((col "a" + col "b") * col "a") in
+  Alcotest.(check (list string)) "distinct in order" [ "a"; "b" ] (Expr.columns_used e)
+
+let test_expr_if () =
+  let row = (Table.rows people).(1) in
+  let e = Expr.(If (col "age" <= int 4, string "preschool", string "other")) in
+  Alcotest.(check string) "if" "preschool"
+    (Value.to_string_value (Expr.eval people_schema row e))
+
+(* --- algebra --- *)
+
+let test_select () =
+  let kids = Algebra.select Expr.(col "age" <= int 4) people in
+  Alcotest.(check int) "two preschoolers" 2 (Table.cardinality kids)
+
+let test_project_extend () =
+  let p = Algebra.project [ "name"; "age" ] people in
+  Alcotest.(check int) "arity" 2 (Schema.arity (Table.schema p));
+  let e = Algebra.extend [ ("age2", Value.Tint, Expr.(col "age" * int 2)) ] people in
+  Alcotest.(check int) "computed" 68 (Value.to_int (Table.get e 0 "age2"))
+
+let orders_schema =
+  Schema.of_list [ ("order_id", Value.Tint); ("customer", Value.Tint); ("total", Value.Tfloat) ]
+
+let orders =
+  Table.create orders_schema
+    [
+      [| v_int 10; v_int 1; v_float 20. |];
+      [| v_int 11; v_int 1; v_float 5. |];
+      [| v_int 12; v_int 3; v_float 8. |];
+      [| v_int 13; v_int 9; v_float 1. |];
+    ]
+
+let test_equi_join () =
+  let j = Algebra.equi_join ~on:[ ("id", "customer") ] people orders in
+  Alcotest.(check int) "3 matches" 3 (Table.cardinality j);
+  (* Matches a hand-rolled nested loop. *)
+  let manual = ref 0 in
+  Table.iter
+    (fun p ->
+      Table.iter
+        (fun o -> if Value.equal p.(0) o.(1) then incr manual)
+        orders)
+    people;
+  Alcotest.(check int) "nested loop agrees" !manual (Table.cardinality j)
+
+let test_left_join () =
+  let j = Algebra.equi_join ~kind:Algebra.Left ~on:[ ("id", "customer") ] people orders in
+  (* ann twice, bob padded, cal once, dee padded, eli padded = 6 rows. *)
+  Alcotest.(check int) "left join rows" 6 (Table.cardinality j);
+  let padded =
+    Array.to_list (Table.rows j)
+    |> List.filter (fun row -> Value.is_null row.(4))
+  in
+  Alcotest.(check int) "padded rows" 3 (List.length padded)
+
+let test_theta_join () =
+  let small = Algebra.rename [ ("id", "id2"); ("name", "name2"); ("age", "age2"); ("score", "score2") ] people in
+  let j = Algebra.theta_join ~on:Expr.(col "age" < col "age2") people small in
+  (* Count pairs with age_i < age_j manually. *)
+  let ages = Table.column_floats people "age" in
+  let expected = ref 0 in
+  Array.iter (fun a -> Array.iter (fun b -> if a < b then incr expected) ages) ages;
+  Alcotest.(check int) "pairs" !expected (Table.cardinality j)
+
+let test_semi_anti_join () =
+  let matched = Algebra.semi_join ~on:[ ("id", "customer") ] people orders in
+  (* ann and cal have orders; each appears once despite ann's two orders. *)
+  Alcotest.(check int) "semi join" 2 (Table.cardinality matched);
+  let unmatched = Algebra.anti_join ~on:[ ("id", "customer") ] people orders in
+  Alcotest.(check int) "anti join" 3 (Table.cardinality unmatched);
+  (* Semi + anti partition the left side. *)
+  Alcotest.(check int) "partition" 5
+    (Table.cardinality matched + Table.cardinality unmatched);
+  (* Null keys never match. *)
+  let with_null =
+    Table.create people_schema [ [| Value.Null; v_str "zed"; v_int 1; v_float 0. |] ]
+  in
+  Alcotest.(check int) "null key excluded" 0
+    (Table.cardinality (Algebra.semi_join ~on:[ ("id", "customer") ] with_null orders))
+
+let test_group_by () =
+  let g =
+    Algebra.group_by ~keys:[ "age" ]
+      ~aggs:
+        [
+          ("n", Algebra.Count);
+          ("total", Algebra.Sum (Expr.col "score"));
+          ("best", Algebra.Max (Expr.col "score"));
+        ]
+      people
+  in
+  (* ages: 34, 4 (×2), 61, 25 → 4 groups. *)
+  Alcotest.(check int) "groups" 4 (Table.cardinality g);
+  let four = Algebra.select Expr.(col "age" = int 4) g in
+  Alcotest.(check int) "n" 2 (Value.to_int (Table.get four 0 "n"));
+  Alcotest.(check (float 1e-9)) "sum" 8.5 (Value.to_float (Table.get four 0 "total"));
+  Alcotest.(check (float 1e-9)) "max" 5.5 (Value.to_float (Table.get four 0 "best"))
+
+let test_group_by_global () =
+  let g = Algebra.group_by ~keys:[] ~aggs:[ ("n", Algebra.Count) ] people in
+  Alcotest.(check int) "one row" 1 (Table.cardinality g);
+  Alcotest.(check int) "count" 5 (Value.to_int (Table.get g 0 "n"))
+
+let test_group_by_skips_nulls () =
+  let g =
+    Algebra.group_by ~keys:[] ~aggs:[ ("avg", Algebra.Avg (Expr.col "score")) ] people
+  in
+  (* Nulls excluded: (7.5+3.0+9.1+5.5)/4. *)
+  Alcotest.(check (float 1e-9)) "avg" 6.275 (Value.to_float (Table.get g 0 "avg"))
+
+let test_count_if () =
+  let g =
+    Algebra.group_by ~keys:[]
+      ~aggs:[ ("kids", Algebra.Count_if Expr.(col "age" <= int 4)) ]
+      people
+  in
+  Alcotest.(check int) "count_if" 2 (Value.to_int (Table.get g 0 "kids"))
+
+let test_order_by () =
+  let sorted = Algebra.order_by [ "age" ] people in
+  let ages = Table.column_floats sorted "age" in
+  Alcotest.(check bool) "nondecreasing" true
+    (Array.for_all2 ( <= ) (Array.sub ages 0 4) (Array.sub ages 1 4));
+  let desc = Algebra.order_by ~descending:true [ "age" ] sorted in
+  Alcotest.(check (float 1e-9)) "desc first" 61. (Table.column_floats desc "age").(0)
+
+let test_order_by_stable () =
+  (* Rows with equal keys keep their input order. *)
+  let sorted = Algebra.order_by [ "age" ] people in
+  let names = Table.column sorted "name" in
+  Alcotest.(check string) "bob before dee" "bob" (Value.to_string_value names.(0));
+  Alcotest.(check string) "dee second" "dee" (Value.to_string_value names.(1))
+
+let test_distinct_union_limit () =
+  let doubled = Algebra.union people people in
+  Alcotest.(check int) "union" 10 (Table.cardinality doubled);
+  Alcotest.(check int) "distinct" 5 (Table.cardinality (Algebra.distinct doubled));
+  Alcotest.(check int) "limit" 3 (Table.cardinality (Algebra.limit 3 doubled))
+
+let test_empty_table_operators () =
+  let empty = Table.empty people_schema in
+  Alcotest.(check int) "select" 0
+    (Table.cardinality (Algebra.select Expr.(col "age" > int 0) empty));
+  Alcotest.(check int) "project" 0
+    (Table.cardinality (Algebra.project [ "name" ] empty));
+  Alcotest.(check int) "extend" 0
+    (Table.cardinality
+       (Algebra.extend [ ("x", Value.Tint, Expr.int 1) ] empty));
+  Alcotest.(check int) "join empty left" 0
+    (Table.cardinality (Algebra.equi_join ~on:[ ("id", "customer") ] empty orders));
+  Alcotest.(check int) "join empty right" 0
+    (Table.cardinality
+       (Algebra.equi_join ~on:[ ("id", "customer") ] people (Table.empty orders_schema)));
+  Alcotest.(check int) "left join keeps left" 5
+    (Table.cardinality
+       (Algebra.equi_join ~kind:Algebra.Left ~on:[ ("id", "customer") ] people
+          (Table.empty orders_schema)));
+  Alcotest.(check int) "order_by" 0 (Table.cardinality (Algebra.order_by [ "age" ] empty));
+  Alcotest.(check int) "distinct" 0 (Table.cardinality (Algebra.distinct empty));
+  Alcotest.(check int) "limit" 0 (Table.cardinality (Algebra.limit 3 empty));
+  (* Grouped aggregate over empty input: no groups. *)
+  Alcotest.(check int) "group_by keyed" 0
+    (Table.cardinality (Algebra.group_by ~keys:[ "age" ] ~aggs:[ ("n", Algebra.Count) ] empty));
+  (* Global aggregate over empty input: one zero-count row. *)
+  let g = Algebra.group_by ~keys:[] ~aggs:[ ("n", Algebra.Count) ] empty in
+  Alcotest.(check int) "global count row" 1 (Table.cardinality g);
+  Alcotest.(check int) "count zero" 0 (Value.to_int (Table.get g 0 "n"));
+  Alcotest.(check int) "semi join" 0
+    (Table.cardinality (Algebra.semi_join ~on:[ ("id", "customer") ] empty orders))
+
+(* --- query builder --- *)
+
+let test_query_pipeline () =
+  let n =
+    Query.of_table people
+    |> Query.where Expr.(col "age" > int 10)
+    |> Query.group ~keys:[] ~aggs:[ ("n", Algebra.Count) ]
+    |> Query.scalar
+  in
+  Alcotest.(check int) "adults" 3 (Value.to_int n)
+
+let test_query_join_compute () =
+  let result =
+    Query.of_table orders
+    |> Query.join ~on:[ ("customer", "id") ]
+         (Algebra.rename [ ("score", "cust_score") ] people
+         |> Algebra.project [ "id"; "cust_score" ])
+    |> Query.compute [ ("weighted", Value.Tfloat, Expr.(col "total" * col "cust_score")) ]
+    |> Query.sort ~descending:true [ "weighted" ]
+    |> Query.run
+  in
+  Alcotest.(check int) "joined rows" 3 (Table.cardinality result);
+  Alcotest.(check (float 1e-9)) "top weighted" 150. (Value.to_float (Table.get result 0 "weighted"))
+
+(* --- logical plans and the optimizer --- *)
+
+let star_catalog ?(orders_n = 300) ?(customers_n = 40) ?(regions_n = 5) seed =
+  let rng = Mde_prob.Rng.create ~seed () in
+  let cat = Catalog.create () in
+  Catalog.register cat "regions"
+    (Table.create
+       (Schema.of_list [ ("rid", Value.Tint); ("rname", Value.Tstring) ])
+       (List.init regions_n (fun i -> [| v_int i; v_str (Printf.sprintf "r%d" i) |])));
+  Catalog.register cat "customers"
+    (Table.create
+       (Schema.of_list [ ("cid", Value.Tint); ("crid", Value.Tint); ("cage", Value.Tint) ])
+       (List.init customers_n (fun i ->
+            [| v_int i; v_int (Mde_prob.Rng.int rng regions_n);
+               v_int (18 + Mde_prob.Rng.int rng 60) |])));
+  Catalog.register cat "orders"
+    (Table.create
+       (Schema.of_list [ ("oid", Value.Tint); ("ocid", Value.Tint); ("amount", Value.Tfloat) ])
+       (List.init orders_n (fun i ->
+            [| v_int i; v_int (Mde_prob.Rng.int rng customers_n);
+               v_float (Mde_prob.Rng.float_range rng 0. 100.) |])));
+  cat
+
+(* Compare result multisets up to row order AND column order: join
+   reordering legitimately permutes output columns. *)
+let sorted_rows table =
+  let names = List.sort String.compare (Schema.column_names (Table.schema table)) in
+  let canonical = Algebra.project names table in
+  Array.to_list (Table.rows canonical)
+  |> List.map Array.to_list
+  |> List.sort (fun a b -> List.compare Value.compare a b)
+
+let same_multiset a b = sorted_rows a = sorted_rows b
+
+let star_query =
+  Plan.select
+    Expr.(col "rname" = string "r1" && col "amount" > float 50.)
+    (Plan.join ~on:[ ("rid", "crid") ]
+       (Plan.scan "regions")
+       (Plan.join ~on:[ ("cid", "ocid") ] (Plan.scan "customers") (Plan.scan "orders")))
+
+let test_plan_execute () =
+  let cat = star_catalog 1 in
+  let direct =
+    Algebra.equi_join ~on:[ ("rid", "crid") ]
+      (Catalog.find cat "regions")
+      (Algebra.equi_join ~on:[ ("cid", "ocid") ]
+         (Catalog.find cat "customers")
+         (Catalog.find cat "orders"))
+    |> Algebra.select Expr.(col "rname" = string "r1" && col "amount" > float 50.)
+  in
+  Alcotest.(check bool) "plan = direct algebra" true
+    (same_multiset (Plan.execute cat star_query) direct)
+
+let test_plan_schema () =
+  let cat = star_catalog 2 in
+  Alcotest.(check int) "join schema arity" 8
+    (Schema.arity (Plan.schema_of cat star_query));
+  Alcotest.(check int) "project narrows" 2
+    (Schema.arity (Plan.schema_of cat (Plan.project [ "oid"; "rname" ] star_query)))
+
+let test_estimate_rows_sanity () =
+  let cat = star_catalog 3 in
+  let scan_est = Plan.estimate_rows cat (Plan.scan "orders") in
+  Alcotest.(check (float 1e-9)) "scan = row count" 300. scan_est;
+  (* Equality on a 5-distinct column selects ~1/5. *)
+  let eq_est =
+    Plan.estimate_rows cat
+      (Plan.select Expr.(col "rid" = int 3) (Plan.scan "regions"))
+  in
+  Alcotest.(check (float 1e-6)) "eq selectivity" 1. eq_est
+
+let test_push_selections_preserves_and_helps () =
+  let cat = star_catalog 4 in
+  let pushed = Plan.push_selections cat star_query in
+  Alcotest.(check bool) "same result" true
+    (same_multiset (Plan.execute cat star_query) (Plan.execute cat pushed));
+  let before = (Plan.estimate_cost cat star_query).Plan.intermediate_rows in
+  let after = (Plan.estimate_cost cat pushed).Plan.intermediate_rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "cheaper (%.0f -> %.0f)" before after)
+    true (after < before)
+
+let test_order_joins_small_first () =
+  let cat = star_catalog 5 in
+  (* A deliberately bad order: the two big tables first. *)
+  let bad =
+    Plan.join ~on:[ ("crid", "rid") ]
+      (Plan.join ~on:[ ("ocid", "cid") ] (Plan.scan "orders") (Plan.scan "customers"))
+      (Plan.select Expr.(col "rname" = string "r2") (Plan.scan "regions"))
+  in
+  let reordered = Plan.order_joins cat bad in
+  Alcotest.(check bool) "same result" true
+    (same_multiset (Plan.execute cat bad) (Plan.execute cat reordered));
+  let before = (Plan.estimate_cost cat bad).Plan.intermediate_rows in
+  let after = (Plan.estimate_cost cat reordered).Plan.intermediate_rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "join order cheaper (%.0f -> %.0f)" before after)
+    true (after <= before)
+
+let test_optimize_end_to_end () =
+  let cat = star_catalog 6 in
+  let optimized = Plan.optimize cat star_query in
+  Alcotest.(check bool) "same result" true
+    (same_multiset (Plan.execute cat star_query) (Plan.execute cat optimized));
+  let before = (Plan.estimate_cost cat star_query).Plan.intermediate_rows in
+  let after = (Plan.estimate_cost cat optimized).Plan.intermediate_rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimize cheaper (%.0f -> %.0f)" before after)
+    true (after < before /. 2.)
+
+let prop_optimize_preserves_semantics =
+  QCheck.Test.make ~name:"optimize preserves query results" ~count:60
+    QCheck.(triple (int_range 0 4) (int_range 20 60) small_int)
+    (fun (region_pick, amount_cut, seed) ->
+      let cat = star_catalog (100 + seed) in
+      let plan =
+        Plan.select
+          Expr.(
+            col "rid" = int region_pick
+            && col "amount" > float (float_of_int amount_cut)
+            && col "cage" < int 60)
+          (Plan.join ~on:[ ("rid", "crid") ]
+             (Plan.scan "regions")
+             (Plan.join ~on:[ ("cid", "ocid") ] (Plan.scan "customers")
+                (Plan.scan "orders")))
+      in
+      same_multiset (Plan.execute cat plan) (Plan.execute cat (Plan.optimize cat plan)))
+
+(* --- catalog --- *)
+
+let test_catalog () =
+  let cat = Catalog.create () in
+  Catalog.register cat "people" people;
+  Alcotest.(check int) "rows" 5 (Catalog.row_count cat "people");
+  let stats = Catalog.column_stats cat "people" "age" in
+  Alcotest.(check int) "non_null" 5 stats.Catalog.non_null;
+  Alcotest.(check int) "distinct" 4 stats.Catalog.distinct;
+  Alcotest.(check (float 1e-9)) "mean" 25.6 (Option.get stats.Catalog.mean);
+  let score_stats = Catalog.column_stats cat "people" "score" in
+  Alcotest.(check int) "nulls dropped" 4 score_stats.Catalog.non_null;
+  Catalog.drop cat "people";
+  Alcotest.(check bool) "dropped" true (Catalog.find_opt cat "people" = None)
+
+(* --- QCheck properties --- *)
+
+let random_table_gen =
+  QCheck.Gen.(
+    let row = map2 (fun a b -> (a, b)) (int_range 0 5) (float_range 0. 10.) in
+    list_size (int_range 0 40) row)
+
+let arbitrary_rows = QCheck.make random_table_gen
+
+let to_table rows =
+  let schema = Schema.of_list [ ("k", Value.Tint); ("v", Value.Tfloat) ] in
+  Table.create schema
+    (List.map (fun (k, v) -> [| Value.Int k; Value.Float v |]) rows)
+
+let prop_select_conjunction =
+  QCheck.Test.make ~name:"select (a && b) = select a |> select b" ~count:200
+    arbitrary_rows
+    (fun rows ->
+      let t = to_table rows in
+      let a = Expr.(col "k" >= int 2) and b = Expr.(col "v" < float 5.) in
+      let both = Algebra.select Expr.(a && b) t in
+      let seq = Algebra.select b (Algebra.select a t) in
+      Table.cardinality both = Table.cardinality seq
+      && Array.for_all2
+           (fun r1 r2 -> Value.equal r1.(0) r2.(0) && Value.equal r1.(1) r2.(1))
+           (Table.rows both) (Table.rows seq))
+
+let prop_join_count =
+  QCheck.Test.make ~name:"hash join row count equals nested loop" ~count:100
+    (QCheck.pair arbitrary_rows arbitrary_rows)
+    (fun (xs, ys) ->
+      let left = to_table xs in
+      let right =
+        let schema = Schema.of_list [ ("k2", Value.Tint); ("v2", Value.Tfloat) ] in
+        Table.create schema
+          (List.map (fun (k, v) -> [| Value.Int k; Value.Float v |]) ys)
+      in
+      let joined = Algebra.equi_join ~on:[ ("k", "k2") ] left right in
+      let expected =
+        List.fold_left
+          (fun acc (k, _) ->
+            acc + List.length (List.filter (fun (k2, _) -> k = k2) ys))
+          0 xs
+      in
+      Table.cardinality joined = expected)
+
+(* Random well-typed numeric expressions over the (k, v) schema: eval
+   must be total and columns_used sound. *)
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ return (Expr.col "k"); return (Expr.col "v");
+        map Expr.int (int_range (-5) 5); map Expr.float (float_range (-5.) 5.) ]
+  in
+  fix
+    (fun self depth ->
+      if depth <= 0 then leaf
+      else
+        oneof
+          [ leaf;
+            map2 (fun a b -> Expr.Add (a, b)) (self (depth - 1)) (self (depth - 1));
+            map2 (fun a b -> Expr.Sub (a, b)) (self (depth - 1)) (self (depth - 1));
+            map2 (fun a b -> Expr.Mul (a, b)) (self (depth - 1)) (self (depth - 1));
+            map (fun a -> Expr.Neg a) (self (depth - 1));
+            map3
+              (fun c a b -> Expr.If (Expr.Lt (c, Expr.int 0), a, b))
+              (self (depth - 1)) (self (depth - 1)) (self (depth - 1)) ])
+    3
+
+let prop_expr_total =
+  QCheck.Test.make ~name:"well-typed numeric expressions evaluate totally" ~count:300
+    (QCheck.pair (QCheck.make expr_gen) arbitrary_rows)
+    (fun (expr, rows) ->
+      let t = to_table rows in
+      let schema = Table.schema t in
+      List.for_all (fun c -> Schema.mem schema c) (Expr.columns_used expr)
+      && Array.for_all
+           (fun row ->
+             match Expr.eval schema row expr with
+             | Value.Int _ | Value.Float _ | Value.Null -> true
+             | Value.Bool _ | Value.String _ -> false)
+           (Table.rows t))
+
+let prop_distinct_idempotent =
+  QCheck.Test.make ~name:"distinct is idempotent" ~count:200 arbitrary_rows
+    (fun rows ->
+      let t = to_table rows in
+      let once = Algebra.distinct t in
+      let twice = Algebra.distinct once in
+      Table.cardinality once = Table.cardinality twice)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "mde_relational"
+    [
+      ( "values+schemas",
+        [
+          Alcotest.test_case "value compare" `Quick test_value_compare;
+          Alcotest.test_case "schema duplicate" `Quick test_schema_duplicate;
+          Alcotest.test_case "schema lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "rename/concat" `Quick test_schema_rename_concat;
+          Alcotest.test_case "table type check" `Quick test_table_type_check;
+          Alcotest.test_case "nulls allowed" `Quick test_table_null_allowed;
+          Alcotest.test_case "value display/coercion" `Quick test_value_display;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "columns_used" `Quick test_expr_columns_used;
+          Alcotest.test_case "if" `Quick test_expr_if;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "project/extend" `Quick test_project_extend;
+          Alcotest.test_case "equi join" `Quick test_equi_join;
+          Alcotest.test_case "left join" `Quick test_left_join;
+          Alcotest.test_case "theta join" `Quick test_theta_join;
+          Alcotest.test_case "semi/anti join" `Quick test_semi_anti_join;
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "global aggregate" `Quick test_group_by_global;
+          Alcotest.test_case "nulls skipped" `Quick test_group_by_skips_nulls;
+          Alcotest.test_case "count_if" `Quick test_count_if;
+          Alcotest.test_case "order by" `Quick test_order_by;
+          Alcotest.test_case "order by stable" `Quick test_order_by_stable;
+          Alcotest.test_case "distinct/union/limit" `Quick test_distinct_union_limit;
+          Alcotest.test_case "empty-table sweep" `Quick test_empty_table_operators;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "pipeline" `Quick test_query_pipeline;
+          Alcotest.test_case "join+compute" `Quick test_query_join_compute;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "execute" `Quick test_plan_execute;
+          Alcotest.test_case "schema" `Quick test_plan_schema;
+          Alcotest.test_case "cardinality estimates" `Quick test_estimate_rows_sanity;
+          Alcotest.test_case "selection pushdown" `Quick test_push_selections_preserves_and_helps;
+          Alcotest.test_case "join ordering" `Quick test_order_joins_small_first;
+          Alcotest.test_case "optimize end-to-end" `Quick test_optimize_end_to_end;
+        ] );
+      ("catalog", [ Alcotest.test_case "stats" `Quick test_catalog ]);
+      ( "properties",
+        qc
+          [ prop_select_conjunction; prop_join_count; prop_distinct_idempotent;
+            prop_expr_total; prop_optimize_preserves_semantics ] );
+    ]
