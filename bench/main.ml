@@ -13,7 +13,9 @@ let experiments : (string * string * (unit -> unit)) list =
 let list_experiments () =
   Format.printf "available experiments:@.";
   List.iter (fun (id, desc, _) -> Format.printf "  %-8s %s@." id desc) experiments;
-  Format.printf "  %-8s %s@." "--perf" "Bechamel microbenchmarks"
+  Format.printf "  %-8s %s@." "--perf" "Bechamel microbenchmarks";
+  Format.printf "  %-8s %s@." "--domains N"
+    "sequential vs N-domain Monte Carlo replication wall time"
 
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -29,6 +31,12 @@ let () =
   match args with
   | [ "--list" ] -> list_experiments ()
   | [ "--perf" ] -> Perf.run ()
+  | [ "--domains"; n ] -> (
+    match int_of_string_opt n with
+    | Some domains when domains >= 1 -> Perf.run_parallel ~domains ()
+    | _ ->
+      Format.eprintf "--domains expects a positive integer, got %S@." n;
+      exit 1)
   | [] ->
     Format.printf
       "Model-data ecosystems: reproducing every figure and experiment of@.";

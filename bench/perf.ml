@@ -171,6 +171,121 @@ let test_mm1 =
            { Mde.Des.Queueing.arrival_rate = 4.; service_rate = 5.; servers = 1 }
            ~customers:2_000 (Rng.create ~seed:10 ())))
 
+(* --- the domain-parallel replication benchmark (--domains N) --- *)
+
+module Pool = Mde.Par.Pool
+
+let wall_time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* The SBP_DATA shape from the paper, sized so one repetition does real
+   work: realize a 500-row stochastic table, then aggregate over it. *)
+let replication_fixture () =
+  let patients =
+    Table.create
+      (Schema.of_list [ ("pid", Value.Tint); ("gender", Value.Tstring) ])
+      (List.init 500 (fun i ->
+           [| Value.Int i; Value.String (if i mod 2 = 0 then "F" else "M") |]))
+  in
+  let param =
+    Table.create
+      (Schema.of_list [ ("mean", Value.Tfloat); ("std", Value.Tfloat) ])
+      [ [| Value.Float 120.; Value.Float 15. |] ]
+  in
+  let st =
+    Mcdb.Stochastic_table.define ~name:"SBP_DATA"
+      ~schema:
+        (Schema.of_list
+           [ ("pid", Value.Tint); ("gender", Value.Tstring); ("sbp", Value.Tfloat) ])
+      ~driver:patients ~vg:Mcdb.Vg.normal
+      ~params:(fun _ -> [ param ])
+      ~combine:(fun d v -> [| d.(0); d.(1); v.(0) |])
+  in
+  let db = Mcdb.Database.create () in
+  Mcdb.Database.add_stochastic db st;
+  let query catalog =
+    let t = Catalog.find catalog "SBP_DATA" in
+    let total = ref 0. and n = ref 0 in
+    Table.iter
+      (fun row ->
+        total := !total +. Value.to_float row.(2);
+        incr n)
+      t;
+    !total /. float_of_int !n
+  in
+  (db, query)
+
+let bench_par_json ~reps ~domains ~t_seq ~t_par ~identical =
+  let entry =
+    Printf.sprintf
+      "  {\"timestamp\": %.0f, \"benchmark\": \"mcdb-replications\", \"reps\": %d, \
+       \"domains\": %d, \"sequential_s\": %.6f, \"parallel_s\": %.6f, \
+       \"speedup\": %.3f, \"identical_output\": %b}"
+      (Unix.time ()) reps domains t_seq t_par (t_seq /. t_par) identical
+  in
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then "bench/BENCH_par.json"
+    else "BENCH_par.json"
+  in
+  (* The file is a JSON array, appended to on every run so the speedup
+     trajectory accumulates across commits. *)
+  let previous =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match String.rindex_opt s ']' with
+      | Some i -> Some (String.trim (String.sub s 0 i))
+      | None -> None
+    end
+    else None
+  in
+  let body =
+    match previous with
+    | Some prefix when String.length prefix > 1 -> prefix ^ ",\n" ^ entry ^ "\n]\n"
+    | _ -> "[\n" ^ entry ^ "\n]\n"
+  in
+  let oc = open_out_bin path in
+  output_string oc body;
+  close_out oc;
+  path
+
+let run_parallel ~domains () =
+  Util.section "PAR"
+    (Printf.sprintf "domain-parallel Monte Carlo replications (%d domains)" domains);
+  let db, query = replication_fixture () in
+  let reps = 400 in
+  let seed = 42 in
+  let seq, t_seq =
+    wall_time (fun () ->
+        Mcdb.Database.monte_carlo db (Rng.create ~seed ()) ~reps ~query)
+  in
+  let par, t_par =
+    Pool.with_pool ~domains (fun pool ->
+        wall_time (fun () ->
+            Mcdb.Database.monte_carlo ~pool db (Rng.create ~seed ()) ~reps ~query))
+  in
+  let identical = seq = par in
+  Util.table
+    [ "mode"; "wall time"; "speedup" ]
+    [
+      [ "sequential"; Printf.sprintf "%.3f s" t_seq; "1.00x" ];
+      [
+        Printf.sprintf "%d domains" domains;
+        Printf.sprintf "%.3f s" t_par;
+        Printf.sprintf "%.2fx" (t_seq /. t_par);
+      ];
+    ];
+  Util.note "output equality: %s"
+    (if identical then "bit-identical (determinism contract holds)"
+     else "MISMATCH — determinism contract violated");
+  Util.note "available cores: %d" (Domain.recommended_domain_count ());
+  let path = bench_par_json ~reps ~domains ~t_seq ~t_par ~identical in
+  Util.note "recorded in %s" path;
+  if not identical then exit 1
+
 let tests =
   [
     test_bundle_query;

@@ -78,21 +78,35 @@ type pilot = {
   outputs_per_input : int;
 }
 
-let pilot two_stage rng ~inputs ~outputs_per_input =
+let pilot ?pool two_stage rng ~inputs ~outputs_per_input =
   assert (inputs >= 2 && outputs_per_input >= 2);
   let k = inputs and r = outputs_per_input in
-  let y = Array.make_matrix k r 0. in
+  (* Each pilot input owns a split stream (its M1 draw and its M2 draws
+     run on it in a fixed order), so the y matrix — and hence V1/V2 — is
+     bit-identical whether inputs run sequentially or across the pool.
+     The measured costs c1/c2 are wall-clock-dependent either way. *)
+  let streams = Rng.split_n rng k in
+  let sampled =
+    Mde_par.Pool.init ?pool k (fun i ->
+        let s = streams.(i) in
+        let start = Sys.time () in
+        let y1 = two_stage.model1 s in
+        let t1 = Sys.time () -. start in
+        let start = Sys.time () in
+        let row = Array.make r 0. in
+        for j = 0 to r - 1 do
+          row.(j) <- two_stage.model2 s y1
+        done;
+        let t2 = Sys.time () -. start in
+        (row, t1, t2))
+  in
+  let y = Array.map (fun (row, _, _) -> row) sampled in
   let t1 = ref 0. and t2 = ref 0. in
-  for i = 0 to k - 1 do
-    let start = Sys.time () in
-    let y1 = two_stage.model1 rng in
-    t1 := !t1 +. (Sys.time () -. start);
-    for j = 0 to r - 1 do
-      let start = Sys.time () in
-      y.(i).(j) <- two_stage.model2 rng y1;
-      t2 := !t2 +. (Sys.time () -. start)
-    done
-  done;
+  Array.iter
+    (fun (_, d1, d2) ->
+      t1 := !t1 +. d1;
+      t2 := !t2 +. d2)
+    sampled;
   let kf = float_of_int k and rf = float_of_int r in
   let grand = Array.fold_left (fun acc row -> acc +. Array.fold_left ( +. ) 0. row) 0. y
               /. (kf *. rf)

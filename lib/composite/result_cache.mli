@@ -70,6 +70,7 @@ type pilot = {
 }
 
 val pilot :
+  ?pool:Mde_par.Pool.t ->
   'a two_stage ->
   Mde_prob.Rng.t ->
   inputs:int ->
@@ -80,4 +81,9 @@ val pilot :
     [outputs_per_input] ≥ 2 M₂ replications on each; c₁/c₂ are measured
     wall-clock averages and V₁/V₂ come from the one-way ANOVA variance
     decomposition (between-input variance = V₂, total = V₁). Negative
-    variance-component estimates are clamped to 0. *)
+    variance-component estimates are clamped to 0.
+
+    Every pilot input draws on its own split stream, so with [?pool] the
+    inputs run one-per-domain and the sampled outputs (hence V₁/V₂) are
+    bit-identical to the sequential run; the measured costs c₁/c₂ are
+    timing observations and carry run-to-run noise regardless. *)

@@ -6,6 +6,7 @@
     for the inventory and EXPERIMENTS.md for the figure reproductions.
 
     {1 Substrates}
+    - {!Par} the domain-pool parallel runtime (deterministic fan-out)
     - {!Prob} randomness, distributions, statistics, KDE
     - {!Linalg} dense/tridiagonal linear algebra, OLS
     - {!Mapred} the in-memory MapReduce engine with shuffle accounting
@@ -30,6 +31,7 @@
     - {!Metamodel} designs, polynomial + GP metamodels, screening
     - {!Optimize} the shared derivative-free optimizers *)
 
+module Par = Mde_par
 module Prob = Mde_prob
 module Linalg = Mde_linalg
 module Mapred = Mde_mapred

@@ -13,7 +13,22 @@ let global_shuffled = ref 0
 let reset_global_counter () = global_shuffled := 0
 let global_records_shuffled () = !global_shuffled
 
-let map_reduce ?reduce_partitions ?combine ~map ~reduce input =
+(* Group (key, value) pairs by key, preserving first-seen key order and
+   per-key emission order — shared by the combiner and the reduce phase. *)
+let group_pairs pairs =
+  let groups = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt groups k with
+      | Some vs -> vs := v :: !vs
+      | None ->
+        Hashtbl.add groups k (ref [ v ]);
+        order := k :: !order)
+    pairs;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find groups k))) !order
+
+let map_reduce ?pool ?reduce_partitions ?combine ~map ~reduce input =
   let in_parts = Dataset.partitions input in
   let n_reduce =
     match reduce_partitions with
@@ -22,87 +37,71 @@ let map_reduce ?reduce_partitions ?combine ~map ~reduce input =
       n
     | None -> Array.length in_parts
   in
-  let records_mapped = ref 0 in
+  (* Map phase (local to each input partition): independent per
+     partition, so it fans out over the pool when one is supplied. *)
+  let map_partition part =
+    let mapped = ref 0 in
+    let emitted = ref [] in
+    Array.iter
+      (fun record ->
+        incr mapped;
+        List.iter (fun kv -> emitted := kv :: !emitted) (map record))
+      part;
+    let emitted = List.rev !emitted in
+    (* Optional combiner: group locally and pre-reduce before shuffling. *)
+    let to_shuffle =
+      match combine with
+      | None -> emitted
+      | Some combiner ->
+        List.concat_map
+          (fun (k, vs) -> List.map (fun v -> (k, v)) (combiner k vs))
+          (group_pairs emitted)
+    in
+    (!mapped, to_shuffle)
+  in
+  let mapped_parts = Mde_par.Pool.map ?pool map_partition in_parts in
+  let records_mapped = Array.fold_left (fun acc (m, _) -> acc + m) 0 mapped_parts in
+  (* Shuffle: route sequentially so every reduce bucket accumulates its
+     (key, value) pairs in the same arrival order with or without a
+     pool. Only true cross-partition traffic (dest <> src) is charged to
+     the shuffle, whatever the reduce-side partition count. *)
   let records_shuffled = ref 0 in
-  (* Each reduce partition accumulates (key, value) pairs in arrival order. *)
   let buckets = Array.init n_reduce (fun _ -> ref []) in
   Array.iteri
-    (fun src_part part ->
-      (* Map phase (local to src_part). *)
-      let emitted = ref [] in
-      Array.iter
-        (fun record ->
-          incr records_mapped;
-          List.iter (fun kv -> emitted := kv :: !emitted) (map record))
-        part;
-      let emitted = List.rev !emitted in
-      (* Optional combiner: group locally and pre-reduce before shuffling. *)
-      let to_shuffle =
-        match combine with
-        | None -> emitted
-        | Some combiner ->
-          let groups = Hashtbl.create 64 in
-          let order = ref [] in
-          List.iter
-            (fun (k, v) ->
-              match Hashtbl.find_opt groups k with
-              | Some vs -> vs := v :: !vs
-              | None ->
-                Hashtbl.add groups k (ref [ v ]);
-                order := k :: !order)
-            emitted;
-          List.concat_map
-            (fun k ->
-              let vs = List.rev !(Hashtbl.find groups k) in
-              List.map (fun v -> (k, v)) (combiner k vs))
-            (List.rev !order)
-      in
+    (fun src_part (_, to_shuffle) ->
       List.iter
         (fun (k, v) ->
           let dest = Hashtbl.hash k mod n_reduce in
-          (* Only cross-partition traffic counts as shuffle. *)
-          if dest <> src_part || n_reduce <> Array.length in_parts then begin
+          if dest <> src_part then begin
             incr records_shuffled;
             incr global_shuffled
           end;
           buckets.(dest) := (k, v) :: !(buckets.(dest)))
         to_shuffle)
-    in_parts;
-  (* Reduce phase: group by key per partition, preserving first-seen order. *)
-  let records_reduced = ref 0 in
-  let out_parts =
-    Array.map
+    mapped_parts;
+  (* Reduce phase: group by key per partition, preserving first-seen
+     order; partitions are independent, so this fans out too. *)
+  let reduced_parts =
+    Mde_par.Pool.map ?pool
       (fun bucket ->
-        let pairs = List.rev !bucket in
-        let groups = Hashtbl.create 64 in
-        let order = ref [] in
-        List.iter
-          (fun (k, v) ->
-            match Hashtbl.find_opt groups k with
-            | Some vs -> vs := v :: !vs
-            | None ->
-              Hashtbl.add groups k (ref [ v ]);
-              order := k :: !order)
-          pairs;
+        let grouped = group_pairs (List.rev !bucket) in
         let outputs =
-          List.concat_map
-            (fun k ->
-              incr records_reduced;
-              reduce k (List.rev !(Hashtbl.find groups k)))
-            (List.rev !order)
+          List.concat_map (fun (k, vs) -> reduce k vs) grouped
         in
-        Array.of_list outputs)
+        (Array.of_list outputs, List.length grouped))
       buckets
   in
+  let out_parts = Array.map fst reduced_parts in
+  let records_reduced = Array.fold_left (fun acc (_, g) -> acc + g) 0 reduced_parts in
   ( Dataset.of_partitions out_parts,
     {
-      records_mapped = !records_mapped;
+      records_mapped;
       records_shuffled = !records_shuffled;
-      records_reduced = !records_reduced;
+      records_reduced;
       partitions = n_reduce;
     } )
 
-let equi_join ?partitions ~left_key ~right_key left right =
+let equi_join ?pool ?partitions ~left_key ~right_key left right =
   (* Tag records by side, union the datasets, shuffle on the key, and
      cross the sides within each reduce group. *)
   let tagged =
@@ -116,7 +115,7 @@ let equi_join ?partitions ~left_key ~right_key left right =
     | Some p -> p
     | None -> Dataset.partition_count left + Dataset.partition_count right
   in
-  map_reduce ~reduce_partitions
+  map_reduce ?pool ~reduce_partitions
     ~map:(fun tagged_record ->
       match tagged_record with
       | `Left a -> [ (left_key a, `Left a) ]
@@ -127,7 +126,7 @@ let equi_join ?partitions ~left_key ~right_key left right =
       List.concat_map (fun a -> List.map (fun b -> (a, b)) rights) lefts)
     tagged
 
-let sort_by ~cmp input =
+let sort_by ?pool ~cmp input =
   let parts = Dataset.partitions input in
   let n_parts = Array.length parts in
   let total = Dataset.total_length input in
@@ -166,8 +165,9 @@ let sort_by ~cmp input =
             buckets.(dest) <- x :: buckets.(dest))
           part)
       parts;
+    (* Local sorts are independent per range partition. *)
     let out =
-      Array.map
+      Mde_par.Pool.map ?pool
         (fun bucket ->
           let a = Array.of_list (List.rev bucket) in
           Array.sort cmp a;

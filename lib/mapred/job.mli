@@ -18,6 +18,7 @@ type stats = {
 val pp_stats : Format.formatter -> stats -> unit
 
 val map_reduce :
+  ?pool:Mde_par.Pool.t ->
   ?reduce_partitions:int ->
   ?combine:('k -> 'v list -> 'v list) ->
   map:('a -> ('k * 'v) list) ->
@@ -29,9 +30,20 @@ val map_reduce :
     does), hash-partition by key into [reduce_partitions] (default: same
     as input), group values per key preserving emission order, reduce.
     Within each reduce partition, key groups are processed in a
-    deterministic (hash-bucket, then first-seen) order. *)
+    deterministic (hash-bucket, then first-seen) order.
+
+    A record is charged to the shuffle only when it lands in a reduce
+    partition different from the input partition that emitted it —
+    cross-partition traffic — whatever the reduce-side partition count.
+
+    With [?pool], the map phase runs each input partition on its own
+    domain and the reduce phase each output partition likewise ([map],
+    [combine] and [reduce] must then be pure, or at least free of shared
+    mutable state); the shuffle stays sequential, so output and stats
+    are bit-identical to the sequential run. *)
 
 val equi_join :
+  ?pool:Mde_par.Pool.t ->
   ?partitions:int ->
   left_key:('a -> 'k) ->
   right_key:('b -> 'k) ->
@@ -42,10 +54,15 @@ val equi_join :
     both inputs are tagged, shuffled on their key, and each reducer emits
     the per-key cross product. *)
 
-val sort_by : cmp:('a -> 'a -> int) -> 'a Dataset.t -> 'a Dataset.t * stats
+val sort_by :
+  ?pool:Mde_par.Pool.t ->
+  cmp:('a -> 'a -> int) ->
+  'a Dataset.t ->
+  'a Dataset.t * stats
 (** Parallel sample sort: sample partition boundaries, route each record
-    to its range partition (counted as shuffle), sort partitions locally.
-    The concatenated output is globally sorted. *)
+    to its range partition (counted as shuffle), sort partitions locally
+    (one range per domain under [?pool]). The concatenated output is
+    globally sorted. *)
 
 val reset_global_counter : unit -> unit
 val global_records_shuffled : unit -> int

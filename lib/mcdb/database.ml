@@ -38,10 +38,13 @@ let instantiate t rng =
     (stochastic_tables t);
   catalog
 
-let monte_carlo t rng ~reps ~query =
+let monte_carlo ?pool t rng ~reps ~query =
   assert (reps > 0);
+  (* Streams are split up front, so repetition [r] consumes stream [r]
+     whether it runs here or on a pool domain: parallel and sequential
+     runs are bit-identical. *)
   let streams = Rng.split_n rng reps in
-  Array.init reps (fun r -> query (instantiate t streams.(r)))
+  Mde_par.Pool.init ?pool reps (fun r -> query (instantiate t streams.(r)))
 
-let estimate t rng ~reps ~query =
-  Estimator.of_samples (monte_carlo t rng ~reps ~query)
+let estimate ?pool t rng ~reps ~query =
+  Estimator.of_samples (monte_carlo ?pool t rng ~reps ~query)

@@ -30,6 +30,7 @@ val instantiate : t -> Mde_prob.Rng.t -> Catalog.t
     querying. *)
 
 val monte_carlo :
+  ?pool:Mde_par.Pool.t ->
   t ->
   Mde_prob.Rng.t ->
   reps:int ->
@@ -37,9 +38,12 @@ val monte_carlo :
   float array
 (** The MCDB loop: realize, query, repeat — one sample of the
     query-result distribution per repetition, each on a split RNG
-    stream. *)
+    stream. With [?pool] the repetitions run in parallel over the
+    domain pool; because every repetition owns its pre-split stream, the
+    samples are bit-identical to the sequential run. *)
 
 val estimate :
+  ?pool:Mde_par.Pool.t ->
   t ->
   Mde_prob.Rng.t ->
   reps:int ->

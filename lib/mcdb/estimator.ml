@@ -24,8 +24,11 @@ let of_samples xs =
   { n; mean; std; std_error; ci95 = (mean -. (z *. std_error), mean +. (z *. std_error)) }
 
 let pp_estimate ppf e =
+  (* The printed half-width is derived from the stored interval, so the
+     ± and the [lo, hi] always agree. *)
+  let lo, hi = e.ci95 in
   Format.fprintf ppf "mean=%.6g ± %.3g (95%% CI [%.6g, %.6g], n=%d)" e.mean
-    (1.96 *. e.std_error) (fst e.ci95) (snd e.ci95) e.n
+    ((hi -. lo) /. 2.) lo hi e.n
 
 let quantile xs p = Stats.quantile (clean xs) p
 

@@ -32,6 +32,9 @@ let instantiate t rng =
     t.driver;
   Table.create t.schema (List.rev !out)
 
-let instantiate_many t rng n =
+let instantiate_many ?pool t rng n =
   assert (n > 0);
-  Array.init n (fun _ -> instantiate t rng)
+  (* One split stream per realization, so the naive path parallelizes
+     with bit-identical output to its sequential run. *)
+  let streams = Mde_prob.Rng.split_n rng n in
+  Mde_par.Pool.init ?pool n (fun r -> instantiate t streams.(r))

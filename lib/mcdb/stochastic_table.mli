@@ -39,6 +39,9 @@ val instantiate : t -> Mde_prob.Rng.t -> Table.t
 (** Draw one realization of the whole table: loop over the driver rows,
     call the VG function once per row, and UNION the combined outputs. *)
 
-val instantiate_many : t -> Mde_prob.Rng.t -> int -> Table.t array
+val instantiate_many :
+  ?pool:Mde_par.Pool.t -> t -> Mde_prob.Rng.t -> int -> Table.t array
 (** n independent realizations (the naive Monte Carlo path: the query
-    must then be run once per instance). *)
+    must then be run once per instance), each drawn on its own split
+    stream; with [?pool] the realizations are drawn in parallel with
+    bit-identical output. *)

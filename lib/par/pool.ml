@@ -1,0 +1,154 @@
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;
+  n_domains : int;
+}
+
+(* Workers block on [work_available] until a task arrives or the pool
+   closes; a closing pool still drains whatever is queued. *)
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  let rec next () =
+    match Queue.take_opt pool.queue with
+    | Some _ as task -> task
+    | None ->
+      if pool.closing then None
+      else begin
+        Condition.wait pool.work_available pool.mutex;
+        next ()
+      end
+  in
+  let task = next () in
+  Mutex.unlock pool.mutex;
+  match task with
+  | Some task ->
+    task ();
+    worker_loop pool
+  | None -> ()
+
+let create ?domains () =
+  let n =
+    match domains with
+    | None -> Domain.recommended_domain_count ()
+    | Some d -> d
+  in
+  if n < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [||];
+      n_domains = n;
+    }
+  in
+  pool.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let domains pool = pool.n_domains
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.closing then Mutex.unlock pool.mutex
+  else begin
+    pool.closing <- true;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Run [run_chunk lo hi] for each chunk of [0, n), spread over the pool.
+   The submitting domain takes part: while its batch is outstanding it
+   executes queued tasks (its own batch's or any other), and only sleeps
+   when the queue is momentarily empty. Exactly one exception — the
+   first, in completion order — survives the batch and is re-raised on
+   the caller once every chunk has finished, so a failing batch never
+   leaves tasks behind to corrupt a later one. *)
+let parallel_chunks pool ~n ~chunk run_chunk =
+  let n_chunks = (n + chunk - 1) / chunk in
+  let remaining = ref n_chunks in
+  let error = ref None in
+  let batch_done = Condition.create () in
+  let task_for c () =
+    (try run_chunk (c * chunk) (min n ((c + 1) * chunk))
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock pool.mutex;
+       if !error = None then error := Some (e, bt);
+       Mutex.unlock pool.mutex);
+    Mutex.lock pool.mutex;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast batch_done;
+    Mutex.unlock pool.mutex
+  in
+  Mutex.lock pool.mutex;
+  if pool.closing then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool: submitted to a shut-down pool"
+  end;
+  for c = 0 to n_chunks - 1 do
+    Queue.add (task_for c) pool.queue
+  done;
+  Condition.broadcast pool.work_available;
+  let rec help () =
+    if !remaining > 0 then begin
+      match Queue.take_opt pool.queue with
+      | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        Mutex.lock pool.mutex;
+        help ()
+      | None ->
+        Condition.wait batch_done pool.mutex;
+        help ()
+    end
+  in
+  help ();
+  Mutex.unlock pool.mutex;
+  match !error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let default_chunk pool n =
+  (* Aim for ~4 chunks per domain: fine enough to balance uneven work,
+     coarse enough to keep scheduling overhead negligible. *)
+  max 1 ((n + (4 * pool.n_domains) - 1) / (4 * pool.n_domains))
+
+let parallel_init pool ?chunk n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  if pool.closing then invalid_arg "Pool: submitted to a shut-down pool";
+  if n = 0 then [||]
+  else if pool.n_domains <= 1 then Array.init n f
+  else begin
+    let chunk =
+      match chunk with
+      | Some c ->
+        if c < 1 then invalid_arg "Pool.parallel_init: chunk must be >= 1";
+        c
+      | None -> default_chunk pool n
+    in
+    let out = Array.make n None in
+    parallel_chunks pool ~n ~chunk (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f i)
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_map pool ?chunk f a =
+  parallel_init pool ?chunk (Array.length a) (fun i -> f a.(i))
+
+let map ?pool f a =
+  match pool with None -> Array.map f a | Some p -> parallel_map p f a
+
+let init ?pool n f =
+  match pool with None -> Array.init n f | Some p -> parallel_init p n f

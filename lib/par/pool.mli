@@ -1,0 +1,59 @@
+(** A fixed pool of worker domains for data-parallel array operations.
+
+    This is the execution substrate for the replication-heavy layers:
+    Monte Carlo repetitions ({!Mde_mcdb}), the map phase of MapReduce
+    jobs ({!Mde_mapred}), and the two-stage pilot ({!Mde_composite}) all
+    fan independent units of work out over the pool.
+
+    Determinism contract: the pool never changes {e what} is computed,
+    only {e where}. Callers must make each work item self-contained — in
+    particular, give every item its own RNG stream (via
+    {!Mde_prob.Rng.split_n}) {e before} submitting — and the pool
+    guarantees result [i] of {!parallel_map} is exactly [f a.(i)], so a
+    parallel run is bit-identical to the sequential run of the same
+    code. All entry points take the pool optionally and default to
+    plain sequential execution, so existing call sites are unchanged. *)
+
+type t
+(** A pool of worker domains plus the calling domain. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] starts a pool of [domains] total domains:
+    [domains - 1] spawned workers plus the submitting domain, which
+    joins in whenever it waits on a batch. [domains] defaults to
+    [Domain.recommended_domain_count ()]; [domains = 1] spawns nothing
+    and runs everything sequentially on the caller. Raises
+    [Invalid_argument] if [domains < 1]. *)
+
+val domains : t -> int
+(** Total parallelism (workers + caller). *)
+
+val shutdown : t -> unit
+(** Drain outstanding work, stop and join the worker domains.
+    Idempotent. Submitting to a shut-down pool raises
+    [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] brackets [create]/[shutdown] around [f], shutting the
+    pool down even if [f] raises. *)
+
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f a] is [Array.map f a] with the applications of
+    [f] distributed over the pool in contiguous chunks of [chunk]
+    elements (default: enough chunks for load balance, about 4 per
+    domain). If any application raises, the first exception (in
+    completion order) is re-raised on the caller after the batch
+    drains; the pool remains usable. *)
+
+val parallel_init : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_init pool n f] is [Array.init n f], distributed as in
+    {!parallel_map}. Unlike [Array.init], the evaluation order of [f]
+    is unspecified — each call must depend only on its index. *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?pool f a]: {!parallel_map} when [pool] is given, [Array.map]
+    otherwise — the form the library layers use for their [?pool]
+    pass-through arguments. *)
+
+val init : ?pool:t -> int -> (int -> 'a) -> 'a array
+(** [init ?pool n f]: {!parallel_init} or [Array.init]. *)

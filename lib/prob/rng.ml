@@ -66,8 +66,10 @@ let int t n =
     let rec draw () =
       let bits = Int64.shift_right_logical (bits64 t) 1 in
       let v = Int64.rem bits bound in
-      (* Reject draws in the final, incomplete block of size [bound]. *)
-      if Int64.sub bits v > Int64.sub (Int64.sub Int64.max_int bound) 1L then draw ()
+      (* Reject draws in the final, incomplete block of size [bound]:
+         block start [bits - v] must leave room for a full block, i.e.
+         bits - v + (bound - 1) <= max_int. *)
+      if Int64.sub bits v > Int64.add (Int64.sub Int64.max_int bound) 1L then draw ()
       else Int64.to_int v
     in
     draw ()

@@ -73,6 +73,45 @@ let test_combiner_reduces_shuffle () =
     (Printf.sprintf "combiner shrinks shuffle (%d -> %d)" without with_comb)
     true (with_comb < without / 5)
 
+let test_shuffle_counts_cross_partition_only () =
+  (* With an explicit reduce_partitions, a record whose hash destination
+     is its own source partition never crosses the (simulated) network,
+     so it must not be charged to the shuffle. Pin the corrected count by
+     replaying the routing rule. *)
+  let data = Array.init 40 Fun.id in
+  let ds = Dataset.of_array ~partitions:4 data in
+  let run ?reduce_partitions () =
+    let _, stats =
+      Job.map_reduce ?reduce_partitions
+        ~map:(fun i -> [ (i, i) ])
+        ~reduce:(fun _ vs -> vs)
+        ds
+    in
+    stats
+  in
+  let expected n_reduce =
+    let count = ref 0 in
+    Array.iteri
+      (fun src part ->
+        Array.iter
+          (fun k -> if Hashtbl.hash k mod n_reduce <> src then incr count)
+          part)
+      (Dataset.partitions ds)
+  ; !count
+  in
+  let explicit_same = run ~reduce_partitions:4 () in
+  Alcotest.(check int) "explicit n = input n" (expected 4)
+    explicit_same.Job.records_shuffled;
+  Alcotest.(check int) "matches implicit" (run ()).Job.records_shuffled
+    explicit_same.Job.records_shuffled;
+  let narrowed = run ~reduce_partitions:2 () in
+  Alcotest.(check int) "narrowed: only true cross-partition traffic"
+    (expected 2) narrowed.Job.records_shuffled;
+  Alcotest.(check bool)
+    (Printf.sprintf "home records uncharged (%d < 40)" narrowed.Job.records_shuffled)
+    true
+    (narrowed.Job.records_shuffled < Array.length data)
+
 let test_reduce_groups_all_values () =
   let ds = Dataset.of_array ~partitions:4 (Array.init 100 Fun.id) in
   let result, _ =
@@ -172,6 +211,8 @@ let () =
         [
           Alcotest.test_case "word count" `Quick test_word_count;
           Alcotest.test_case "combiner shrinks shuffle" `Quick test_combiner_reduces_shuffle;
+          Alcotest.test_case "shuffle = cross-partition only" `Quick
+            test_shuffle_counts_cross_partition_only;
           Alcotest.test_case "reduce sees all values" `Quick test_reduce_groups_all_values;
           Alcotest.test_case "reduce-side join" `Quick test_equi_join;
           Alcotest.test_case "sample sort" `Quick test_sort_by;

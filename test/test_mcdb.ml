@@ -334,6 +334,23 @@ let test_estimator_nan_dropped () =
   Alcotest.(check int) "n" 3 e.Estimator.n;
   Alcotest.(check (float 1e-9)) "mean" 3. e.Estimator.mean
 
+let test_estimator_pp_consistent () =
+  (* The printed ± half-width must be the stored interval's half-width
+     (z = 1.959963...), not a separately hardcoded 1.96·SE. *)
+  let e = Estimator.of_samples [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |] in
+  let printed = Format.asprintf "%a" Estimator.pp_estimate e in
+  let lo, hi = e.Estimator.ci95 in
+  let expected = Printf.sprintf "%.3g" ((hi -. lo) /. 2.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "printed %S carries half-width %s" printed expected)
+    true
+    (let pm = Printf.sprintf "\xc2\xb1 %s " expected in
+     let rec contains i =
+       if i + String.length pm > String.length printed then false
+       else String.sub printed i (String.length pm) = pm || contains (i + 1)
+     in
+     contains 0)
+
 let test_threshold_probability () =
   let xs = Array.init 1000 (fun i -> float_of_int i) in
   let p, (lo, hi) = Estimator.threshold_probability xs 499.5 in
@@ -468,6 +485,7 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_estimator_basic;
           Alcotest.test_case "nan dropped" `Quick test_estimator_nan_dropped;
+          Alcotest.test_case "pp half-width = CI" `Quick test_estimator_pp_consistent;
           Alcotest.test_case "threshold query" `Quick test_threshold_probability;
           Alcotest.test_case "extreme quantile" `Quick test_extreme_quantile_guard;
           Alcotest.test_case "tail expectation" `Quick test_conditional_tail_expectation;

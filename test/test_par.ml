@@ -1,0 +1,209 @@
+open Mde_relational
+module Pool = Mde_par.Pool
+module Rng = Mde_prob.Rng
+module St = Mde_mcdb.Stochastic_table
+module Database = Mde_mcdb.Database
+module Rc = Mde_composite.Result_cache
+module Dataset = Mde_mapred.Dataset
+module Job = Mde_mapred.Job
+
+(* --- pool lifecycle --- *)
+
+let test_lifecycle () =
+  let pool = Pool.create ~domains:3 () in
+  Alcotest.(check int) "domains" 3 (Pool.domains pool);
+  let squares = Pool.parallel_init pool 257 (fun i -> i * i) in
+  Alcotest.(check (array int)) "init" (Array.init 257 (fun i -> i * i)) squares;
+  let doubled = Pool.parallel_map pool ~chunk:7 (fun x -> 2 * x) (Array.init 100 Fun.id) in
+  Alcotest.(check (array int)) "map, odd chunk" (Array.init 100 (fun i -> 2 * i)) doubled;
+  Alcotest.(check (array int)) "empty input" [||] (Pool.parallel_map pool Fun.id [||]);
+  Alcotest.(check (array int)) "single element" [| 9 |]
+    (Pool.parallel_map pool (fun x -> x * 3) [| 3 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* shutdown is idempotent *)
+  Alcotest.(check bool) "closed pool rejects work" true
+    (try
+       ignore (Pool.parallel_init pool 4 Fun.id);
+       false
+     with Invalid_argument _ -> true)
+
+let test_single_domain_pool () =
+  (* domains = 1 degenerates to sequential execution on the caller. *)
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "one domain" 1 (Pool.domains pool);
+      Alcotest.(check (array int)) "still correct" (Array.init 50 succ)
+        (Pool.parallel_init pool 50 succ))
+
+let test_create_rejects_zero_domains () =
+  Alcotest.(check bool) "domains=0 rejected" true
+    (try
+       ignore (Pool.create ~domains:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_with_pool_shuts_down_on_raise () =
+  let captured = ref None in
+  (try
+     Pool.with_pool ~domains:2 (fun pool ->
+         captured := Some pool;
+         failwith "escape")
+   with Failure _ -> ());
+  match !captured with
+  | None -> Alcotest.fail "with_pool never ran"
+  | Some pool ->
+    Alcotest.(check bool) "pool closed after raise" true
+      (try
+         ignore (Pool.parallel_init pool 2 Fun.id);
+         false
+       with Invalid_argument _ -> true)
+
+(* --- exception propagation --- *)
+
+exception Worker_trouble of int
+
+let test_exception_propagates () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check bool) "exception reaches caller" true
+        (try
+           ignore
+             (Pool.parallel_init pool ~chunk:1 64 (fun i ->
+                  if i = 37 then raise (Worker_trouble i) else i));
+           false
+         with Worker_trouble 37 -> true);
+      (* The failed batch drains completely; the pool keeps working. *)
+      Alcotest.(check (array int)) "pool alive after failure"
+        (Array.init 30 Fun.id)
+        (Pool.parallel_init pool 30 Fun.id))
+
+(* --- determinism: parallel == sequential, bit for bit --- *)
+
+let patients n =
+  Table.create
+    (Schema.of_list [ ("pid", Value.Tint); ("gender", Value.Tstring) ])
+    (List.init n (fun i ->
+         [| Value.Int i; Value.String (if i mod 2 = 0 then "F" else "M") |]))
+
+let sbp_param =
+  Table.create
+    (Schema.of_list [ ("mean", Value.Tfloat); ("std", Value.Tfloat) ])
+    [ [| Value.Float 120.; Value.Float 15. |] ]
+
+let sbp_db rows =
+  let st =
+    St.define ~name:"SBP_DATA"
+      ~schema:
+        (Schema.of_list
+           [ ("pid", Value.Tint); ("gender", Value.Tstring); ("sbp", Value.Tfloat) ])
+      ~driver:(patients rows) ~vg:Mde_mcdb.Vg.normal
+      ~params:(fun _ -> [ sbp_param ])
+      ~combine:(fun driver vg_row -> [| driver.(0); driver.(1); vg_row.(0) |])
+  in
+  let db = Database.create () in
+  Database.add_stochastic db st;
+  db
+
+let mean_sbp catalog =
+  let t = Catalog.find catalog "SBP_DATA" in
+  let total = ref 0. and n = ref 0 in
+  Table.iter
+    (fun row ->
+      total := !total +. Value.to_float row.(2);
+      incr n)
+    t;
+  !total /. float_of_int !n
+
+let test_mcdb_parallel_deterministic () =
+  let db = sbp_db 60 in
+  let reps = 48 in
+  let sequential =
+    Database.monte_carlo db (Rng.create ~seed:77 ()) ~reps ~query:mean_sbp
+  in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let parallel =
+        Database.monte_carlo ~pool db (Rng.create ~seed:77 ()) ~reps ~query:mean_sbp
+      in
+      Alcotest.(check (array (float 0.))) "bit-identical samples" sequential parallel);
+  (* A different seed must still change the answer (the equality above is
+     not vacuous). *)
+  let other = Database.monte_carlo db (Rng.create ~seed:78 ()) ~reps ~query:mean_sbp in
+  Alcotest.(check bool) "seed still matters" true (sequential <> other)
+
+let test_instantiate_many_deterministic () =
+  let st =
+    St.define ~name:"T"
+      ~schema:(Schema.of_list [ ("pid", Value.Tint); ("g", Value.Tstring); ("x", Value.Tfloat) ])
+      ~driver:(patients 20) ~vg:Mde_mcdb.Vg.normal
+      ~params:(fun _ -> [ sbp_param ])
+      ~combine:(fun driver vg_row -> [| driver.(0); driver.(1); vg_row.(0) |])
+  in
+  let realize pool = St.instantiate_many ?pool st (Rng.create ~seed:5 ()) 12 in
+  let sequential = realize None in
+  Pool.with_pool ~domains:3 (fun pool ->
+      let parallel = realize (Some pool) in
+      Array.iteri
+        (fun r inst ->
+          Alcotest.(check bool)
+            (Printf.sprintf "realization %d identical" r)
+            true
+            (Table.rows inst = Table.rows sequential.(r)))
+        parallel)
+
+let test_map_reduce_parallel_deterministic () =
+  let data = Array.init 500 (fun i -> i mod 17) in
+  let ds = Dataset.of_array ~partitions:8 data in
+  let run ?pool () =
+    Job.map_reduce ?pool
+      ~map:(fun k -> [ (k, 1) ])
+      ~reduce:(fun k vs -> [ (k, List.fold_left ( + ) 0 vs) ])
+      ds
+  in
+  let out_seq, stats_seq = run () in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let out_par, stats_par = run ~pool () in
+      Alcotest.(check (array (pair int int)))
+        "identical output, identical order"
+        (Dataset.to_array out_seq) (Dataset.to_array out_par);
+      Alcotest.(check int) "same shuffle count" stats_seq.Job.records_shuffled
+        stats_par.Job.records_shuffled;
+      Alcotest.(check int) "same reduce count" stats_seq.Job.records_reduced
+        stats_par.Job.records_reduced)
+
+let test_pilot_parallel_deterministic () =
+  (* Two-stage composite with known variance split; the sampled outputs
+     (so V1/V2) must not depend on the pool. *)
+  let two_stage =
+    {
+      Rc.model1 = (fun rng -> 2. *. Mde_prob.Rng.float rng);
+      model2 = (fun rng y1 -> y1 +. Mde_prob.Rng.float rng);
+    }
+  in
+  let p_seq = Rc.pilot two_stage (Rng.create ~seed:9 ()) ~inputs:40 ~outputs_per_input:4 in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let p_par =
+        Rc.pilot ~pool two_stage (Rng.create ~seed:9 ()) ~inputs:40 ~outputs_per_input:4
+      in
+      Alcotest.(check (float 0.)) "V1 identical" p_seq.Rc.statistics.Rc.v1
+        p_par.Rc.statistics.Rc.v1;
+      Alcotest.(check (float 0.)) "V2 identical" p_seq.Rc.statistics.Rc.v2
+        p_par.Rc.statistics.Rc.v2)
+
+let () =
+  Alcotest.run "mde_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_lifecycle;
+          Alcotest.test_case "single-domain pool" `Quick test_single_domain_pool;
+          Alcotest.test_case "zero domains rejected" `Quick test_create_rejects_zero_domains;
+          Alcotest.test_case "with_pool cleans up" `Quick test_with_pool_shuts_down_on_raise;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "mcdb monte carlo" `Quick test_mcdb_parallel_deterministic;
+          Alcotest.test_case "instantiate_many" `Quick test_instantiate_many_deterministic;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce_parallel_deterministic;
+          Alcotest.test_case "result-cache pilot" `Quick test_pilot_parallel_deterministic;
+        ] );
+    ]

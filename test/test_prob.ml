@@ -50,6 +50,32 @@ let test_rng_int_bounds () =
       Alcotest.(check bool) "roughly uniform" true (c > 9_000 && c < 11_000))
     counts
 
+let test_rng_int_chi_square () =
+  (* Regression for the rejection bound in Rng.int: on a non-power-of-two
+     bound the rejection condition must cut exactly at the last complete
+     block of size [bound], or cells get spuriously rejected draws and
+     the fit degrades. Pearson chi-square against the uniform null. *)
+  let rng = Rng.create ~seed:2024 () in
+  let bound = 12 in
+  let draws = 120_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to draws do
+    let k = Rng.int rng bound in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. counts
+  in
+  (* 99.9% critical value of chi-square with 11 degrees of freedom. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2=%.2f below 31.26" chi2)
+    true (chi2 < 31.26)
+
 let test_rng_split_independent () =
   let parent = Rng.create ~seed:3 () in
   let a = Rng.split parent and b = Rng.split parent in
@@ -378,6 +404,7 @@ let () =
           Alcotest.test_case "float in [0,1)" `Quick test_rng_float_range;
           Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
           Alcotest.test_case "int bounds + uniformity" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int chi-square" `Quick test_rng_int_chi_square;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
           Alcotest.test_case "permutation" `Quick test_permutation;
         ] );
