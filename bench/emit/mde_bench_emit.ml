@@ -1,0 +1,60 @@
+type field = Int of int | Float of float | Bool of bool | Str of string
+
+let render_value = function
+  | Int i -> string_of_int i
+  | Float f ->
+    (* JSON has no nan/inf literals. *)
+    if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+  | Bool b -> string_of_bool b
+  | Str s -> Printf.sprintf "%S" s
+
+let render_entry fields =
+  Printf.sprintf "  {%s}"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k (render_value v)) fields))
+
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown")
+  with _ -> "unknown"
+
+let resolve file =
+  if Filename.is_implicit file && Sys.file_exists "bench" && Sys.is_directory "bench"
+  then Filename.concat "bench" file
+  else file
+
+let append ~file ~name fields =
+  let entry =
+    render_entry
+      (("timestamp", Int (int_of_float (Unix.time ())))
+      :: ("benchmark", Str name)
+      :: ("git", Str (git_describe ()))
+      :: fields)
+  in
+  let path = resolve file in
+  (* The file is a JSON array, appended to on every run so the metric
+     trajectory accumulates across commits. *)
+  let previous =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match String.rindex_opt s ']' with
+      | Some i -> Some (String.trim (String.sub s 0 i))
+      | None -> None
+    end
+    else None
+  in
+  let body =
+    match previous with
+    | Some prefix when String.length prefix > 1 -> prefix ^ ",\n" ^ entry ^ "\n]\n"
+    | _ -> "[\n" ^ entry ^ "\n]\n"
+  in
+  let oc = open_out_bin path in
+  output_string oc body;
+  close_out oc;
+  path

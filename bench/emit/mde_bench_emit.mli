@@ -1,0 +1,19 @@
+(** The one JSON-lines benchmark emitter shared by every harness that
+    records results (bench/BENCH_par.json, bench/BENCH_serve.json, ...).
+
+    Each target file is a JSON array appended to in place on every run,
+    so trajectories accumulate across commits. Every entry carries the
+    common schema fields — [timestamp] (epoch seconds), [benchmark]
+    (the run name) and [git] (git-describe, or "unknown" outside a
+    checkout) — followed by the caller's params and metrics in order. *)
+
+type field = Int of int | Float of float | Bool of bool | Str of string
+
+val git_describe : unit -> string
+(** [git describe --always --dirty], or ["unknown"] when git or the
+    repository is unavailable. *)
+
+val append : file:string -> name:string -> (string * field) list -> string
+(** [append ~file ~name fields] appends one entry to [file] (resolved
+    under [bench/] when that directory exists, mirroring where the
+    harnesses write from the repo root) and returns the path written. *)

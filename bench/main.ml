@@ -15,7 +15,9 @@ let list_experiments () =
   List.iter (fun (id, desc, _) -> Format.printf "  %-8s %s@." id desc) experiments;
   Format.printf "  %-8s %s@." "--perf" "Bechamel microbenchmarks";
   Format.printf "  %-8s %s@." "--domains N"
-    "sequential vs N-domain Monte Carlo replication wall time"
+    "sequential vs N-domain Monte Carlo replication wall time";
+  Format.printf "  %-8s %s@." "--serve [N]"
+    "Zipf workload against the serving layer (optional domain count)"
 
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -36,6 +38,13 @@ let () =
     | Some domains when domains >= 1 -> Perf.run_parallel ~domains ()
     | _ ->
       Format.eprintf "--domains expects a positive integer, got %S@." n;
+      exit 1)
+  | [ "--serve" ] -> Serve_bench.run ~domains:1 ()
+  | [ "--serve"; n ] -> (
+    match int_of_string_opt n with
+    | Some domains when domains >= 1 -> Serve_bench.run ~domains ()
+    | _ ->
+      Format.eprintf "--serve expects a positive integer domain count, got %S@." n;
       exit 1)
   | [] ->
     Format.printf

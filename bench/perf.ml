@@ -218,39 +218,15 @@ let replication_fixture () =
   (db, query)
 
 let bench_par_json ~reps ~domains ~t_seq ~t_par ~identical =
-  let entry =
-    Printf.sprintf
-      "  {\"timestamp\": %.0f, \"benchmark\": \"mcdb-replications\", \"reps\": %d, \
-       \"domains\": %d, \"sequential_s\": %.6f, \"parallel_s\": %.6f, \
-       \"speedup\": %.3f, \"identical_output\": %b}"
-      (Unix.time ()) reps domains t_seq t_par (t_seq /. t_par) identical
-  in
-  let path =
-    if Sys.file_exists "bench" && Sys.is_directory "bench" then "bench/BENCH_par.json"
-    else "BENCH_par.json"
-  in
-  (* The file is a JSON array, appended to on every run so the speedup
-     trajectory accumulates across commits. *)
-  let previous =
-    if Sys.file_exists path then begin
-      let ic = open_in_bin path in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      match String.rindex_opt s ']' with
-      | Some i -> Some (String.trim (String.sub s 0 i))
-      | None -> None
-    end
-    else None
-  in
-  let body =
-    match previous with
-    | Some prefix when String.length prefix > 1 -> prefix ^ ",\n" ^ entry ^ "\n]\n"
-    | _ -> "[\n" ^ entry ^ "\n]\n"
-  in
-  let oc = open_out_bin path in
-  output_string oc body;
-  close_out oc;
-  path
+  Mde_bench_emit.append ~file:"BENCH_par.json" ~name:"mcdb-replications"
+    [
+      ("reps", Mde_bench_emit.Int reps);
+      ("domains", Int domains);
+      ("sequential_s", Float t_seq);
+      ("parallel_s", Float t_par);
+      ("speedup", Float (t_seq /. t_par));
+      ("identical_output", Bool identical);
+    ]
 
 let run_parallel ~domains () =
   Util.section "PAR"

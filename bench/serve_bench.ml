@@ -1,0 +1,68 @@
+(* The serving-layer experiment (--serve): a Zipf closed-loop workload
+   against the demo server, cold pass then warm pass, recorded in
+   bench/BENCH_serve.json through the shared emitter. *)
+
+module Serve = Mde.Serve
+module Emit = Mde_bench_emit
+
+let report_row label (r : Serve.Workload.report) =
+  [
+    label;
+    Printf.sprintf "%.1f req/s" r.throughput;
+    Printf.sprintf "%.2f ms" (1e3 *. r.p50);
+    Printf.sprintf "%.2f ms" (1e3 *. r.p95);
+    Printf.sprintf "%.2f ms" (1e3 *. r.p99);
+    Printf.sprintf "%.0f%%" (100. *. r.hit_rate);
+    Printf.sprintf "%.0f%%" (100. *. r.rejection_rate);
+  ]
+
+let run ~domains () =
+  Util.section "SERVE"
+    (Printf.sprintf "Zipf workload against the serving layer (%d domains)" domains);
+  let clock = Unix.gettimeofday in
+  let run_with pool =
+    let server = Serve.Demo.server ?pool ~clock ~cache_capacity:256 () in
+    let catalog = Serve.Demo.catalog 24 in
+    let config =
+      { Serve.Workload.requests = 240; concurrency = 8; zipf_s = 1.1; seed = 7 }
+    in
+    (config, Serve.Demo.cold_warm ~clock server ~catalog config)
+  in
+  let config, (cold, warm, verdict) =
+    if domains > 1 then
+      Mde.Par.Pool.with_pool ~domains (fun pool -> run_with (Some pool))
+    else run_with None
+  in
+  Util.table
+    [ "pass"; "throughput"; "p50"; "p95"; "p99"; "hit rate"; "rejected" ]
+    [ report_row "cold" cold; report_row "warm" warm ];
+  (match verdict with
+  | `Identical n ->
+    Util.note "cold vs warm estimates: bit-identical over %d served requests" n
+  | `Mismatch n -> Util.note "cold vs warm estimates: %d MISMATCHES" n);
+  let path =
+    Emit.append ~file:"BENCH_serve.json" ~name:"serve-zipf"
+      [
+        ("requests", Emit.Int config.requests);
+        ("concurrency", Int config.concurrency);
+        ("zipf_s", Float config.zipf_s);
+        ("seed", Int config.seed);
+        ("domains", Int domains);
+        ("cold_throughput_rps", Float cold.throughput);
+        ("warm_throughput_rps", Float warm.throughput);
+        ("warm_p50_s", Float warm.p50);
+        ("warm_p95_s", Float warm.p95);
+        ("warm_p99_s", Float warm.p99);
+        ("cold_hit_rate", Float cold.hit_rate);
+        ("warm_hit_rate", Float warm.hit_rate);
+        ("rejection_rate", Float warm.rejection_rate);
+        ("identical_output", Bool (match verdict with `Identical _ -> true | _ -> false));
+      ]
+  in
+  Util.note "recorded in %s" path;
+  match verdict with
+  | `Identical _ when warm.hit_rate > cold.hit_rate -> ()
+  | `Identical _ ->
+    Util.note "WARNING: warm hit rate did not improve on cold";
+    exit 1
+  | `Mismatch _ -> exit 1

@@ -10,8 +10,26 @@
 open Cmdliner
 open Mde.Relational
 
+(* Every subcommand takes --seed through this term, so validation (the
+   seed must be non-negative) and the effective-seed echo are uniform:
+   any run can be replayed from the first stderr line. *)
 let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  let check seed =
+    if seed < 0 then
+      `Error (false, Printf.sprintf "--seed must be non-negative (got %d)" seed)
+    else begin
+      Printf.eprintf "mde: effective seed %d\n%!" seed;
+      `Ok seed
+    end
+  in
+  Term.(
+    ret
+      (const check
+      $ Arg.(
+          value
+          & opt int 42
+          & info [ "seed" ] ~docv:"N"
+              ~doc:"Random seed (non-negative; echoed on stderr).")))
 
 (* --- traffic --- *)
 
@@ -354,12 +372,150 @@ let housing_cmd =
     (Cmd.info "housing" ~doc:"the Figure 1 extrapolation cautionary tale")
     Term.(const run $ bust $ seed_arg)
 
+(* --- serve-bench --- *)
+
+let serve_bench_cmd =
+  let run requests concurrency zipf catalog_size cache_capacity domains deadline seed =
+    if requests < 1 || concurrency < 1 || catalog_size < 1 || cache_capacity < 1
+       || domains < 1
+    then begin
+      prerr_endline
+        "mde serve-bench: --requests, --concurrency, --catalog, --cache and --domains \
+         must be positive";
+      exit 2
+    end;
+    let clock = Unix.gettimeofday in
+    let deadline = if deadline > 0. then Some deadline else None in
+    let run_with pool =
+      let server = Mde.Serve.Demo.server ?pool ~clock ~cache_capacity () in
+      let catalog = Mde.Serve.Demo.catalog ?deadline catalog_size in
+      let config =
+        { Mde.Serve.Workload.requests; concurrency; zipf_s = zipf; seed }
+      in
+      (config, Mde.Serve.Demo.cold_warm ~clock server ~catalog config)
+    in
+    let config, (cold, warm, verdict) =
+      if domains > 1 then
+        Mde.Par.Pool.with_pool ~domains (fun pool -> run_with (Some pool))
+      else run_with None
+    in
+    Printf.printf
+      "serve-bench: %d requests, concurrency %d, Zipf s=%.2f over %d templates\n\n"
+      config.requests config.concurrency config.zipf_s catalog_size;
+    Printf.printf "%-6s %12s %9s %9s %9s %9s %9s %9s\n" "pass" "throughput" "p50" "p95"
+      "p99" "hits" "rejected" "degraded";
+    let row label (r : Mde.Serve.Workload.report) =
+      Printf.printf "%-6s %9.1f/s %7.2fms %7.2fms %7.2fms %8.1f%% %8.1f%% %9d\n" label
+        r.throughput (1e3 *. r.p50) (1e3 *. r.p95) (1e3 *. r.p99) (100. *. r.hit_rate)
+        (100. *. r.rejection_rate) r.degraded
+    in
+    row "cold" cold;
+    row "warm" warm;
+    (match verdict with
+    | `Identical n ->
+      Printf.printf "\ncold vs warm estimates: bit-identical over %d served requests\n" n
+    | `Mismatch n -> Printf.printf "\ncold vs warm estimates: %d MISMATCHES\n" n);
+    let path =
+      Mde_bench_emit.append ~file:"BENCH_serve.json" ~name:"serve-zipf"
+        [
+          ("requests", Mde_bench_emit.Int config.requests);
+          ("concurrency", Int config.concurrency);
+          ("zipf_s", Float config.zipf_s);
+          ("catalog", Int catalog_size);
+          ("seed", Int config.seed);
+          ("domains", Int domains);
+          ( "deadline_s",
+            match deadline with Some d -> Float d | None -> Float Float.nan );
+          ("cold_throughput_rps", Float cold.throughput);
+          ("warm_throughput_rps", Float warm.throughput);
+          ("warm_p50_s", Float warm.p50);
+          ("warm_p95_s", Float warm.p95);
+          ("warm_p99_s", Float warm.p99);
+          ("cold_hit_rate", Float cold.hit_rate);
+          ("warm_hit_rate", Float warm.hit_rate);
+          ("rejection_rate", Float warm.rejection_rate);
+          ( "identical_output",
+            Bool (match verdict with `Identical _ -> true | _ -> false) );
+        ]
+    in
+    Printf.printf "recorded in %s\n" path;
+    match verdict with
+    | `Mismatch _ -> exit 1
+    | `Identical _ ->
+      if deadline = None && warm.hit_rate <= cold.hit_rate then begin
+        prerr_endline "serve-bench: warm hit rate did not improve on cold";
+        exit 1
+      end
+  in
+  let requests =
+    Arg.(value & opt int 240 & info [ "requests" ] ~docv:"N" ~doc:"Requests per pass.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 8
+      & info [ "concurrency" ] ~docv:"N" ~doc:"Closed-loop clients per round.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S" ~doc:"Zipf popularity skew exponent.")
+  in
+  let catalog_size =
+    Arg.(
+      value & opt int 24 & info [ "catalog" ] ~docv:"N" ~doc:"Distinct request templates.")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N" ~doc:"Domain-pool size for batch fan-out.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 0.
+      & info [ "deadline" ] ~docv:"S"
+          ~doc:
+            "Per-request deadline in seconds (0 = none). Deadlines may degrade \
+             estimates, so the bit-identical warm-vs-cold check is skipped.")
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:"Zipf workload against the cached, batched serving layer")
+    Term.(
+      const run $ requests $ concurrency $ zipf $ catalog_size $ cache_capacity
+      $ domains $ deadline $ seed_arg)
+
 let () =
   let info =
     Cmd.info "mde" ~version:"1.0.0"
       ~doc:"model-data ecosystems: simulators from Haas (PODS 2014), runnable"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ traffic_cmd; epidemic_cmd; fire_cmd; schelling_cmd; market_cmd; mcdb_cmd; housing_cmd ]))
+  let group =
+    Cmd.group info
+      [ traffic_cmd; epidemic_cmd; fire_cmd; schelling_cmd; market_cmd; mcdb_cmd;
+        housing_cmd; serve_bench_cmd ]
+  in
+  (* cmdliner's usage errors span several lines (message + usage + help
+     pointer); compress to the first line so scripts see one diagnostic
+     and a non-zero exit. *)
+  let err_buf = Buffer.create 256 in
+  let err_fmt = Format.formatter_of_buffer err_buf in
+  match Cmd.eval_value ~err:err_fmt group with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error `Exn ->
+    Format.pp_print_flush err_fmt ();
+    prerr_string (Buffer.contents err_buf);
+    exit 125
+  | Error (`Parse | `Term) ->
+    Format.pp_print_flush err_fmt ();
+    let msg = String.trim (Buffer.contents err_buf) in
+    let first_line =
+      match String.index_opt msg '\n' with
+      | Some i -> String.trim (String.sub msg 0 i)
+      | None -> msg
+    in
+    prerr_endline
+      (if first_line = "" then "mde: usage error, try 'mde --help'" else first_line);
+    exit 2

@@ -33,6 +33,9 @@ let efficiency_gain stats =
   let best = Float.max 1e-6 (Float.min 1. (alpha_star stats)) in
   g stats 1. /. Float.min (g stats best) (g stats 1.)
 
+let query_fingerprint ~model ~n ~alpha ~seed =
+  Printf.sprintf "rc{model=%s;n=%d;alpha=%.17g;seed=%d}" model n alpha seed
+
 type 'a two_stage = {
   model1 : Rng.t -> 'a;
   model2 : Rng.t -> 'a -> float;

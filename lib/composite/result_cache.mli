@@ -32,6 +32,14 @@ val efficiency_gain : statistics -> float
     min(g(α-star), g(1)) — at least 1, since a planner can always decline
     to cache. *)
 
+val query_fingerprint :
+  model:string -> n:int -> alpha:float -> seed:int -> string
+(** Canonical description of one RC-estimate request ([model] is the
+    caller's name for the two-stage composite, whose closures are not
+    otherwise observable). Distinct parameters yield distinct strings
+    (α is rendered with full precision), so a serving layer can use the
+    result directly as a cache key. *)
+
 (** The two-model composite whose θ = E[Y₂] is being estimated. ['a] is
     the type of M₁'s (cached) output. *)
 type 'a two_stage = {

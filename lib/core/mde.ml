@@ -20,6 +20,8 @@
     - {!Timeseries} time alignment, cubic splines, DSGD, schema maps
     - {!Gridfields} the gridfield algebra with regrid optimization
     - {!Composite} Splash-style composition + result caching (§2.3)
+    - {!Serve} the query-serving layer: cached, batched, deadline-aware
+      request service over Mcdb/Simsql/Composite (§2.3 at serving scale)
     - {!Epidemic} the Indemics HPC+RDBMS epidemic engine (§2.4)
     - {!Abs} agent framework, traffic, Schelling, PDES range queries
 
@@ -42,6 +44,7 @@ module Simsql = Mde_simsql
 module Timeseries = Mde_timeseries
 module Gridfields = Mde_gridfields
 module Composite = Mde_composite
+module Serve = Mde_serve
 module Abs = Mde_abs
 module Epidemic = Mde_epidemic
 module Assimilate = Mde_assimilate

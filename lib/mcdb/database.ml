@@ -26,6 +26,23 @@ let sorted_keys table =
 let deterministic_tables t = sorted_keys t.deterministic
 let stochastic_tables t = sorted_keys t.stochastic
 
+let fingerprint t =
+  let det =
+    List.map
+      (fun name ->
+        let table = Hashtbl.find t.deterministic name in
+        Format.asprintf "%s:%a:%d" name Schema.pp (Table.schema table)
+          (Table.cardinality table))
+      (deterministic_tables t)
+  in
+  let sto =
+    List.map
+      (fun name -> Stochastic_table.fingerprint (Hashtbl.find t.stochastic name))
+      (stochastic_tables t)
+  in
+  Printf.sprintf "mcdb{det=[%s];sto=[%s]}" (String.concat ";" det)
+    (String.concat ";" sto)
+
 let instantiate t rng =
   let catalog = Catalog.create () in
   Hashtbl.iter (fun name table -> Catalog.register catalog name table) t.deterministic;

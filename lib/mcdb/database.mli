@@ -24,6 +24,12 @@ val add_stochastic : t -> Stochastic_table.t -> unit
 val deterministic_tables : t -> string list
 val stochastic_tables : t -> string list
 
+val fingerprint : t -> string
+(** Canonical description of the database contents (deterministic
+    relations with schema and cardinality, stochastic definitions via
+    {!Stochastic_table.fingerprint}), in sorted name order — the
+    database component of a serving-layer cache key. *)
+
 val instantiate : t -> Mde_prob.Rng.t -> Catalog.t
 (** One database instance: every deterministic relation plus one
     realization of every stochastic table, as a catalog ready for

@@ -17,6 +17,11 @@ let schema t = t.schema
 let vg t = t.vg
 let driver t = t.driver
 
+let fingerprint t =
+  Format.asprintf "%s{vg=%s;schema=%a;driver=%d}" t.name t.vg.Vg.name Schema.pp
+    t.schema
+    (Table.cardinality t.driver)
+
 let generate_for_row t rng driver_row =
   let param_tables = t.params driver_row in
   let vg_rows = t.vg.Vg.generate rng param_tables in

@@ -31,6 +31,13 @@ val schema : t -> Schema.t
 val vg : t -> Vg.t
 val driver : t -> Table.t
 
+val fingerprint : t -> string
+(** Canonical one-line description of the definition (name, VG function,
+    output schema, driver cardinality) — stable across runs, so a serving
+    layer can use it as a cache-key component. The per-row [params] and
+    [combine] closures are not observable and are assumed to be determined
+    by the rest of the definition. *)
+
 val generate_for_row : t -> Mde_prob.Rng.t -> Table.row -> Table.row list
 (** Run the VG function for a single driver row and combine: the unit of
     work that both the naive and the tuple-bundle paths share. *)

@@ -1,0 +1,142 @@
+module Rc = Mde_composite.Result_cache
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable expires : float;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  expirations : int;
+  admission_rejections : int;
+}
+
+type 'a t = {
+  cap : int;
+  ttl : float;
+  clock : unit -> float;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used: next eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable expirations : int;
+  mutable admission_rejections : int;
+}
+
+let create ?(capacity = 256) ?(ttl = infinity) ?(clock = Sys.time) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  if not (ttl > 0.) then invalid_arg "Cache.create: ttl must be positive";
+  {
+    cap = capacity;
+    ttl;
+    clock;
+    tbl = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    expirations = 0;
+    admission_rejections = 0;
+  }
+
+let detach t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let delete t node =
+  detach t node;
+  Hashtbl.remove t.tbl node.key
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.cap
+let expired t node = t.clock () > node.expires
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node when expired t node ->
+    delete t node;
+    t.expirations <- t.expirations + 1;
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    detach t node;
+    push_front t node;
+    Some node.value
+
+let add t ?(admit = true) key value =
+  if not admit then t.admission_rejections <- t.admission_rejections + 1
+  else
+    match Hashtbl.find_opt t.tbl key with
+    | Some node ->
+      node.value <- value;
+      node.expires <- t.clock () +. t.ttl;
+      detach t node;
+      push_front t node
+    | None ->
+      if length t >= t.cap then (
+        match t.tail with
+        | Some lru ->
+          delete t lru;
+          t.evictions <- t.evictions + 1
+        | None -> ());
+      let node = { key; value; expires = t.clock () +. t.ttl; prev = None; next = None } in
+      Hashtbl.replace t.tbl key node;
+      push_front t node
+
+let mem t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> false
+  | Some node -> not (expired t node)
+
+let keys_mru_first t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk (node.key :: acc) node.next
+  in
+  walk [] t.head
+
+let counters t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    expirations = t.expirations;
+    admission_rejections = t.admission_rejections;
+  }
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let class_statistics ~compute_cost ~serve_cost ~result_variance ~repeat_fraction =
+  let repeat = clamp 0. 1. repeat_fraction in
+  let v1 = Float.max 1e-12 result_variance in
+  {
+    Rc.c1 = Float.max 1e-12 compute_cost;
+    c2 = Float.max 1e-12 serve_cost;
+    v1;
+    v2 = v1 *. (1. -. repeat);
+  }
+
+let pays_off ?(min_gain = 1. +. 1e-9) stats = Rc.efficiency_gain stats >= min_gain

@@ -1,0 +1,37 @@
+(** The standard serving demo: one server wired with the headline models
+    (the paper's SBP_DATA Monte Carlo database, a random-walk SimSQL
+    chain, a two-stage demand→service composite) plus a catalog builder
+    and the cold/warm benchmark pass — shared by [mde_cli serve-bench],
+    the bench harness and the tests so they all measure the same thing. *)
+
+val server :
+  ?pool:Mde_par.Pool.t ->
+  ?clock:(unit -> float) ->
+  ?cache_capacity:int ->
+  ?cache_ttl:float ->
+  ?scheduler:Scheduler.config ->
+  ?admission:Server.admission ->
+  ?rows:int ->
+  unit ->
+  Server.t
+(** A fresh server with models ["sbp"] (MCDB over a [rows]-row patient
+    table, default 120), ["walk"] (SimSQL chain) and ["queue"] (two-stage
+    composite) registered. *)
+
+val catalog : ?deadline:float -> int -> Server.request array
+(** [catalog size] builds [size] distinct request templates cycling over
+    the four query kinds,
+    each with its own seed (so fingerprints are pairwise distinct). Index
+    order is the popularity rank order a Zipf workload samples from. *)
+
+val cold_warm :
+  ?clock:(unit -> float) ->
+  Server.t ->
+  catalog:Server.request array ->
+  Workload.config ->
+  Workload.report * Workload.report * [ `Identical of int | `Mismatch of int ]
+(** Run the identical workload twice against one server — first cold,
+    then with whatever the first pass cached — and compare the two
+    passes' responses bit-for-bit over every request index served in
+    both passes without deadline degradation. [`Identical n] means all
+    [n] compared pairs matched exactly (value and CI). *)

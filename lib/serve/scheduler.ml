@@ -1,0 +1,137 @@
+type config = { queue_capacity : int; batch_size : int }
+
+let default_config = { queue_capacity = 64; batch_size = 8 }
+
+type 'a item = {
+  ticket : int;
+  class_key : string;
+  deadline : float option;  (* absolute, on the scheduler clock *)
+  submitted_at : float;
+  run : time_left:float option -> 'a;
+}
+
+type 'a completion = { ticket : int; result : 'a; latency : float }
+
+type counters = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  batches : int;
+}
+
+type 'a t = {
+  config : config;
+  pool : Mde_par.Pool.t option;
+  clock : unit -> float;
+  mutable queue : 'a item list;  (* newest first; reversed at drain *)
+  mutable pending : int;
+  mutable next_ticket : int;
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable batches : int;
+}
+
+let create ?pool ?(clock = Sys.time) config =
+  if config.queue_capacity < 1 then
+    invalid_arg "Scheduler.create: queue_capacity must be >= 1";
+  if config.batch_size < 1 then invalid_arg "Scheduler.create: batch_size must be >= 1";
+  {
+    config;
+    pool;
+    clock;
+    queue = [];
+    pending = 0;
+    next_ticket = 0;
+    submitted = 0;
+    rejected = 0;
+    completed = 0;
+    batches = 0;
+  }
+
+let pending t = t.pending
+
+let submit t ~class_key ?deadline run =
+  if t.pending >= t.config.queue_capacity then (
+    t.rejected <- t.rejected + 1;
+    `Rejected)
+  else begin
+    let now = t.clock () in
+    let ticket = t.next_ticket in
+    t.next_ticket <- ticket + 1;
+    let item =
+      {
+        ticket;
+        class_key;
+        deadline = Option.map (fun d -> now +. d) deadline;
+        submitted_at = now;
+        run;
+      }
+    in
+    t.queue <- item :: t.queue;
+    t.pending <- t.pending + 1;
+    t.submitted <- t.submitted + 1;
+    `Accepted ticket
+  end
+
+(* Take up to [batch_size] items compatible with the head's class, in
+   arrival order; return them with the rest of the queue (still in
+   arrival order). *)
+let take_batch config = function
+  | [] -> ([], [])
+  | first :: _ as queue ->
+    let rec go taken n rest = function
+      | item :: tl when n < config.batch_size && item.class_key = first.class_key ->
+        go (item :: taken) (n + 1) rest tl
+      | item :: tl -> go taken n (item :: rest) tl
+      | [] -> (List.rev taken, List.rev rest)
+    in
+    go [] 0 [] queue
+
+let drain t =
+  let completions = ref [] in
+  (* Oldest first. *)
+  let queue = ref (List.rev t.queue) in
+  t.queue <- [];
+  (* On exception, re-stash the unprocessed remainder (newest first). *)
+  let restore () =
+    t.queue <- List.rev !queue;
+    t.pending <- List.length !queue
+  in
+  (try
+     while !queue <> [] do
+       let batch, rest = take_batch t.config !queue in
+       queue := rest;
+       let dispatch = t.clock () in
+       let runs =
+         Array.of_list
+           (List.map
+              (fun item ->
+                let time_left = Option.map (fun d -> d -. dispatch) item.deadline in
+                fun () -> item.run ~time_left)
+              batch)
+       in
+       let results = Mde_par.Pool.map ?pool:t.pool (fun f -> f ()) runs in
+       let finished = t.clock () in
+       t.batches <- t.batches + 1;
+       List.iteri
+         (fun i (item : _ item) ->
+           t.completed <- t.completed + 1;
+           t.pending <- t.pending - 1;
+           completions :=
+             { ticket = item.ticket; result = results.(i); latency = finished -. item.submitted_at }
+             :: !completions)
+         batch
+     done
+   with exn ->
+     restore ();
+     raise exn);
+  List.sort (fun a b -> compare a.ticket b.ticket) !completions
+
+let counters t =
+  {
+    submitted = t.submitted;
+    rejected = t.rejected;
+    completed = t.completed;
+    batches = t.batches;
+  }

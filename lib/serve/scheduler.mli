@@ -1,0 +1,69 @@
+(** Bounded request queue with backpressure, micro-batching and deadline
+    budgets — the execution stage of the serving layer.
+
+    Requests enter through {!submit}; past the queue's high-water mark
+    they are rejected immediately (backpressure) rather than queued
+    without bound. {!drain} then executes everything queued: compatible
+    requests (same [class_key]) are fused, in arrival order, into batches
+    of at most [batch_size] and each batch runs as a single fan-out over
+    {!Mde_par.Pool}. Work items must be self-contained (own RNG stream
+    derived from the request seed), so by the pool's determinism contract
+    a batched, pooled execution is bit-identical to running each item's
+    closure directly.
+
+    Deadlines: a request may carry a relative deadline (seconds on the
+    scheduler's clock). The scheduler converts it to an absolute point at
+    submission and, when the item is dispatched, hands the closure its
+    remaining budget [time_left] (possibly ≤ 0 if the request sat in the
+    queue past its deadline). Degradation policy — e.g. running fewer
+    Monte Carlo replications to fit the budget — belongs to the caller's
+    closure; the scheduler only accounts and forwards budgets. *)
+
+type config = {
+  queue_capacity : int;  (** high-water mark; submissions beyond it are rejected *)
+  batch_size : int;  (** max compatible requests fused into one pool fan-out *)
+}
+
+val default_config : config
+(** [{ queue_capacity = 64; batch_size = 8 }] *)
+
+type 'a t
+
+type 'a completion = {
+  ticket : int;
+  result : 'a;
+  latency : float;  (** submission → batch completion, in clock units *)
+}
+
+type counters = {
+  submitted : int;  (** accepted submissions *)
+  rejected : int;  (** backpressure rejections *)
+  completed : int;
+  batches : int;  (** pool fan-outs executed *)
+}
+
+val create : ?pool:Mde_par.Pool.t -> ?clock:(unit -> float) -> config -> 'a t
+(** Without [?pool], batches run sequentially on the caller (identical
+    results, no parallelism). [clock] defaults to [Sys.time]. Raises
+    [Invalid_argument] on non-positive capacity or batch size. *)
+
+val submit :
+  'a t ->
+  class_key:string ->
+  ?deadline:float ->
+  (time_left:float option -> 'a) ->
+  [ `Accepted of int | `Rejected ]
+(** Enqueue a work item, or reject it if the queue is at its high-water
+    mark. [`Accepted ticket] identifies the item in {!drain}'s
+    completions. The closure runs on a pool domain: it must not mutate
+    shared state. *)
+
+val pending : 'a t -> int
+
+val drain : 'a t -> 'a completion list
+(** Execute every queued item (batching as described above) and return
+    completions in ticket order. Empty queue returns []. If a closure
+    raises, the exception propagates (first in batch-completion order,
+    per the pool contract) and the remaining queue is preserved. *)
+
+val counters : 'a t -> counters

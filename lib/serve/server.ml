@@ -1,0 +1,371 @@
+module Rc = Mde_composite.Result_cache
+module Est = Mde_mcdb.Estimator
+module Database = Mde_mcdb.Database
+module Chain = Mde_simsql.Chain
+module Rng = Mde_prob.Rng
+
+type kind =
+  | Mcdb_mean of { reps : int }
+  | Mcdb_tail of { reps : int; p : float }
+  | Chain_mean of { steps : int; reps : int }
+  | Composite_estimate of { n : int; alpha : float }
+
+type request = { model : string; kind : kind; seed : int; deadline : float option }
+type cache_status = Hit | Miss
+
+type response = {
+  value : float;
+  ci95 : (float * float) option;
+  reps_requested : int;
+  reps_executed : int;
+  degraded : bool;
+  cache : cache_status;
+  latency : float;
+}
+
+type admission = Admit_all | Cost_aware of { min_gain : float; warmup : int }
+
+type model =
+  | Mcdb of { db : Database.t; query : Mde_relational.Catalog.t -> float }
+  | Chain_model of { chain : Chain.t; query : Chain.state -> float }
+  | Composite : 'a Rc.two_stage -> model
+
+(* Per-query-class accounting: execution cost (for deadline budgets and
+   the c1 of admission), probe cost (c2), result variance (V1, by
+   Welford) and exact-repeat popularity (drives V2). Mutated only on the
+   caller domain — work closures read a snapshot taken at submission. *)
+type class_info = {
+  mutable requests : int;
+  mutable repeats : int;
+  mutable executions : int;
+  mutable exec_seconds : float;
+  mutable exec_units : int;
+  mutable probes : int;
+  mutable probe_seconds : float;
+  mutable vcount : int;
+  mutable vmean : float;
+  mutable vm2 : float;
+}
+
+type executed = {
+  xvalue : float;
+  xci95 : (float * float) option;
+  xunits : int;
+  xseconds : float;
+}
+
+type inflight = { id : int; fp : string; cls : class_info; requested : int }
+
+type t = {
+  clock : unit -> float;
+  cache : (float * (float * float) option * int) Cache.t;
+  sched : executed Scheduler.t;
+  models : (string, model) Hashtbl.t;
+  classes : (string, class_info) Hashtbl.t;
+  seen : (string, unit) Hashtbl.t;
+  admission : admission;
+  inflight : (int, inflight) Hashtbl.t;  (* scheduler ticket -> bookkeeping *)
+  mutable ready : (int * response) list;  (* completed at submission (cache hits) *)
+  mutable next_id : int;
+  mutable served : int;
+  mutable rejected : int;
+  mutable degraded_count : int;
+}
+
+let default_admission = Cost_aware { min_gain = 1. +. 1e-9; warmup = 3 }
+
+let create ?pool ?(clock = Sys.time) ?(cache_capacity = 256) ?(cache_ttl = infinity)
+    ?(scheduler = Scheduler.default_config) ?(admission = default_admission) () =
+  {
+    clock;
+    cache = Cache.create ~capacity:cache_capacity ~ttl:cache_ttl ~clock ();
+    sched = Scheduler.create ?pool ~clock scheduler;
+    models = Hashtbl.create 8;
+    classes = Hashtbl.create 16;
+    seen = Hashtbl.create 64;
+    admission;
+    inflight = Hashtbl.create 16;
+    ready = [];
+    next_id = 0;
+    served = 0;
+    rejected = 0;
+    degraded_count = 0;
+  }
+
+let register t name model =
+  if Hashtbl.mem t.models name then
+    invalid_arg (Printf.sprintf "Server: model %S already registered" name);
+  Hashtbl.replace t.models name model
+
+let register_mcdb t ~name ~query db = register t name (Mcdb { db; query })
+let register_chain t ~name ~query chain = register t name (Chain_model { chain; query })
+let register_composite t ~name stages = register t name (Composite stages)
+
+let lookup t name =
+  match Hashtbl.find_opt t.models name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Server: unknown model %S" name)
+
+(* Smallest replication count each kind can be degraded to and still
+   satisfy its estimator's preconditions. *)
+let floor_units = function
+  | Mcdb_mean _ | Chain_mean _ | Composite_estimate _ -> 2
+  | Mcdb_tail { p; _ } ->
+    let tail = Float.min p (1. -. p) in
+    Stdlib.max 2 (int_of_float (ceil (1. /. tail)))
+
+let units_of = function
+  | Mcdb_mean { reps } | Mcdb_tail { reps; _ } | Chain_mean { reps; _ } -> reps
+  | Composite_estimate { n; _ } -> n
+
+let validate t request =
+  let model = lookup t request.model in
+  (match request.deadline with
+  | Some d when not (d > 0.) -> invalid_arg "Server: deadline must be positive"
+  | _ -> ());
+  (match (model, request.kind) with
+  | Mcdb _, (Mcdb_mean _ | Mcdb_tail _)
+  | Chain_model _, Chain_mean _
+  | Composite _, Composite_estimate _ -> ()
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Server: request kind incompatible with model %S" request.model));
+  (match request.kind with
+  | Mcdb_tail { p; _ } when not (p > 0. && p < 1.) ->
+    invalid_arg "Server: tail p must be in (0,1)"
+  | Composite_estimate { alpha; _ } when not (alpha > 0. && alpha <= 1.) ->
+    invalid_arg "Server: alpha must be in (0,1]"
+  | Chain_mean { steps; _ } when steps < 1 -> invalid_arg "Server: steps must be >= 1"
+  | _ -> ());
+  if units_of request.kind < floor_units request.kind then
+    invalid_arg
+      (Printf.sprintf "Server: %d replications below the minimum %d for this query"
+         (units_of request.kind) (floor_units request.kind));
+  model
+
+let model_fingerprint t request =
+  match lookup t request.model with
+  | Mcdb { db; _ } -> Printf.sprintf "mcdb:%s:%s" request.model (Database.fingerprint db)
+  | Chain_model _ -> Printf.sprintf "chain:%s" request.model
+  | Composite _ -> Printf.sprintf "rc:%s" request.model
+
+let fingerprint t request =
+  let mfp = model_fingerprint t request in
+  match request.kind with
+  | Mcdb_mean { reps } -> Printf.sprintf "%s|mean|reps=%d|seed=%d" mfp reps request.seed
+  | Mcdb_tail { reps; p } ->
+    Printf.sprintf "%s|tail|reps=%d|p=%.17g|seed=%d" mfp reps p request.seed
+  | Chain_mean { steps; reps } ->
+    Printf.sprintf "%s|chain|steps=%d|reps=%d|seed=%d" mfp steps reps request.seed
+  | Composite_estimate { n; alpha } ->
+    Rc.query_fingerprint ~model:mfp ~n ~alpha ~seed:request.seed
+
+(* The class groups requests that micro-batch together and share one
+   admission decision: same model and parameters, any seed. *)
+let class_key t request =
+  let mfp = model_fingerprint t request in
+  match request.kind with
+  | Mcdb_mean { reps } -> Printf.sprintf "%s|mean|reps=%d" mfp reps
+  | Mcdb_tail { reps; p } -> Printf.sprintf "%s|tail|reps=%d|p=%.17g" mfp reps p
+  | Chain_mean { steps; reps } -> Printf.sprintf "%s|chain|steps=%d|reps=%d" mfp steps reps
+  | Composite_estimate { n; alpha } ->
+    Printf.sprintf "%s|rc|n=%d|alpha=%.17g" mfp n alpha
+
+let class_info t key =
+  match Hashtbl.find_opt t.classes key with
+  | Some info -> info
+  | None ->
+    let info =
+      {
+        requests = 0;
+        repeats = 0;
+        executions = 0;
+        exec_seconds = 0.;
+        exec_units = 0;
+        probes = 0;
+        probe_seconds = 0.;
+        vcount = 0;
+        vmean = 0.;
+        vm2 = 0.;
+      }
+    in
+    Hashtbl.replace t.classes key info;
+    info
+
+let effective_units ~requested ~floor_units ~time_left ~per_unit_cost =
+  match time_left with
+  | None -> requested
+  | Some left when left <= 0. -> Stdlib.min requested floor_units
+  | Some left -> (
+    match per_unit_cost with
+    | Some cpu when cpu > 0. ->
+      let affordable = int_of_float (left /. cpu) in
+      Stdlib.min requested (Stdlib.max floor_units affordable)
+    | _ -> requested)
+
+(* Runs on a pool domain: reads only its captured snapshot, returns
+   timing for the caller to fold into the class statistics. *)
+let execute ~clock ~model ~kind ~seed ~per_unit_cost ~time_left =
+  let requested = units_of kind in
+  let floor_units = floor_units kind in
+  let units = effective_units ~requested ~floor_units ~time_left ~per_unit_cost in
+  let t0 = clock () in
+  let xvalue, xci95 =
+    match (model, kind) with
+    | Mcdb { db; query }, Mcdb_mean _ ->
+      let est = Database.estimate db (Rng.create ~seed ()) ~reps:units ~query in
+      (est.Est.mean, Some est.Est.ci95)
+    | Mcdb { db; query }, Mcdb_tail { p; _ } ->
+      let samples = Database.monte_carlo db (Rng.create ~seed ()) ~reps:units ~query in
+      (Est.extreme_quantile samples p, Some (Est.quantile_ci samples p 0.95))
+    | Chain_model { chain; query }, Chain_mean { steps; _ } ->
+      let series = Chain.monte_carlo chain (Rng.create ~seed ()) ~steps ~reps:units ~query in
+      let finals = Array.map (fun row -> row.(steps)) series in
+      let est = Est.of_samples finals in
+      (est.Est.mean, Some est.Est.ci95)
+    | Composite stages, Composite_estimate { alpha; _ } ->
+      let est = Rc.estimate stages (Rng.create ~seed ()) ~n:units ~alpha in
+      (est.Rc.theta_hat, None)
+    | _ -> assert false (* ruled out by [validate] *)
+  in
+  { xvalue; xci95; xunits = units; xseconds = clock () -. t0 }
+
+let submit t request =
+  let model = validate t request in
+  let fp = fingerprint t request in
+  let cls = class_info t (class_key t request) in
+  cls.requests <- cls.requests + 1;
+  if Hashtbl.mem t.seen fp then cls.repeats <- cls.repeats + 1
+  else Hashtbl.add t.seen fp ();
+  let probe_start = t.clock () in
+  let cached = Cache.find t.cache fp in
+  let probe_end = t.clock () in
+  cls.probes <- cls.probes + 1;
+  cls.probe_seconds <- cls.probe_seconds +. (probe_end -. probe_start);
+  match cached with
+  | Some (value, ci95, reps_executed) ->
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.served <- t.served + 1;
+    let resp =
+      {
+        value;
+        ci95;
+        reps_requested = units_of request.kind;
+        reps_executed;
+        degraded = false;
+        cache = Hit;
+        latency = probe_end -. probe_start;
+      }
+    in
+    t.ready <- (id, resp) :: t.ready;
+    `Queued id
+  | None -> (
+    let per_unit_cost =
+      if cls.exec_units > 0 then Some (cls.exec_seconds /. float_of_int cls.exec_units)
+      else None
+    in
+    let clock = t.clock in
+    let kind = request.kind and seed = request.seed in
+    let run = execute ~clock ~model ~kind ~seed ~per_unit_cost in
+    match
+      Scheduler.submit t.sched ~class_key:(class_key t request) ?deadline:request.deadline
+        run
+    with
+    | `Rejected ->
+      t.rejected <- t.rejected + 1;
+      `Rejected
+    | `Accepted ticket ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Hashtbl.replace t.inflight ticket
+        { id; fp; cls; requested = units_of request.kind };
+      `Queued id)
+
+let welford cls x =
+  cls.vcount <- cls.vcount + 1;
+  let delta = x -. cls.vmean in
+  cls.vmean <- cls.vmean +. (delta /. float_of_int cls.vcount);
+  cls.vm2 <- cls.vm2 +. (delta *. (x -. cls.vmean))
+
+let admit_decision t cls =
+  match t.admission with
+  | Admit_all -> true
+  | Cost_aware { min_gain; warmup } ->
+    if cls.executions <= warmup then true
+    else
+      let compute_cost = cls.exec_seconds /. float_of_int cls.executions in
+      let serve_cost =
+        if cls.probes > 0 then
+          Float.max 1e-9 (cls.probe_seconds /. float_of_int cls.probes)
+        else 1e-9
+      in
+      let result_variance =
+        if cls.vcount >= 2 then cls.vm2 /. float_of_int (cls.vcount - 1) else 0.
+      in
+      let repeat_fraction = float_of_int cls.repeats /. float_of_int cls.requests in
+      Cache.pays_off ~min_gain
+        (Cache.class_statistics ~compute_cost ~serve_cost ~result_variance
+           ~repeat_fraction)
+
+let drain t =
+  let completions = Scheduler.drain t.sched in
+  let executed =
+    List.map
+      (fun { Scheduler.ticket; result; latency } ->
+        let fl =
+          match Hashtbl.find_opt t.inflight ticket with
+          | Some fl -> fl
+          | None -> assert false
+        in
+        Hashtbl.remove t.inflight ticket;
+        fl.cls.executions <- fl.cls.executions + 1;
+        fl.cls.exec_seconds <- fl.cls.exec_seconds +. result.xseconds;
+        fl.cls.exec_units <- fl.cls.exec_units + result.xunits;
+        welford fl.cls result.xvalue;
+        let degraded = result.xunits < fl.requested in
+        if degraded then t.degraded_count <- t.degraded_count + 1
+        else
+          Cache.add t.cache ~admit:(admit_decision t fl.cls) fl.fp
+            (result.xvalue, result.xci95, result.xunits);
+        t.served <- t.served + 1;
+        ( fl.id,
+          {
+            value = result.xvalue;
+            ci95 = result.xci95;
+            reps_requested = fl.requested;
+            reps_executed = result.xunits;
+            degraded;
+            cache = Miss;
+            latency;
+          } ))
+      completions
+  in
+  let out = List.rev_append t.ready executed in
+  t.ready <- [];
+  List.sort (fun (a, _) (b, _) -> compare a b) out
+
+let serve t request =
+  match submit t request with
+  | `Rejected -> `Rejected
+  | `Queued id -> (
+    match List.assoc_opt id (drain t) with
+    | Some resp -> `Served resp
+    | None -> assert false)
+
+type stats = {
+  served : int;
+  rejected : int;
+  degraded : int;
+  cache : Cache.counters;
+  scheduler : Scheduler.counters;
+}
+
+let stats (t : t) =
+  {
+    served = t.served;
+    rejected = t.rejected;
+    degraded = t.degraded_count;
+    cache = Cache.counters t.cache;
+    scheduler = Scheduler.counters t.sched;
+  }

@@ -1,0 +1,120 @@
+(** The query-serving façade: typed requests over registered models,
+    dispatched through {!Scheduler} (bounded queue, micro-batching,
+    deadlines) and {!Cache} (LRU+TTL with cost-aware admission).
+
+    Request lifecycle: [submit] validates the request, computes its
+    canonical fingerprint and probes the cache — a hit completes
+    immediately; a miss is enqueued (or rejected under backpressure).
+    [drain] executes queued work in compatible micro-batches over the
+    domain pool, updates per-class cost/variance/popularity statistics,
+    and admits fresh results into the cache when the g(α) theory says the
+    class pays off ({!Cache.pays_off}).
+
+    Determinism contract: a served response carries exactly the value the
+    direct library call produces for the same seed —
+    [Mde_mcdb.Database.estimate], [Mde_mcdb.Database.monte_carlo] +
+    [Estimator], [Mde_simsql.Chain.monte_carlo], or
+    [Mde_composite.Result_cache.estimate] — whether it was computed cold,
+    batched with other requests, run on a pool, or returned from cache.
+    The one sanctioned divergence is deadline degradation: a degraded
+    response equals the direct call with [reps_executed] (< requested)
+    replications, is flagged [degraded = true], and is never admitted to
+    the cache (so a later full-budget request cannot observe it). *)
+
+type kind =
+  | Mcdb_mean of { reps : int }
+      (** mean + 95% CI of an MCDB query over [reps] Monte Carlo
+          replications ({!Mde_mcdb.Database.estimate}) *)
+  | Mcdb_tail of { reps : int; p : float }
+      (** MCDB-R risk query: extreme p-quantile of the query-result
+          distribution, with its order-statistic CI *)
+  | Chain_mean of { steps : int; reps : int }
+      (** mean + CI of a SimSQL chain query at version D[steps] over
+          [reps] independent chain realizations *)
+  | Composite_estimate of { n : int; alpha : float }
+      (** two-stage RC estimate ({!Mde_composite.Result_cache.estimate}) *)
+
+type request = {
+  model : string;  (** a name registered below *)
+  kind : kind;
+  seed : int;  (** the RNG seed the direct library call would use *)
+  deadline : float option;  (** relative seconds; see deadline contract *)
+}
+
+type cache_status = Hit | Miss
+
+type response = {
+  value : float;
+  ci95 : (float * float) option;  (** [None] for composite estimates *)
+  reps_requested : int;
+  reps_executed : int;  (** < requested iff [degraded] *)
+  degraded : bool;
+  cache : cache_status;
+  latency : float;  (** submission → availability, in clock units *)
+}
+
+type admission =
+  | Admit_all
+  | Cost_aware of { min_gain : float; warmup : int }
+      (** admit a class's results only while fewer than [warmup]
+          executions have been observed or once
+          {!Cache.pays_off}[ ~min_gain] holds on its observed
+          statistics *)
+
+type t
+
+val create :
+  ?pool:Mde_par.Pool.t ->
+  ?clock:(unit -> float) ->
+  ?cache_capacity:int ->
+  ?cache_ttl:float ->
+  ?scheduler:Scheduler.config ->
+  ?admission:admission ->
+  unit ->
+  t
+(** [admission] defaults to [Cost_aware { min_gain = 1.0 +. 1e-9;
+    warmup = 3 }]. [clock] (default [Sys.time]) is shared by the cache,
+    the scheduler and the latency accounting. *)
+
+val register_mcdb :
+  t -> name:string -> query:(Mde_relational.Catalog.t -> float) -> Mde_mcdb.Database.t -> unit
+(** Serve [Mcdb_mean]/[Mcdb_tail] requests against this database. The
+    query closure is identified by [name]; the database contributes
+    {!Mde_mcdb.Database.fingerprint} to the cache key. *)
+
+val register_chain :
+  t -> name:string -> query:(Mde_simsql.Chain.state -> float) -> Mde_simsql.Chain.t -> unit
+
+val register_composite :
+  t -> name:string -> 'a Mde_composite.Result_cache.two_stage -> unit
+
+val fingerprint : t -> request -> string
+(** The canonical cache key: model fingerprint + kind + every parameter +
+    seed. Distinct parameters give distinct fingerprints. Raises
+    [Invalid_argument] on an unregistered model or a kind mismatched to
+    the registered model. *)
+
+val submit : t -> request -> [ `Queued of int | `Rejected ]
+(** Validate, probe the cache, and either complete immediately (cache
+    hit — the response is delivered by the next {!drain}) or enqueue.
+    [`Rejected] is scheduler backpressure: queue at high-water mark.
+    Raises [Invalid_argument] on malformed requests (unknown model,
+    [reps < 2], [p] outside (0,1), [alpha] outside (0,1], negative
+    deadline). *)
+
+val drain : t -> (int * response) list
+(** Execute queued work and deliver every completed response (including
+    pending cache hits), in submission order. *)
+
+val serve : t -> request -> [ `Served of response | `Rejected ]
+(** [submit] + [drain] for a single request. *)
+
+type stats = {
+  served : int;
+  rejected : int;
+  degraded : int;
+  cache : Cache.counters;
+  scheduler : Scheduler.counters;
+}
+
+val stats : t -> stats

@@ -1,0 +1,113 @@
+module Rng = Mde_prob.Rng
+
+type config = { requests : int; concurrency : int; zipf_s : float; seed : int }
+
+type report = {
+  issued : int;
+  served : int;
+  rejected : int;
+  degraded : int;
+  hits : int;
+  elapsed : float;
+  throughput : float;
+  mean_latency : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  hit_rate : float;
+  rejection_rate : float;
+}
+
+let zipf_cdf ~s ~n =
+  if n < 1 then invalid_arg "Workload.zipf_cdf: n must be >= 1";
+  if s < 0. then invalid_arg "Workload.zipf_cdf: s must be >= 0";
+  let weights = Array.init n (fun r -> 1. /. (float_of_int (r + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let acc = ref 0. in
+  Array.map
+    (fun w ->
+      acc := !acc +. (w /. total);
+      !acc)
+    weights
+
+let zipf_sample rng cdf =
+  let u = Rng.float rng in
+  (* First rank whose cumulative probability exceeds u. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Nearest-rank percentile of an unsorted sample. *)
+let percentile xs q =
+  match Array.length xs with
+  | 0 -> nan
+  | n ->
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
+
+let run ?(clock = Sys.time) server ~catalog config =
+  if Array.length catalog = 0 then invalid_arg "Workload.run: empty catalog";
+  if config.requests < 1 then invalid_arg "Workload.run: requests must be >= 1";
+  if config.concurrency < 1 then invalid_arg "Workload.run: concurrency must be >= 1";
+  let rng = Rng.create ~seed:config.seed () in
+  let cdf = zipf_cdf ~s:config.zipf_s ~n:(Array.length catalog) in
+  let responses = Array.make config.requests None in
+  let rejected = ref 0 in
+  let issued = ref 0 in
+  let t0 = clock () in
+  while !issued < config.requests do
+    let round = Stdlib.min config.concurrency (config.requests - !issued) in
+    (* Submit the round's requests (closed loop: nothing new until the
+       batch drains), remembering which workload index each id serves. *)
+    let ids = Hashtbl.create round in
+    for _ = 1 to round do
+      let index = !issued in
+      incr issued;
+      let request = catalog.(zipf_sample rng cdf) in
+      match Server.submit server request with
+      | `Queued id -> Hashtbl.replace ids id index
+      | `Rejected -> incr rejected
+    done;
+    List.iter
+      (fun (id, resp) -> responses.(Hashtbl.find ids id) <- Some resp)
+      (Server.drain server)
+  done;
+  let elapsed = clock () -. t0 in
+  let latencies =
+    Array.of_seq
+      (Seq.filter_map
+         (Option.map (fun (r : Server.response) -> r.Server.latency))
+         (Array.to_seq responses))
+  in
+  let served = Array.length latencies in
+  let count pred =
+    Array.fold_left
+      (fun acc -> function Some r when pred r -> acc + 1 | _ -> acc)
+      0 responses
+  in
+  let hits = count (fun r -> r.Server.cache = Server.Hit) in
+  let degraded = count (fun r -> r.Server.degraded) in
+  {
+    issued = !issued;
+    served;
+    rejected = !rejected;
+    degraded;
+    hits;
+    elapsed;
+    throughput = (if elapsed > 0. then float_of_int served /. elapsed else infinity);
+    mean_latency =
+      (if served = 0 then nan
+       else Array.fold_left ( +. ) 0. latencies /. float_of_int served);
+    p50 = percentile latencies 0.50;
+    p95 = percentile latencies 0.95;
+    p99 = percentile latencies 0.99;
+    hit_rate = (if served = 0 then 0. else float_of_int hits /. float_of_int served);
+    rejection_rate =
+      (if !issued = 0 then 0. else float_of_int !rejected /. float_of_int !issued);
+  },
+  responses

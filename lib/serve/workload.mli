@@ -1,0 +1,53 @@
+(** Deterministic closed-loop workload driver for {!Server}.
+
+    Models the repeated, popularity-skewed request stream the serving
+    layer exists for: a catalog of distinct query templates is sampled
+    with Zipf(s) popularity (rank 0 most popular), [concurrency] requests
+    are kept outstanding per round (submitted together, then drained —
+    a closed loop), and every response is recorded. The request sequence
+    depends only on [seed], [zipf_s], [requests] and the catalog — never
+    on server behaviour — so two passes over the same workload issue
+    identical requests (the warm-vs-cold comparison the benchmark
+    relies on). *)
+
+type config = {
+  requests : int;  (** total requests to issue *)
+  concurrency : int;  (** outstanding requests per closed-loop round *)
+  zipf_s : float;  (** Zipf skew; 0 = uniform popularity *)
+  seed : int;  (** workload RNG seed (independent of query seeds) *)
+}
+
+type report = {
+  issued : int;
+  served : int;
+  rejected : int;  (** backpressure rejections (not retried) *)
+  degraded : int;  (** deadline-degraded responses *)
+  hits : int;  (** responses served from cache *)
+  elapsed : float;
+  throughput : float;  (** served / elapsed, requests per clock unit *)
+  mean_latency : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** latency percentiles over served requests *)
+  hit_rate : float;  (** hits / served *)
+  rejection_rate : float;  (** rejected / issued *)
+}
+
+val zipf_cdf : s:float -> n:int -> float array
+(** CDF of the Zipf(s) popularity law over ranks 0..n-1
+    (P(rank r) ∝ 1/(r+1)^s). Requires [n ≥ 1] and [s ≥ 0]. *)
+
+val zipf_sample : Mde_prob.Rng.t -> float array -> int
+(** Inverse-CDF sample of a rank. *)
+
+val run :
+  ?clock:(unit -> float) ->
+  Server.t ->
+  catalog:Server.request array ->
+  config ->
+  report * Server.response option array
+(** Drive the server; element [i] of the returned array is the response
+    to the i-th issued request ([None] if it was rejected). [clock]
+    (default [Sys.time]) times throughput only; latencies come from the
+    server's own clock. Raises [Invalid_argument] on an empty catalog or
+    non-positive [requests]/[concurrency]. *)

@@ -1,0 +1,332 @@
+(* The serving layer: cache bookkeeping (LRU order, TTL expiry, exact
+   counters), fingerprint collision-freedom, scheduler backpressure, the
+   deadline-degradation contract, and the headline determinism guarantee
+   — a served response is bit-identical to the direct library call. *)
+
+open Mde_relational
+module Serve = Mde_serve
+module Cache = Mde_serve.Cache
+module Scheduler = Mde_serve.Scheduler
+module Server = Mde_serve.Server
+module Workload = Mde_serve.Workload
+module Demo = Mde_serve.Demo
+module Pool = Mde_par.Pool
+module Rng = Mde_prob.Rng
+module Database = Mde_mcdb.Database
+module Est = Mde_mcdb.Estimator
+module Chain = Mde_simsql.Chain
+module Rc = Mde_composite.Result_cache
+
+(* --- cache --- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:3 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  ignore (Cache.find c "a");
+  (* [b] is now least recently used; a fourth insert evicts it. *)
+  Cache.add c "d" 4;
+  Alcotest.(check (list string)) "MRU order" [ "d"; "a"; "c" ] (Cache.keys_mru_first c);
+  Alcotest.(check bool) "b evicted" false (Cache.mem c "b");
+  Alcotest.(check bool) "a kept" true (Cache.mem c "a");
+  Alcotest.(check int) "one eviction" 1 (Cache.counters c).Cache.evictions
+
+let test_cache_ttl () =
+  let now = ref 0. in
+  let c = Cache.create ~capacity:4 ~ttl:10. ~clock:(fun () -> !now) () in
+  Cache.add c "k" 1;
+  now := 5.;
+  Alcotest.(check (option int)) "young entry hits" (Some 1) (Cache.find c "k");
+  now := 20.;
+  Alcotest.(check (option int)) "expired entry misses" None (Cache.find c "k");
+  let ctr = Cache.counters c in
+  Alcotest.(check int) "one expiration" 1 ctr.Cache.expirations;
+  Alcotest.(check int) "expiry counted as a miss" 1 ctr.Cache.misses;
+  Alcotest.(check bool) "expired entry removed" false (Cache.mem c "k")
+
+let test_cache_counters () =
+  let c = Cache.create ~capacity:2 () in
+  Alcotest.(check (option int)) "cold miss" None (Cache.find c "x");
+  ignore (Cache.find c "y");
+  Cache.add c "x" 7;
+  ignore (Cache.find c "x");
+  ignore (Cache.find c "x");
+  ignore (Cache.find c "x");
+  Cache.add c ~admit:false "z" 9;
+  let ctr = Cache.counters c in
+  Alcotest.(check int) "hits" 3 ctr.Cache.hits;
+  Alcotest.(check int) "misses" 2 ctr.Cache.misses;
+  Alcotest.(check int) "evictions" 0 ctr.Cache.evictions;
+  Alcotest.(check int) "expirations" 0 ctr.Cache.expirations;
+  Alcotest.(check int) "admission rejections" 1 ctr.Cache.admission_rejections;
+  Alcotest.(check bool) "rejected entry absent" false (Cache.mem c "z");
+  Alcotest.(check (float 1e-12)) "hit rate" 0.6 (Cache.hit_rate c)
+
+let test_cache_pays_off () =
+  (* A popular class (most requests exact repeats) pays off; a class
+     that never repeats does not. *)
+  let popular =
+    Cache.class_statistics ~compute_cost:0.1 ~serve_cost:0.001 ~result_variance:1.0
+      ~repeat_fraction:0.9
+  in
+  let unpopular =
+    Cache.class_statistics ~compute_cost:0.1 ~serve_cost:0.001 ~result_variance:1.0
+      ~repeat_fraction:0.
+  in
+  Alcotest.(check bool) "repeats admit" true (Cache.pays_off popular);
+  Alcotest.(check bool) "no repeats reject" false (Cache.pays_off unpopular)
+
+(* --- fixtures mirroring the direct library calls --- *)
+
+let sbp_db rows =
+  let patients =
+    Table.create
+      (Schema.of_list [ ("pid", Value.Tint); ("gender", Value.Tstring) ])
+      (List.init rows (fun i ->
+           [| Value.Int i; Value.String (if i mod 2 = 0 then "F" else "M") |]))
+  in
+  let param =
+    Table.create
+      (Schema.of_list [ ("mean", Value.Tfloat); ("std", Value.Tfloat) ])
+      [ [| Value.Float 120.; Value.Float 15. |] ]
+  in
+  let st =
+    Mde_mcdb.Stochastic_table.define ~name:"SBP_DATA"
+      ~schema:
+        (Schema.of_list
+           [ ("pid", Value.Tint); ("gender", Value.Tstring); ("sbp", Value.Tfloat) ])
+      ~driver:patients ~vg:Mde_mcdb.Vg.normal
+      ~params:(fun _ -> [ param ])
+      ~combine:(fun d v -> [| d.(0); d.(1); v.(0) |])
+  in
+  let db = Database.create () in
+  Database.add_stochastic db st;
+  db
+
+let sbp_query catalog =
+  let t = Catalog.find catalog "SBP_DATA" in
+  let total = ref 0. and n = ref 0 in
+  Table.iter
+    (fun row ->
+      total := !total +. Value.to_float row.(2);
+      incr n)
+    t;
+  !total /. float_of_int !n
+
+let walk_chain () =
+  let schema = Schema.of_list [ ("x", Value.Tfloat) ] in
+  let table x = Table.create schema [ [| Value.Float x |] ] in
+  let current state = Value.to_float (Table.rows (Chain.table state "X")).(0).(0) in
+  ( {
+      Chain.initial = (fun _rng -> Chain.state_of_tables [ ("X", table 0.) ]);
+      transition =
+        (fun rng state ->
+          Chain.with_table state "X" (table (current state +. Rng.float rng -. 0.5)));
+    },
+    current )
+
+let two_stage =
+  { Rc.model1 = (fun rng -> 10. *. Rng.float rng); model2 = (fun rng y1 -> y1 +. Rng.float rng) }
+
+let make_server ?pool ?clock ?scheduler ?admission db =
+  let t = Server.create ?pool ?clock ?scheduler ?admission () in
+  Server.register_mcdb t ~name:"sbp" ~query:sbp_query db;
+  let chain, current = walk_chain () in
+  Server.register_chain t ~name:"walk" ~query:current chain;
+  Server.register_composite t ~name:"queue" two_stage;
+  t
+
+let req ?deadline model kind seed = { Server.model; kind; seed; deadline }
+
+(* --- fingerprints --- *)
+
+let test_fingerprint_collision_free () =
+  let t = make_server (sbp_db 10) in
+  let requests =
+    List.concat
+      [
+        List.concat_map
+          (fun reps ->
+            List.map (fun seed -> req "sbp" (Server.Mcdb_mean { reps }) seed) [ 0; 1; 2 ])
+          [ 2; 3; 10 ];
+        List.concat_map
+          (fun p ->
+            List.map (fun seed -> req "sbp" (Server.Mcdb_tail { reps = 64; p }) seed) [ 0; 1 ])
+          [ 0.9; 0.95 ];
+        List.concat_map
+          (fun steps ->
+            List.map (fun reps -> req "walk" (Server.Chain_mean { steps; reps }) 0) [ 2; 3 ])
+          [ 1; 2 ];
+        List.concat_map
+          (fun n ->
+            List.map
+              (fun alpha -> req "queue" (Server.Composite_estimate { n; alpha }) 0)
+              [ 0.25; 0.5 ])
+          [ 2; 4 ];
+      ]
+  in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let fp = Server.fingerprint t r in
+      Alcotest.(check string) "fingerprint is stable" fp (Server.fingerprint t r);
+      (match Hashtbl.find_opt seen fp with
+      | Some () -> Alcotest.failf "fingerprint collision: %s" fp
+      | None -> ());
+      Hashtbl.add seen fp ())
+    requests;
+  Alcotest.(check int) "all distinct" (List.length requests) (Hashtbl.length seen)
+
+(* --- determinism: served == direct library call --- *)
+
+let get_served = function
+  | `Served (r : Server.response) -> r
+  | `Rejected -> Alcotest.fail "request rejected unexpectedly"
+
+let check_pair = Alcotest.(check (pair (float 0.) (float 0.)))
+
+let test_served_equals_direct () =
+  let db = sbp_db 40 in
+  let chain, _ = walk_chain () in
+  let mean_direct = Database.estimate db (Rng.create ~seed:11 ()) ~reps:24 ~query:sbp_query in
+  let tail_samples =
+    Database.monte_carlo db (Rng.create ~seed:12 ()) ~reps:20 ~query:sbp_query
+  in
+  let chain_direct =
+    let series = Chain.monte_carlo chain (Rng.create ~seed:13 ()) ~steps:5 ~reps:12 ~query:(fun
+        state -> Value.to_float (Table.rows (Chain.table state "X")).(0).(0))
+    in
+    Est.of_samples (Array.map (fun row -> row.(5)) series)
+  in
+  let rc_direct = Rc.estimate two_stage (Rng.create ~seed:14 ()) ~n:16 ~alpha:0.5 in
+  Pool.with_pool ~domains:3 (fun pool ->
+      let t = make_server ~pool db in
+      (* Submit the four kinds plus same-class neighbours so the batcher
+         actually groups work, then drain them all at once. *)
+      let submit r =
+        match Server.submit t r with
+        | `Queued id -> id
+        | `Rejected -> Alcotest.fail "rejected"
+      in
+      let id_mean = submit (req "sbp" (Server.Mcdb_mean { reps = 24 }) 11) in
+      let _ = submit (req "sbp" (Server.Mcdb_mean { reps = 24 }) 99) in
+      let id_tail = submit (req "sbp" (Server.Mcdb_tail { reps = 20; p = 0.9 }) 12) in
+      let id_chain = submit (req "walk" (Server.Chain_mean { steps = 5; reps = 12 }) 13) in
+      let id_rc = submit (req "queue" (Server.Composite_estimate { n = 16; alpha = 0.5 }) 14) in
+      let responses = Server.drain t in
+      let find id = List.assoc id responses in
+      let r_mean = find id_mean in
+      Alcotest.(check (float 0.)) "mcdb mean" mean_direct.Est.mean r_mean.Server.value;
+      check_pair "mcdb ci95" mean_direct.Est.ci95 (Option.get r_mean.Server.ci95);
+      let r_tail = find id_tail in
+      Alcotest.(check (float 0.)) "mcdb tail quantile"
+        (Est.extreme_quantile tail_samples 0.9)
+        r_tail.Server.value;
+      check_pair "tail ci" (Est.quantile_ci tail_samples 0.9 0.95)
+        (Option.get r_tail.Server.ci95);
+      let r_chain = find id_chain in
+      Alcotest.(check (float 0.)) "chain mean" chain_direct.Est.mean r_chain.Server.value;
+      let r_rc = find id_rc in
+      Alcotest.(check (float 0.)) "composite theta" rc_direct.Rc.theta_hat r_rc.Server.value;
+      (* Served again: a cache hit with the identical bits. *)
+      let again = get_served (Server.serve t (req "sbp" (Server.Mcdb_mean { reps = 24 }) 11)) in
+      Alcotest.(check bool) "second serve hits" true (again.Server.cache = Server.Hit);
+      Alcotest.(check (float 0.)) "cached bits identical" mean_direct.Est.mean
+        again.Server.value);
+  (* And without a pool (sequential path): still the same bits. *)
+  let t_seq = make_server db in
+  let r = get_served (Server.serve t_seq (req "sbp" (Server.Mcdb_mean { reps = 24 }) 11)) in
+  Alcotest.(check (float 0.)) "sequential serve identical" mean_direct.Est.mean
+    r.Server.value
+
+let test_backpressure () =
+  let t =
+    make_server ~scheduler:{ Scheduler.queue_capacity = 4; batch_size = 2 } (sbp_db 10)
+  in
+  let outcomes =
+    List.init 6 (fun i -> Server.submit t (req "sbp" (Server.Mcdb_mean { reps = 4 }) i))
+  in
+  let accepted =
+    List.length (List.filter (function `Queued _ -> true | `Rejected -> false) outcomes)
+  in
+  Alcotest.(check int) "high-water mark admits 4" 4 accepted;
+  Alcotest.(check int) "2 rejected" 2 (Server.stats t).Server.rejected;
+  Alcotest.(check int) "queue drains fully" 4 (List.length (Server.drain t))
+
+(* A clock that advances one unit per reading makes deadline arithmetic
+   deterministic: any deadline under 1.0 is blown by dispatch time. *)
+let ticking () =
+  let t = ref 0. in
+  fun () ->
+    let v = !t in
+    t := v +. 1.;
+    v
+
+let test_deadline_degradation () =
+  let db = sbp_db 40 in
+  let t = make_server ~clock:(ticking ()) db in
+  let full = get_served (Server.serve t (req "sbp" (Server.Mcdb_mean { reps = 24 }) 5)) in
+  Alcotest.(check bool) "full budget not degraded" false full.Server.degraded;
+  Alcotest.(check int) "full reps" 24 full.Server.reps_executed;
+  let degraded =
+    get_served (Server.serve t (req ~deadline:0.5 "sbp" (Server.Mcdb_mean { reps = 24 }) 7))
+  in
+  Alcotest.(check bool) "blown deadline degrades" true degraded.Server.degraded;
+  Alcotest.(check int) "degraded to the floor" 2 degraded.Server.reps_executed;
+  Alcotest.(check int) "requested budget reported" 24 degraded.Server.reps_requested;
+  (* The partial estimate is the direct call at the reduced budget... *)
+  let direct_floor = Database.estimate db (Rng.create ~seed:7 ()) ~reps:2 ~query:sbp_query in
+  Alcotest.(check (float 0.)) "partial estimate is the direct 2-rep call"
+    direct_floor.Est.mean degraded.Server.value;
+  check_pair "partial CI is the direct 2-rep CI" direct_floor.Est.ci95
+    (Option.get degraded.Server.ci95);
+  (* ...with the widened CI of 2 replications. *)
+  let width (lo, hi) = hi -. lo in
+  let direct_full = Database.estimate db (Rng.create ~seed:7 ()) ~reps:24 ~query:sbp_query in
+  Alcotest.(check bool) "degraded CI wider" true
+    (width (Option.get degraded.Server.ci95) > width direct_full.Est.ci95);
+  (* Degraded results are never cached: a full-budget retry misses and
+     recomputes the undegraded answer. *)
+  let retry = get_served (Server.serve t (req "sbp" (Server.Mcdb_mean { reps = 24 }) 7)) in
+  Alcotest.(check bool) "retry is a miss" true (retry.Server.cache = Server.Miss);
+  Alcotest.(check bool) "retry not degraded" false retry.Server.degraded;
+  Alcotest.(check (float 0.)) "retry serves the full answer" direct_full.Est.mean
+    retry.Server.value;
+  let cached = get_served (Server.serve t (req "sbp" (Server.Mcdb_mean { reps = 24 }) 7)) in
+  Alcotest.(check bool) "full answer now cached" true (cached.Server.cache = Server.Hit)
+
+let test_demo_cold_warm () =
+  let server = Demo.server ~rows:30 () in
+  let catalog = Demo.catalog 8 in
+  let config = { Workload.requests = 48; concurrency = 4; zipf_s = 1.0; seed = 3 } in
+  let cold, warm, verdict = Demo.cold_warm server ~catalog config in
+  (match verdict with
+  | `Identical n -> Alcotest.(check bool) "some requests compared" true (n > 0)
+  | `Mismatch n -> Alcotest.failf "%d warm responses diverged from cold" n);
+  Alcotest.(check bool) "warm hit rate strictly higher" true
+    (warm.Workload.hit_rate > cold.Workload.hit_rate);
+  Alcotest.(check int) "all requests served" config.Workload.requests
+    cold.Workload.served
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "LRU eviction order" `Quick test_cache_lru;
+          Alcotest.test_case "TTL expiry" `Quick test_cache_ttl;
+          Alcotest.test_case "exact counters" `Quick test_cache_counters;
+          Alcotest.test_case "cost-aware admission" `Quick test_cache_pays_off;
+        ] );
+      ( "fingerprint",
+        [ Alcotest.test_case "collision-free over params" `Quick test_fingerprint_collision_free ] );
+      ( "server",
+        [
+          Alcotest.test_case "served == direct (pooled, batched, cached)" `Quick
+            test_served_equals_direct;
+          Alcotest.test_case "backpressure" `Quick test_backpressure;
+          Alcotest.test_case "deadline degradation" `Quick test_deadline_degradation;
+          Alcotest.test_case "cold vs warm workload" `Quick test_demo_cold_warm;
+        ] );
+    ]
