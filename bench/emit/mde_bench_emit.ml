@@ -1,4 +1,4 @@
-type field = Int of int | Float of float | Bool of bool | Str of string
+type field = Int of int | Float of float | Bool of bool | Str of string | Json of string
 
 let render_value = function
   | Int i -> string_of_int i
@@ -7,6 +7,7 @@ let render_value = function
     if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
   | Bool b -> string_of_bool b
   | Str s -> Printf.sprintf "%S" s
+  | Json s -> s
 
 let render_entry fields =
   Printf.sprintf "  {%s}"

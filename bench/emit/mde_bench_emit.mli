@@ -7,7 +7,10 @@
     (the run name) and [git] (git-describe, or "unknown" outside a
     checkout) — followed by the caller's params and metrics in order. *)
 
-type field = Int of int | Float of float | Bool of bool | Str of string
+type field = Int of int | Float of float | Bool of bool | Str of string | Json of string
+(** [Json s] is emitted verbatim — the caller guarantees [s] is a valid
+    JSON value (e.g. an {!Mde_obs.Export.json} snapshot attached as a
+    nested object). *)
 
 val git_describe : unit -> string
 (** [git describe --always --dirty], or ["unknown"] when git or the

@@ -20,6 +20,12 @@ let run ~domains () =
   Util.section "SERVE"
     (Printf.sprintf "Zipf workload against the serving layer (%d domains)" domains);
   let clock = Unix.gettimeofday in
+  (* Benchmark with observability on: the registry must be live before
+     the pool and server exist, and the snapshot rides along in the
+     emitted entry so regressions in queue depth or batch shape are
+     visible next to the latency trajectory. *)
+  let registry = Mde.Obs.create () in
+  Mde.Obs.set_default registry;
   let run_with pool =
     let server = Serve.Demo.server ?pool ~clock ~cache_capacity:256 () in
     let catalog = Serve.Demo.catalog 24 in
@@ -33,6 +39,7 @@ let run ~domains () =
       Mde.Par.Pool.with_pool ~domains (fun pool -> run_with (Some pool))
     else run_with None
   in
+  Mde.Obs.set_default Mde.Obs.noop;
   Util.table
     [ "pass"; "throughput"; "p50"; "p95"; "p99"; "hit rate"; "rejected" ]
     [ report_row "cold" cold; report_row "warm" warm ];
@@ -57,6 +64,7 @@ let run ~domains () =
         ("warm_hit_rate", Float warm.hit_rate);
         ("rejection_rate", Float warm.rejection_rate);
         ("identical_output", Bool (match verdict with `Identical _ -> true | _ -> false));
+        ("metrics", Json (Mde.Obs.Export.json registry));
       ]
   in
   Util.note "recorded in %s" path;

@@ -372,10 +372,88 @@ let housing_cmd =
     (Cmd.info "housing" ~doc:"the Figure 1 extrapolation cautionary tale")
     Term.(const run $ bust $ seed_arg)
 
+(* --- metrics --- *)
+
+let metrics_cmd =
+  let run requests concurrency zipf catalog_size format out seed =
+    if requests < 1 || concurrency < 1 || catalog_size < 1 then begin
+      prerr_endline "mde metrics: --requests, --concurrency and --catalog must be positive";
+      exit 2
+    end;
+    (* Install the live registry before any instrumented object exists:
+       the server, cache and scheduler capture it at construction. *)
+    let registry = Mde.Obs.create () in
+    Mde.Obs.set_default registry;
+    let server = Mde.Serve.Demo.server () in
+    let catalog = Mde.Serve.Demo.catalog catalog_size in
+    let config = { Mde.Serve.Workload.requests; concurrency; zipf_s = zipf; seed } in
+    let report, _responses = Mde.Serve.Workload.run server ~catalog config in
+    Mde.Obs.set_default Mde.Obs.noop;
+    Printf.eprintf "mde: workload served %d/%d requests in %.3f s\n%!" report.served
+      report.issued report.elapsed;
+    let prom = Mde.Obs.Export.prometheus registry in
+    (match Mde.Obs.Export.validate_prometheus prom with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "mde metrics: exporter emitted a malformed line: %s\n" msg;
+      exit 1);
+    let payload =
+      match format with
+      | "prom" -> prom
+      | "json" -> Mde.Obs.Export.json registry ^ "\n"
+      | other ->
+        Printf.eprintf "mde metrics: unknown format %S (prom|json)\n" other;
+        exit 2
+    in
+    match out with
+    | None -> print_string payload
+    | Some path ->
+      let oc = open_out path in
+      output_string oc payload;
+      close_out oc;
+      Printf.eprintf "mde: metrics snapshot written to %s\n" path
+  in
+  let requests =
+    Arg.(value & opt int 120 & info [ "requests" ] ~docv:"N" ~doc:"Workload requests.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 8
+      & info [ "concurrency" ] ~docv:"N" ~doc:"Closed-loop clients per round.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S" ~doc:"Zipf popularity skew exponent.")
+  in
+  let catalog_size =
+    Arg.(
+      value & opt int 24 & info [ "catalog" ] ~docv:"N" ~doc:"Distinct request templates.")
+  in
+  let format =
+    Arg.(
+      value & opt string "prom"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Snapshot format: prom (Prometheus text) or json.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the snapshot to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "run the demo serving workload with observability on and dump the metrics \
+          snapshot (validated Prometheus text or JSON)")
+    Term.(const run $ requests $ concurrency $ zipf $ catalog_size $ format $ out $ seed_arg)
+
 (* --- serve-bench --- *)
 
 let serve_bench_cmd =
-  let run requests concurrency zipf catalog_size cache_capacity domains deadline seed =
+  let run requests concurrency zipf catalog_size cache_capacity domains deadline metrics
+      seed =
     if requests < 1 || concurrency < 1 || catalog_size < 1 || cache_capacity < 1
        || domains < 1
     then begin
@@ -386,6 +464,18 @@ let serve_bench_cmd =
     end;
     let clock = Unix.gettimeofday in
     let deadline = if deadline > 0. then Some deadline else None in
+    (* Instrumented objects capture the default registry at construction,
+       so it must be live before the pool and server are built. The
+       instrumentation never touches RNG streams, so the cold-vs-warm
+       bit-identity verdict below holds with metrics on. *)
+    let registry =
+      if metrics then begin
+        let r = Mde.Obs.create () in
+        Mde.Obs.set_default r;
+        Some r
+      end
+      else None
+    in
     let run_with pool =
       let server = Mde.Serve.Demo.server ?pool ~clock ~cache_capacity () in
       let catalog = Mde.Serve.Demo.catalog ?deadline catalog_size in
@@ -399,6 +489,7 @@ let serve_bench_cmd =
         Mde.Par.Pool.with_pool ~domains (fun pool -> run_with (Some pool))
       else run_with None
     in
+    if metrics then Mde.Obs.set_default Mde.Obs.noop;
     Printf.printf
       "serve-bench: %d requests, concurrency %d, Zipf s=%.2f over %d templates\n\n"
       config.requests config.concurrency config.zipf_s catalog_size;
@@ -417,7 +508,7 @@ let serve_bench_cmd =
     | `Mismatch n -> Printf.printf "\ncold vs warm estimates: %d MISMATCHES\n" n);
     let path =
       Mde_bench_emit.append ~file:"BENCH_serve.json" ~name:"serve-zipf"
-        [
+        ([
           ("requests", Mde_bench_emit.Int config.requests);
           ("concurrency", Int config.concurrency);
           ("zipf_s", Float config.zipf_s);
@@ -437,6 +528,10 @@ let serve_bench_cmd =
           ( "identical_output",
             Bool (match verdict with `Identical _ -> true | _ -> false) );
         ]
+        @
+        match registry with
+        | Some r -> [ ("metrics", Mde_bench_emit.Json (Mde.Obs.Export.json r)) ]
+        | None -> [])
     in
     Printf.printf "recorded in %s\n" path;
     match verdict with
@@ -480,12 +575,20 @@ let serve_bench_cmd =
             "Per-request deadline in seconds (0 = none). Deadlines may degrade \
              estimates, so the bit-identical warm-vs-cold check is skipped.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Run with a live observability registry and attach its JSON snapshot to \
+             the BENCH_serve.json entry.")
+  in
   Cmd.v
     (Cmd.info "serve-bench"
        ~doc:"Zipf workload against the cached, batched serving layer")
     Term.(
       const run $ requests $ concurrency $ zipf $ catalog_size $ cache_capacity
-      $ domains $ deadline $ seed_arg)
+      $ domains $ deadline $ metrics $ seed_arg)
 
 let () =
   let info =
@@ -495,7 +598,7 @@ let () =
   let group =
     Cmd.group info
       [ traffic_cmd; epidemic_cmd; fire_cmd; schelling_cmd; market_cmd; mcdb_cmd;
-        housing_cmd; serve_bench_cmd ]
+        housing_cmd; serve_bench_cmd; metrics_cmd ]
   in
   (* cmdliner's usage errors span several lines (message + usage + help
      pointer); compress to the first line so scripts see one diagnostic

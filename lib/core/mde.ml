@@ -6,6 +6,7 @@
     for the inventory and EXPERIMENTS.md for the figure reproductions.
 
     {1 Substrates}
+    - {!Obs} observability: metrics registry, spans, exporters
     - {!Par} the domain-pool parallel runtime (deterministic fan-out)
     - {!Prob} randomness, distributions, statistics, KDE
     - {!Linalg} dense/tridiagonal linear algebra, OLS
@@ -33,6 +34,7 @@
     - {!Metamodel} designs, polynomial + GP metamodels, screening
     - {!Optimize} the shared derivative-free optimizers *)
 
+module Obs = Mde_obs
 module Par = Mde_par
 module Prob = Mde_prob
 module Linalg = Mde_linalg

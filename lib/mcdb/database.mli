@@ -46,7 +46,8 @@ val monte_carlo :
     query-result distribution per repetition, each on a split RNG
     stream. With [?pool] the repetitions run in parallel over the
     domain pool; because every repetition owns its pre-split stream, the
-    samples are bit-identical to the sequential run. *)
+    samples are bit-identical to the sequential run. Raises
+    [Invalid_argument] if [reps < 1]. *)
 
 val estimate :
   ?pool:Mde_par.Pool.t ->
@@ -55,4 +56,9 @@ val estimate :
   reps:int ->
   query:(Catalog.t -> float) ->
   Estimator.estimate
-(** Convenience: {!monte_carlo} reduced to a mean estimate with CI. *)
+(** Convenience: {!monte_carlo} reduced to a mean estimate with CI.
+    When a live {!Mde_obs.default} registry is installed, the call runs
+    under an [mcdb.estimate] span and records replications executed
+    ([mde_mcdb_replications_total]) and estimator wall time
+    ([mde_mcdb_estimate_seconds]); the instrumentation never touches the
+    RNG, so results are bit-identical either way. *)

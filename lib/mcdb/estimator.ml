@@ -3,25 +3,51 @@ module Special = Mde_prob.Special
 
 type estimate = {
   n : int;
+  dropped : int;
   mean : float;
   std : float;
   std_error : float;
   ci95 : float * float;
 }
 
-let clean xs =
-  let kept = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list xs)) in
-  kept
+(* Every entry point drops NaN samples (empty-group repetitions) before
+   computing. A non-empty input that cleans to nothing is a caller error
+   — every repetition produced no value — and must fail loudly here
+   rather than crash deep inside [Stats.quantile] on an empty array. *)
+let clean_counted ~who xs =
+  let kept =
+    Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list xs))
+  in
+  let total = Array.length xs in
+  let dropped = total - Array.length kept in
+  if total > 0 && dropped = total then
+    invalid_arg
+      (Printf.sprintf "Estimator.%s: all %d samples are NaN (every repetition empty)"
+         who total);
+  (kept, dropped)
 
 let of_samples xs =
-  let xs = clean xs in
+  let xs, dropped = clean_counted ~who:"of_samples" xs in
   let n = Array.length xs in
-  if n < 2 then invalid_arg "Estimator.of_samples: need at least 2 samples";
+  if n < 2 then
+    invalid_arg
+      (if dropped = 0 then "Estimator.of_samples: need at least 2 samples"
+       else
+         Printf.sprintf
+           "Estimator.of_samples: need at least 2 samples (%d left after dropping %d NaN)"
+           n dropped);
   let mean = Stats.mean xs in
   let std = Stats.std xs in
   let std_error = std /. sqrt (float_of_int n) in
   let z = 1.959963984540054 in
-  { n; mean; std; std_error; ci95 = (mean -. (z *. std_error), mean +. (z *. std_error)) }
+  {
+    n;
+    dropped;
+    mean;
+    std;
+    std_error;
+    ci95 = (mean -. (z *. std_error), mean +. (z *. std_error));
+  }
 
 let pp_estimate ppf e =
   (* The printed half-width is derived from the stored interval, so the
@@ -30,12 +56,22 @@ let pp_estimate ppf e =
   Format.fprintf ppf "mean=%.6g ± %.3g (95%% CI [%.6g, %.6g], n=%d)" e.mean
     ((hi -. lo) /. 2.) lo hi e.n
 
-let quantile xs p = Stats.quantile (clean xs) p
+let quantile xs p = Stats.quantile (fst (clean_counted ~who:"quantile" xs)) p
+
+(* [who] for the error message; validation shared by the quantile-style
+   queries. Written as [not (p > 0. && ...)] so a NaN parameter also
+   fails. These used to be [assert]s, which [-noassert] compiles out —
+   the checks must survive release builds. *)
+let check_unit_interval ~who ~what p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg (Printf.sprintf "Estimator.%s: %s must be in (0,1)" who what)
 
 let quantile_ci xs p level =
-  let xs = clean xs in
+  let xs, _ = clean_counted ~who:"quantile_ci" xs in
   let n = Array.length xs in
-  assert (n >= 2 && p > 0. && p < 1. && level > 0. && level < 1.);
+  if n < 2 then invalid_arg "Estimator.quantile_ci: need at least 2 samples";
+  check_unit_interval ~who:"quantile_ci" ~what:"p" p;
+  check_unit_interval ~who:"quantile_ci" ~what:"level" level;
   let sorted = Array.copy xs in
   Array.sort Float.compare sorted;
   let z = Special.normal_inv_cdf (1. -. ((1. -. level) /. 2.)) in
@@ -46,9 +82,9 @@ let quantile_ci xs p level =
   (sorted.(lo_rank), sorted.(hi_rank))
 
 let extreme_quantile xs p =
-  let xs = clean xs in
+  let xs, _ = clean_counted ~who:"extreme_quantile" xs in
   let n = Array.length xs in
-  assert (p > 0. && p < 1.);
+  check_unit_interval ~who:"extreme_quantile" ~what:"p" p;
   let tail = Float.min p (1. -. p) in
   if float_of_int n *. tail < 1. then
     invalid_arg
@@ -59,7 +95,7 @@ let extreme_quantile xs p =
   Stats.quantile xs p
 
 let conditional_tail_expectation xs p =
-  let xs = clean xs in
+  let xs, _ = clean_counted ~who:"conditional_tail_expectation" xs in
   let q = Stats.quantile xs p in
   let tail = List.filter (fun x -> x >= q) (Array.to_list xs) in
   match tail with
@@ -67,9 +103,9 @@ let conditional_tail_expectation xs p =
   | _ -> Stats.mean (Array.of_list tail)
 
 let threshold_probability xs cutoff =
-  let xs = clean xs in
+  let xs, _ = clean_counted ~who:"threshold_probability" xs in
   let n = Array.length xs in
-  assert (n > 0);
+  if n < 1 then invalid_arg "Estimator.threshold_probability: need at least 1 sample";
   let k = Array.fold_left (fun acc x -> if x > cutoff then acc + 1 else acc) 0 xs in
   let p_hat = float_of_int k /. float_of_int n in
   (* Wilson score interval at 95%. *)

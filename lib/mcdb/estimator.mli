@@ -4,7 +4,8 @@
     probabilistic threshold queries (§2.1, [5, 42]). *)
 
 type estimate = {
-  n : int;
+  n : int;  (** samples the estimate is based on, after NaN dropping *)
+  dropped : int;  (** [nan] samples (empty-group repetitions) discarded *)
   mean : float;
   std : float;
   std_error : float;
@@ -12,8 +13,11 @@ type estimate = {
 }
 
 val of_samples : float array -> estimate
-(** Requires ≥ 2 samples; [nan] entries (empty-group repetitions) are
-    dropped first. *)
+(** Requires ≥ 2 non-[nan] samples; [nan] entries (empty-group
+    repetitions) are dropped first and counted in [dropped]. Raises
+    [Invalid_argument] — naming the drop count — when too few remain,
+    and (like every function below) when a non-empty input is entirely
+    [nan]. All validation survives [-noassert] builds. *)
 
 val pp_estimate : Format.formatter -> estimate -> unit
 
@@ -23,12 +27,14 @@ val quantile : float array -> float -> float
 val quantile_ci : float array -> float -> float -> float * float
 (** [quantile_ci xs p level] — distribution-free order-statistic
     confidence interval for the p-quantile using the binomial normal
-    approximation. *)
+    approximation. Raises [Invalid_argument] on fewer than 2 samples or
+    [p]/[level] outside (0,1). *)
 
 val extreme_quantile : float array -> float -> float
 (** MCDB-R-style risk quantile (e.g. p = 0.99): sample quantile with a
-    tail-sensitivity check; requires enough samples that the tail region
-    contains at least one observation, else raises [Invalid_argument]. *)
+    tail-sensitivity check; requires [p] in (0,1) and enough samples
+    that the tail region contains at least one observation, else raises
+    [Invalid_argument]. *)
 
 val conditional_tail_expectation : float array -> float -> float
 (** [conditional_tail_expectation xs p]: mean of the values at or above

@@ -1,3 +1,13 @@
+(* Task counts per domain and chunk latency feed the observability
+   registry (counters are atomic, the histogram takes its own lock), so
+   recording from worker domains is safe. With the no-op registry every
+   recording site is a branch — no clock reads, no allocation. *)
+type metrics = {
+  obs_on : bool;
+  domain_tasks : Mde_obs.Counter.t array;  (* index 0 = submitting domain *)
+  chunk_seconds : Mde_obs.Histogram.t;
+}
+
 type t = {
   mutex : Mutex.t;
   work_available : Condition.t;
@@ -5,11 +15,12 @@ type t = {
   mutable closing : bool;
   mutable workers : unit Domain.t array;
   n_domains : int;
+  metrics : metrics;
 }
 
 (* Workers block on [work_available] until a task arrives or the pool
    closes; a closing pool still drains whatever is queued. *)
-let rec worker_loop pool =
+let rec worker_loop pool tasks_counter =
   Mutex.lock pool.mutex;
   let rec next () =
     match Queue.take_opt pool.queue with
@@ -26,7 +37,8 @@ let rec worker_loop pool =
   match task with
   | Some task ->
     task ();
-    worker_loop pool
+    Mde_obs.Counter.incr tasks_counter;
+    worker_loop pool tasks_counter
   | None -> ()
 
 let create ?domains () =
@@ -36,6 +48,20 @@ let create ?domains () =
     | Some d -> d
   in
   if n < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let obs = Mde_obs.default () in
+  let metrics =
+    {
+      obs_on = Mde_obs.enabled obs;
+      domain_tasks =
+        Array.init n (fun i ->
+            Mde_obs.counter obs ~help:"Pool tasks executed, by domain (0 = caller)"
+              ~labels:[ ("domain", string_of_int i) ]
+              "mde_pool_tasks_total");
+      chunk_seconds =
+        Mde_obs.histogram obs ~help:"Wall seconds per executed pool chunk"
+          "mde_pool_chunk_seconds";
+    }
+  in
   let pool =
     {
       mutex = Mutex.create ();
@@ -44,9 +70,12 @@ let create ?domains () =
       closing = false;
       workers = [||];
       n_domains = n;
+      metrics;
     }
   in
-  pool.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool.workers <-
+    Array.init (n - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool metrics.domain_tasks.(i + 1)));
   pool
 
 let domains pool = pool.n_domains
@@ -79,12 +108,15 @@ let parallel_chunks pool ~n ~chunk run_chunk =
   let error = ref None in
   let batch_done = Condition.create () in
   let task_for c () =
+    let t0 = if pool.metrics.obs_on then Mde_obs.Clock.wall () else 0. in
     (try run_chunk (c * chunk) (min n ((c + 1) * chunk))
      with e ->
        let bt = Printexc.get_raw_backtrace () in
        Mutex.lock pool.mutex;
        if !error = None then error := Some (e, bt);
        Mutex.unlock pool.mutex);
+    if pool.metrics.obs_on then
+      Mde_obs.Histogram.observe pool.metrics.chunk_seconds (Mde_obs.Clock.wall () -. t0);
     Mutex.lock pool.mutex;
     decr remaining;
     if !remaining = 0 then Condition.broadcast batch_done;
@@ -105,6 +137,7 @@ let parallel_chunks pool ~n ~chunk run_chunk =
       | Some task ->
         Mutex.unlock pool.mutex;
         task ();
+        Mde_obs.Counter.incr pool.metrics.domain_tasks.(0);
         Mutex.lock pool.mutex;
         help ()
       | None ->

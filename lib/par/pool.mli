@@ -12,7 +12,15 @@
     guarantees result [i] of {!parallel_map} is exactly [f a.(i)], so a
     parallel run is bit-identical to the sequential run of the same
     code. All entry points take the pool optionally and default to
-    plain sequential execution, so existing call sites are unchanged. *)
+    plain sequential execution, so existing call sites are unchanged.
+
+    Observability: {!create} reads {!Mde_obs.default} and, when a live
+    registry is installed, records per-domain task counts
+    ([mde_pool_tasks_total{domain=...}], domain 0 being the submitting
+    caller) and per-chunk wall latency ([mde_pool_chunk_seconds]).
+    Metrics never touch the work items, so instrumented runs stay
+    bit-identical; with the default no-op registry the recording sites
+    cost one branch. *)
 
 type t
 (** A pool of worker domains plus the calling domain. *)

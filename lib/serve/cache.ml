@@ -16,6 +16,17 @@ type counters = {
   admission_rejections : int;
 }
 
+(* The exact mutable counters below stay authoritative (tests assert on
+   them); the registry counters mirror them so one exporter sees the
+   cache next to the scheduler and the pool. *)
+type metrics = {
+  m_hits : Mde_obs.Counter.t;
+  m_misses : Mde_obs.Counter.t;
+  m_evictions : Mde_obs.Counter.t;
+  m_expirations : Mde_obs.Counter.t;
+  m_admission_rejections : Mde_obs.Counter.t;
+}
+
 type 'a t = {
   cap : int;
   ttl : float;
@@ -28,11 +39,14 @@ type 'a t = {
   mutable evictions : int;
   mutable expirations : int;
   mutable admission_rejections : int;
+  metrics : metrics;
 }
 
-let create ?(capacity = 256) ?(ttl = infinity) ?(clock = Sys.time) () =
+let create ?obs ?(capacity = 256) ?(ttl = infinity) ?(clock = Mde_obs.Clock.wall) () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
   if not (ttl > 0.) then invalid_arg "Cache.create: ttl must be positive";
+  let obs = match obs with Some o -> o | None -> Mde_obs.default () in
+  let c name help = Mde_obs.counter obs ~help name in
   {
     cap = capacity;
     ttl;
@@ -45,6 +59,16 @@ let create ?(capacity = 256) ?(ttl = infinity) ?(clock = Sys.time) () =
     evictions = 0;
     expirations = 0;
     admission_rejections = 0;
+    metrics =
+      {
+        m_hits = c "mde_serve_cache_hits_total" "Cache lookups that returned a value";
+        m_misses = c "mde_serve_cache_misses_total" "Cache lookups that found nothing";
+        m_evictions = c "mde_serve_cache_evictions_total" "LRU capacity evictions";
+        m_expirations = c "mde_serve_cache_expirations_total" "TTL expirations";
+        m_admission_rejections =
+          c "mde_serve_cache_admission_rejections_total"
+            "Results dropped by cost-aware admission";
+      };
   }
 
 let detach t node =
@@ -70,20 +94,27 @@ let find t key =
   match Hashtbl.find_opt t.tbl key with
   | None ->
     t.misses <- t.misses + 1;
+    Mde_obs.Counter.incr t.metrics.m_misses;
     None
   | Some node when expired t node ->
     delete t node;
     t.expirations <- t.expirations + 1;
     t.misses <- t.misses + 1;
+    Mde_obs.Counter.incr t.metrics.m_expirations;
+    Mde_obs.Counter.incr t.metrics.m_misses;
     None
   | Some node ->
     t.hits <- t.hits + 1;
+    Mde_obs.Counter.incr t.metrics.m_hits;
     detach t node;
     push_front t node;
     Some node.value
 
 let add t ?(admit = true) key value =
-  if not admit then t.admission_rejections <- t.admission_rejections + 1
+  if not admit then begin
+    t.admission_rejections <- t.admission_rejections + 1;
+    Mde_obs.Counter.incr t.metrics.m_admission_rejections
+  end
   else
     match Hashtbl.find_opt t.tbl key with
     | Some node ->
@@ -96,7 +127,8 @@ let add t ?(admit = true) key value =
         match t.tail with
         | Some lru ->
           delete t lru;
-          t.evictions <- t.evictions + 1
+          t.evictions <- t.evictions + 1;
+          Mde_obs.Counter.incr t.metrics.m_evictions
         | None -> ());
       let node = { key; value; expires = t.clock () +. t.ttl; prev = None; next = None } in
       Hashtbl.replace t.tbl key node;

@@ -26,12 +26,22 @@ type counters = {
   admission_rejections : int;  (** [add ~admit:false] calls *)
 }
 
-val create : ?capacity:int -> ?ttl:float -> ?clock:(unit -> float) -> unit -> 'a t
+val create :
+  ?obs:Mde_obs.t ->
+  ?capacity:int ->
+  ?ttl:float ->
+  ?clock:(unit -> float) ->
+  unit ->
+  'a t
 (** [create ~capacity ~ttl ~clock ()] — an empty cache. [capacity]
     (default 256, ≥ 1) bounds the entry count; [ttl] (default [infinity],
     > 0) is the per-entry lifetime in [clock] units; [clock] (default
-    [Sys.time]) is injectable so TTL behaviour is deterministic under
-    test. *)
+    {!Mde_obs.Clock.wall} — elapsed time, not the CPU seconds [Sys.time]
+    counts) is injectable so TTL behaviour is deterministic under test.
+    [obs] (default {!Mde_obs.default}) additionally mirrors the exact
+    counters below into registry counters
+    ([mde_serve_cache_{hits,misses,evictions,expirations,admission_rejections}_total])
+    so one exporter sees the whole serving stack. *)
 
 val find : 'a t -> string -> 'a option
 (** Lookup; counts a hit (and refreshes recency) or a miss. A present but

@@ -19,6 +19,12 @@ type counters = {
   batches : int;
 }
 
+type metrics = {
+  m_queue_depth : Mde_obs.Gauge.t;
+  m_batch_size : Mde_obs.Histogram.t;
+  m_rejections : Mde_obs.Counter.t;
+}
+
 type 'a t = {
   config : config;
   pool : Mde_par.Pool.t option;
@@ -30,12 +36,14 @@ type 'a t = {
   mutable rejected : int;
   mutable completed : int;
   mutable batches : int;
+  metrics : metrics;
 }
 
-let create ?pool ?(clock = Sys.time) config =
+let create ?pool ?(clock = Mde_obs.Clock.wall) ?obs config =
   if config.queue_capacity < 1 then
     invalid_arg "Scheduler.create: queue_capacity must be >= 1";
   if config.batch_size < 1 then invalid_arg "Scheduler.create: batch_size must be >= 1";
+  let obs = match obs with Some o -> o | None -> Mde_obs.default () in
   {
     config;
     pool;
@@ -47,6 +55,19 @@ let create ?pool ?(clock = Sys.time) config =
     rejected = 0;
     completed = 0;
     batches = 0;
+    metrics =
+      {
+        m_queue_depth =
+          Mde_obs.gauge obs ~help:"Requests waiting in the scheduler queue"
+            "mde_sched_queue_depth";
+        m_batch_size =
+          Mde_obs.histogram obs ~help:"Compatible requests fused per pool fan-out"
+            ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+            "mde_sched_batch_size";
+        m_rejections =
+          Mde_obs.counter obs ~help:"Backpressure rejections at the high-water mark"
+            "mde_sched_rejections_total";
+      };
   }
 
 let pending t = t.pending
@@ -54,6 +75,7 @@ let pending t = t.pending
 let submit t ~class_key ?deadline run =
   if t.pending >= t.config.queue_capacity then (
     t.rejected <- t.rejected + 1;
+    Mde_obs.Counter.incr t.metrics.m_rejections;
     `Rejected)
   else begin
     let now = t.clock () in
@@ -71,6 +93,7 @@ let submit t ~class_key ?deadline run =
     t.queue <- item :: t.queue;
     t.pending <- t.pending + 1;
     t.submitted <- t.submitted + 1;
+    Mde_obs.Gauge.set t.metrics.m_queue_depth (float_of_int t.pending);
     `Accepted ticket
   end
 
@@ -96,12 +119,15 @@ let drain t =
   (* On exception, re-stash the unprocessed remainder (newest first). *)
   let restore () =
     t.queue <- List.rev !queue;
-    t.pending <- List.length !queue
+    t.pending <- List.length !queue;
+    Mde_obs.Gauge.set t.metrics.m_queue_depth (float_of_int t.pending)
   in
   (try
      while !queue <> [] do
        let batch, rest = take_batch t.config !queue in
        queue := rest;
+       Mde_obs.Histogram.observe t.metrics.m_batch_size
+         (float_of_int (List.length batch));
        let dispatch = t.clock () in
        let runs =
          Array.of_list
@@ -121,7 +147,8 @@ let drain t =
            completions :=
              { ticket = item.ticket; result = results.(i); latency = finished -. item.submitted_at }
              :: !completions)
-         batch
+         batch;
+       Mde_obs.Gauge.set t.metrics.m_queue_depth (float_of_int t.pending)
      done
    with exn ->
      restore ();

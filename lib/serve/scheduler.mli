@@ -42,10 +42,18 @@ type counters = {
   batches : int;  (** pool fan-outs executed *)
 }
 
-val create : ?pool:Mde_par.Pool.t -> ?clock:(unit -> float) -> config -> 'a t
+val create :
+  ?pool:Mde_par.Pool.t -> ?clock:(unit -> float) -> ?obs:Mde_obs.t -> config -> 'a t
 (** Without [?pool], batches run sequentially on the caller (identical
-    results, no parallelism). [clock] defaults to [Sys.time]. Raises
-    [Invalid_argument] on non-positive capacity or batch size. *)
+    results, no parallelism). [clock] defaults to {!Mde_obs.Clock.wall} —
+    elapsed wall time, so a deadline keeps draining while a request sits
+    in the queue; the previous default, [Sys.time], counted CPU seconds
+    and stood still whenever the process slept or waited. [obs] (default
+    {!Mde_obs.default}) registers a queue-depth gauge
+    ([mde_sched_queue_depth]), a batch-size histogram
+    ([mde_sched_batch_size]) and a rejection counter
+    ([mde_sched_rejections_total]). Raises [Invalid_argument] on
+    non-positive capacity or batch size. *)
 
 val submit :
   'a t ->

@@ -54,7 +54,30 @@ type executed = {
   xseconds : float;
 }
 
-type inflight = { id : int; fp : string; cls : class_info; requested : int }
+type inflight = {
+  id : int;
+  fp : string;
+  cls : class_info;
+  requested : int;
+  lat : Mde_obs.Histogram.t;  (* the request class's latency histogram *)
+}
+
+(* Latency is tracked per request class (one histogram per [kind]
+   constructor); counters split the cache-served and degraded paths out
+   of the aggregate. *)
+type metrics = {
+  m_latency : Mde_obs.Histogram.t array;  (* indexed by [kind_index] *)
+  m_degraded : Mde_obs.Counter.t;
+  m_cache_served : Mde_obs.Counter.t;
+}
+
+let kind_index = function
+  | Mcdb_mean _ -> 0
+  | Mcdb_tail _ -> 1
+  | Chain_mean _ -> 2
+  | Composite_estimate _ -> 3
+
+let kind_class_labels = [| "mcdb_mean"; "mcdb_tail"; "chain_mean"; "composite" |]
 
 type t = {
   clock : unit -> float;
@@ -70,16 +93,19 @@ type t = {
   mutable served : int;
   mutable rejected : int;
   mutable degraded_count : int;
+  metrics : metrics;
 }
 
 let default_admission = Cost_aware { min_gain = 1. +. 1e-9; warmup = 3 }
 
-let create ?pool ?(clock = Sys.time) ?(cache_capacity = 256) ?(cache_ttl = infinity)
-    ?(scheduler = Scheduler.default_config) ?(admission = default_admission) () =
+let create ?pool ?(clock = Mde_obs.Clock.wall) ?obs ?(cache_capacity = 256)
+    ?(cache_ttl = infinity) ?(scheduler = Scheduler.default_config)
+    ?(admission = default_admission) () =
+  let obs = match obs with Some o -> o | None -> Mde_obs.default () in
   {
     clock;
-    cache = Cache.create ~capacity:cache_capacity ~ttl:cache_ttl ~clock ();
-    sched = Scheduler.create ?pool ~clock scheduler;
+    cache = Cache.create ~obs ~capacity:cache_capacity ~ttl:cache_ttl ~clock ();
+    sched = Scheduler.create ?pool ~clock ~obs scheduler;
     models = Hashtbl.create 8;
     classes = Hashtbl.create 16;
     seen = Hashtbl.create 64;
@@ -90,6 +116,23 @@ let create ?pool ?(clock = Sys.time) ?(cache_capacity = 256) ?(cache_ttl = infin
     served = 0;
     rejected = 0;
     degraded_count = 0;
+    metrics =
+      {
+        m_latency =
+          Array.map
+            (fun cls ->
+              Mde_obs.histogram obs
+                ~help:"Submission-to-availability latency, by request class"
+                ~labels:[ ("class", cls) ]
+                "mde_serve_latency_seconds")
+            kind_class_labels;
+        m_degraded =
+          Mde_obs.counter obs ~help:"Responses degraded to fit a deadline budget"
+            "mde_serve_degraded_total";
+        m_cache_served =
+          Mde_obs.counter obs ~help:"Responses answered from the result cache"
+            "mde_serve_cache_served_total";
+      };
   }
 
 let register t name model =
@@ -247,6 +290,10 @@ let submit t request =
     let id = t.next_id in
     t.next_id <- id + 1;
     t.served <- t.served + 1;
+    Mde_obs.Counter.incr t.metrics.m_cache_served;
+    Mde_obs.Histogram.observe
+      t.metrics.m_latency.(kind_index request.kind)
+      (probe_end -. probe_start);
     let resp =
       {
         value;
@@ -279,7 +326,13 @@ let submit t request =
       let id = t.next_id in
       t.next_id <- id + 1;
       Hashtbl.replace t.inflight ticket
-        { id; fp; cls; requested = units_of request.kind };
+        {
+          id;
+          fp;
+          cls;
+          requested = units_of request.kind;
+          lat = t.metrics.m_latency.(kind_index request.kind);
+        };
       `Queued id)
 
 let welford cls x =
@@ -324,11 +377,15 @@ let drain t =
         fl.cls.exec_units <- fl.cls.exec_units + result.xunits;
         welford fl.cls result.xvalue;
         let degraded = result.xunits < fl.requested in
-        if degraded then t.degraded_count <- t.degraded_count + 1
+        if degraded then begin
+          t.degraded_count <- t.degraded_count + 1;
+          Mde_obs.Counter.incr t.metrics.m_degraded
+        end
         else
           Cache.add t.cache ~admit:(admit_decision t fl.cls) fl.fp
             (result.xvalue, result.xci95, result.xunits);
         t.served <- t.served + 1;
+        Mde_obs.Histogram.observe fl.lat latency;
         ( fl.id,
           {
             value = result.xvalue;

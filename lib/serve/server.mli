@@ -66,6 +66,7 @@ type t
 val create :
   ?pool:Mde_par.Pool.t ->
   ?clock:(unit -> float) ->
+  ?obs:Mde_obs.t ->
   ?cache_capacity:int ->
   ?cache_ttl:float ->
   ?scheduler:Scheduler.config ->
@@ -73,8 +74,15 @@ val create :
   unit ->
   t
 (** [admission] defaults to [Cost_aware { min_gain = 1.0 +. 1e-9;
-    warmup = 3 }]. [clock] (default [Sys.time]) is shared by the cache,
-    the scheduler and the latency accounting. *)
+    warmup = 3 }]. [clock] (default {!Mde_obs.Clock.wall}) is shared by
+    the cache, the scheduler and the latency accounting; the wall-clock
+    default means reported latencies include queueing and sleeping, which
+    the previous [Sys.time] (CPU seconds) default silently excluded.
+    [obs] (default {!Mde_obs.default}) is handed to the cache and
+    scheduler and additionally registers per-request-class latency
+    histograms ([mde_serve_latency_seconds{class=...}]), a degraded
+    counter ([mde_serve_degraded_total]) and a cache-served counter
+    ([mde_serve_cache_served_total]). *)
 
 val register_mcdb :
   t -> name:string -> query:(Mde_relational.Catalog.t -> float) -> Mde_mcdb.Database.t -> unit

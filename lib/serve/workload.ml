@@ -50,7 +50,7 @@ let percentile xs q =
     let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
     sorted.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
 
-let run ?(clock = Sys.time) server ~catalog config =
+let run ?(clock = Mde_obs.Clock.wall) server ~catalog config =
   if Array.length catalog = 0 then invalid_arg "Workload.run: empty catalog";
   if config.requests < 1 then invalid_arg "Workload.run: requests must be >= 1";
   if config.concurrency < 1 then invalid_arg "Workload.run: concurrency must be >= 1";

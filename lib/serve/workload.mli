@@ -48,6 +48,8 @@ val run :
   report * Server.response option array
 (** Drive the server; element [i] of the returned array is the response
     to the i-th issued request ([None] if it was rejected). [clock]
-    (default [Sys.time]) times throughput only; latencies come from the
-    server's own clock. Raises [Invalid_argument] on an empty catalog or
-    non-positive [requests]/[concurrency]. *)
+    (default {!Mde_obs.Clock.wall} — elapsed wall time, so throughput is
+    real requests-per-second rather than the per-CPU-second figure the
+    old [Sys.time] default produced) times throughput only; latencies
+    come from the server's own clock. Raises [Invalid_argument] on an
+    empty catalog or non-positive [requests]/[concurrency]. *)

@@ -194,7 +194,41 @@ let test_database_monte_carlo () =
   Alcotest.(check int) "reps" 200 (Array.length samples);
   Alcotest.(check bool) "reps differ" true (samples.(0) <> samples.(1));
   let e = Database.estimate db rng ~reps:200 ~query in
-  Alcotest.(check bool) "mean near 120" true (Float.abs (e.Estimator.mean -. 120.) < 2.)
+  Alcotest.(check bool) "mean near 120" true (Float.abs (e.Estimator.mean -. 120.) < 2.);
+  (* Replication-count validation must survive [-noassert] builds. *)
+  Alcotest.(check bool) "reps = 0 raises Invalid_argument" true
+    (try
+       ignore (Database.monte_carlo db rng ~reps:0 ~query);
+       false
+     with
+    | Invalid_argument _ -> true
+    | _ -> false)
+
+let test_database_estimate_instrumented () =
+  (* Observability must never change an answer: the same seed yields a
+     bit-identical estimate whether the default registry is the no-op or
+     a live one — and the live run records its replication count. *)
+  let db = Database.create () in
+  Database.add_stochastic db (sbp_table 20);
+  let query catalog =
+    Mde_prob.Stats.mean (Table.column_floats (Catalog.find catalog "SBP_DATA") "sbp")
+  in
+  let plain = Database.estimate db (Rng.create ~seed:5 ()) ~reps:50 ~query in
+  let registry = Mde_obs.create () in
+  Mde_obs.set_default registry;
+  let instrumented =
+    Fun.protect
+      ~finally:(fun () -> Mde_obs.set_default Mde_obs.noop)
+      (fun () -> Database.estimate db (Rng.create ~seed:5 ()) ~reps:50 ~query)
+  in
+  Alcotest.(check (float 0.)) "mean bit-identical" plain.Estimator.mean
+    instrumented.Estimator.mean;
+  Alcotest.(check (float 0.)) "std bit-identical" plain.Estimator.std
+    instrumented.Estimator.std;
+  Alcotest.(check int) "replications counted" 50
+    (Mde_obs.Counter.value (Mde_obs.counter registry "mde_mcdb_replications_total"));
+  Alcotest.(check bool) "span recorded" true
+    (List.exists (fun s -> s.Mde_obs.name = "mcdb.estimate") (Mde_obs.spans registry))
 
 (* --- tuple bundles --- *)
 
@@ -332,7 +366,63 @@ let test_estimator_basic () =
 let test_estimator_nan_dropped () =
   let e = Estimator.of_samples [| 1.; nan; 3.; nan; 5. |] in
   Alcotest.(check int) "n" 3 e.Estimator.n;
-  Alcotest.(check (float 1e-9)) "mean" 3. e.Estimator.mean
+  Alcotest.(check int) "dropped reported" 2 e.Estimator.dropped;
+  Alcotest.(check (float 1e-9)) "mean" 3. e.Estimator.mean;
+  let clean = Estimator.of_samples [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "no drops on clean input" 0 clean.Estimator.dropped
+
+(* Validation must raise [Invalid_argument] — never [Assert_failure],
+   which [-noassert] builds compile away — so the checks are probed with
+   an explicit handler rather than [check_raises]. *)
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with
+  | Invalid_argument _ -> true
+  | _ -> false
+
+let test_estimator_all_nan () =
+  let all_nan = [| nan; nan; nan |] in
+  Alcotest.(check bool) "of_samples" true
+    (raises_invalid (fun () -> Estimator.of_samples all_nan));
+  Alcotest.(check bool) "quantile" true
+    (raises_invalid (fun () -> Estimator.quantile all_nan 0.5));
+  Alcotest.(check bool) "quantile_ci" true
+    (raises_invalid (fun () -> Estimator.quantile_ci all_nan 0.5 0.95));
+  Alcotest.(check bool) "extreme_quantile" true
+    (raises_invalid (fun () -> Estimator.extreme_quantile all_nan 0.9));
+  Alcotest.(check bool) "conditional_tail_expectation" true
+    (raises_invalid (fun () -> Estimator.conditional_tail_expectation all_nan 0.9));
+  Alcotest.(check bool) "threshold_probability" true
+    (raises_invalid (fun () -> Estimator.threshold_probability all_nan 0.));
+  (* The error message must name the drop count so the caller can see
+     every repetition was empty. *)
+  try ignore (Estimator.of_samples all_nan)
+  with Invalid_argument msg ->
+    let needle = "all 3 samples" in
+    let n = String.length needle and m = String.length msg in
+    let rec contains i = i + n <= m && (String.sub msg i n = needle || contains (i + 1)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S names the count" msg)
+      true (contains 0)
+
+let test_estimator_validation_no_assert () =
+  let xs = Array.init 100 float_of_int in
+  Alcotest.(check bool) "quantile_ci p out of range" true
+    (raises_invalid (fun () -> Estimator.quantile_ci xs 1.5 0.95));
+  Alcotest.(check bool) "quantile_ci level out of range" true
+    (raises_invalid (fun () -> Estimator.quantile_ci xs 0.5 0.));
+  Alcotest.(check bool) "quantile_ci too few samples" true
+    (raises_invalid (fun () -> Estimator.quantile_ci [| 1. |] 0.5 0.95));
+  Alcotest.(check bool) "extreme_quantile p = 0" true
+    (raises_invalid (fun () -> Estimator.extreme_quantile xs 0.));
+  Alcotest.(check bool) "extreme_quantile p = 1" true
+    (raises_invalid (fun () -> Estimator.extreme_quantile xs 1.));
+  Alcotest.(check bool) "extreme_quantile nan p" true
+    (raises_invalid (fun () -> Estimator.extreme_quantile xs nan));
+  Alcotest.(check bool) "threshold_probability empty" true
+    (raises_invalid (fun () -> Estimator.threshold_probability [||] 0.))
 
 let test_estimator_pp_consistent () =
   (* The printed ± half-width must be the stored interval's half-width
@@ -471,6 +561,8 @@ let () =
           Alcotest.test_case "instantiate" `Quick test_database_instantiate;
           Alcotest.test_case "name clash" `Quick test_database_name_clash;
           Alcotest.test_case "monte carlo" `Quick test_database_monte_carlo;
+          Alcotest.test_case "instrumented estimate bit-identical" `Quick
+            test_database_estimate_instrumented;
         ] );
       ( "bundle",
         [
@@ -485,6 +577,9 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_estimator_basic;
           Alcotest.test_case "nan dropped" `Quick test_estimator_nan_dropped;
+          Alcotest.test_case "all-NaN raises" `Quick test_estimator_all_nan;
+          Alcotest.test_case "validation survives -noassert" `Quick
+            test_estimator_validation_no_assert;
           Alcotest.test_case "pp half-width = CI" `Quick test_estimator_pp_consistent;
           Alcotest.test_case "threshold query" `Quick test_threshold_probability;
           Alcotest.test_case "extreme quantile" `Quick test_extreme_quantile_guard;

@@ -254,6 +254,54 @@ let test_backpressure () =
   Alcotest.(check int) "2 rejected" 2 (Server.stats t).Server.rejected;
   Alcotest.(check int) "queue drains fully" 4 (List.length (Server.drain t))
 
+(* The default scheduler clock is wall time, so a request that sleeps in
+   the queue past its deadline must see a negative budget at dispatch —
+   and its completion latency must include the sleep. *)
+let test_wall_clock_sees_sleep () =
+  let s = Scheduler.create Scheduler.default_config in
+  let observed = ref None in
+  (match
+     Scheduler.submit s ~class_key:"k" ~deadline:0.02 (fun ~time_left ->
+         observed := time_left;
+         0)
+   with
+  | `Accepted _ -> ()
+  | `Rejected -> Alcotest.fail "submit rejected");
+  Unix.sleepf 0.06;
+  (match Scheduler.drain s with
+  | [ c ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "latency %.3f includes the queue sleep" c.Scheduler.latency)
+      true
+      (c.Scheduler.latency >= 0.05)
+  | _ -> Alcotest.fail "expected one completion");
+  match !observed with
+  | Some left ->
+    Alcotest.(check bool)
+      (Printf.sprintf "time_left %.3f negative after sleeping past the deadline" left)
+      true (left < 0.)
+  | None -> Alcotest.fail "deadline budget not forwarded"
+
+(* The counterpart documents the bug this replaced: with CPU time
+   injected, the same sleep burns no CPU, the clock stands still, and
+   the blown deadline goes unnoticed. The [?clock] stays injectable, so
+   the old behaviour is reproducible on demand. *)
+let test_cpu_clock_misses_sleep () =
+  let s = Scheduler.create ~clock:Sys.time Scheduler.default_config in
+  let observed = ref None in
+  ignore
+    (Scheduler.submit s ~class_key:"k" ~deadline:0.02 (fun ~time_left ->
+         observed := time_left;
+         0));
+  Unix.sleepf 0.06;
+  ignore (Scheduler.drain s);
+  match !observed with
+  | Some left ->
+    Alcotest.(check bool)
+      (Printf.sprintf "CPU budget %.3f still positive: the sleep was invisible" left)
+      true (left > 0.)
+  | None -> Alcotest.fail "deadline budget not forwarded"
+
 (* A clock that advances one unit per reading makes deadline arithmetic
    deterministic: any deadline under 1.0 is blown by dispatch time. *)
 let ticking () =
@@ -326,6 +374,10 @@ let () =
           Alcotest.test_case "served == direct (pooled, batched, cached)" `Quick
             test_served_equals_direct;
           Alcotest.test_case "backpressure" `Quick test_backpressure;
+          Alcotest.test_case "wall clock sees queue sleep" `Quick
+            test_wall_clock_sees_sleep;
+          Alcotest.test_case "CPU clock misses queue sleep" `Quick
+            test_cpu_clock_misses_sleep;
           Alcotest.test_case "deadline degradation" `Quick test_deadline_degradation;
           Alcotest.test_case "cold vs warm workload" `Quick test_demo_cold_warm;
         ] );
