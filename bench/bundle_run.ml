@@ -1,0 +1,28 @@
+(* The --bundle experiment: naive vs interpreted vs columnar execution of
+   one plan, recorded in bench/BENCH_bundle.json via the shared
+   Mde_bundle_bench harness (also behind [mde_cli bundle-bench]). *)
+
+module B = Mde_bundle_bench
+
+let run ?(domains = 1) ?(rows = 2000) ?(reps = 200) ?(seed = 42) () =
+  Util.section "BUNDLE"
+    (Printf.sprintf "columnar tuple-bundle engine, %d rows x %d reps (%d domains)"
+       rows reps domains);
+  let result = B.run ~domains ~rows ~reps ~seed () in
+  B.print result;
+  let path = B.emit ~domains ~seed result in
+  Util.note "recorded in %s" path;
+  if not result.B.identical then begin
+    Util.note "FAIL: the three execution paths disagree";
+    exit 1
+  end;
+  let speedup = B.speedup_vs_interp result in
+  let alloc = B.alloc_reduction_vs_interp result in
+  if speedup < 3. then begin
+    Util.note "WARNING: columnar speedup %.1fx below the 3x acceptance floor" speedup;
+    exit 1
+  end;
+  if alloc < 5. then begin
+    Util.note "WARNING: allocation reduction %.1fx below the 5x acceptance floor" alloc;
+    exit 1
+  end

@@ -17,7 +17,9 @@ let list_experiments () =
   Format.printf "  %-8s %s@." "--domains N"
     "sequential vs N-domain Monte Carlo replication wall time";
   Format.printf "  %-8s %s@." "--serve [N]"
-    "Zipf workload against the serving layer (optional domain count)"
+    "Zipf workload against the serving layer (optional domain count)";
+  Format.printf "  %-8s %s@." "--bundle [rows reps]"
+    "naive vs interpreted vs columnar tuple-bundle execution"
 
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -38,6 +40,14 @@ let () =
     | Some domains when domains >= 1 -> Perf.run_parallel ~domains ()
     | _ ->
       Format.eprintf "--domains expects a positive integer, got %S@." n;
+      exit 1)
+  | [ "--bundle" ] -> Bundle_run.run ()
+  | [ "--bundle"; rows; reps ] -> (
+    match (int_of_string_opt rows, int_of_string_opt reps) with
+    | Some rows, Some reps when rows >= 1 && reps >= 2 ->
+      Bundle_run.run ~rows ~reps ()
+    | _ ->
+      Format.eprintf "--bundle expects positive integers ROWS REPS (reps >= 2)@.";
       exit 1)
   | [ "--serve" ] -> Serve_bench.run ~domains:1 ()
   | [ "--serve"; n ] -> (

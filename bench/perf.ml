@@ -36,11 +36,23 @@ let bundle_fixture =
 let pred = Expr.(col "region" = string "east" && col "amount" > float 60.)
 
 let test_bundle_query =
-  Test.make ~name:"mcdb/bundle-query-50reps"
+  Test.make ~name:"mcdb/bundle-query-kernel-50reps"
     (Staged.stage (fun () ->
          let _, bundle = Lazy.force bundle_fixture in
          let selected = Mcdb.Bundle.select pred bundle in
          Mcdb.Bundle.aggregate [ ("s", Mcdb.Bundle.Sum (Expr.col "amount")) ] selected))
+
+(* The same query forced through the interpreter fallback: the per-run
+   time and allocation gap to the kernel case is the whole point of the
+   columnar engine. *)
+let test_bundle_query_interp =
+  Test.make ~name:"mcdb/bundle-query-interp-50reps"
+    (Staged.stage (fun () ->
+         let _, bundle = Lazy.force bundle_fixture in
+         let selected = Mcdb.Bundle.select ~impl:`Interpreter pred bundle in
+         Mcdb.Bundle.aggregate ~impl:`Interpreter
+           [ ("s", Mcdb.Bundle.Sum (Expr.col "amount")) ]
+           selected))
 
 let test_naive_query =
   Test.make ~name:"mcdb/naive-query-50reps"
@@ -265,6 +277,7 @@ let run_parallel ~domains () =
 let tests =
   [
     test_bundle_query;
+    test_bundle_query_interp;
     test_naive_query;
     test_hash_join;
     test_thomas;
@@ -277,34 +290,55 @@ let tests =
     test_mm1;
   ]
 
+let pretty_ns ns =
+  if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let pretty_words w =
+  if w > 1e6 then Printf.sprintf "%.2f Mw" (w /. 1e6)
+  else if w > 1e3 then Printf.sprintf "%.1f kw" (w /. 1e3)
+  else Printf.sprintf "%.0f w" w
+
 let run () =
-  Util.section "PERF" "Bechamel microbenchmarks (monotonic clock, ns/run)";
+  Util.section "PERF"
+    "Bechamel microbenchmarks (monotonic clock ns/run; minor+major GC words/run)";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated; major_allocated ] in
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"perf" tests) in
-  let results = Analyze.all ols (List.hd instances) raw in
+  let analyze instance = Analyze.all ols instance raw in
+  let time_results = analyze (List.nth instances 0) in
+  let minor_results = analyze (List.nth instances 1) in
+  let major_results = analyze (List.nth instances 2) in
+  let estimate table name =
+    match Hashtbl.find_opt table name with
+    | Some r -> (
+      match Analyze.OLS.estimates r with Some [ v ] -> Some v | Some _ | None -> None)
+    | None -> None
+  in
   let rows = ref [] in
   Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some [ ns ] ->
-        rows := (name, ns) :: !rows
-      | Some _ | None -> ())
-    results;
-  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
-  Util.table [ "benchmark"; "time/run" ]
+    (fun name _ ->
+      match estimate time_results name with
+      | Some ns ->
+        rows :=
+          (name, ns, estimate minor_results name, estimate major_results name)
+          :: !rows
+      | None -> ())
+    time_results;
+  let rows =
+    List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b) !rows
+  in
+  Util.table
+    [ "benchmark"; "time/run"; "minor alloc/run"; "major alloc/run" ]
     (List.map
-       (fun (name, ns) ->
-         let pretty =
-           if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-           else Printf.sprintf "%.0f ns" ns
-         in
-         [ name; pretty ])
+       (fun (name, ns, minor, major) ->
+         let words = function Some w -> pretty_words w | None -> "-" in
+         [ name; pretty_ns ns; words minor; words major ])
        rows)

@@ -449,6 +449,47 @@ let metrics_cmd =
           snapshot (validated Prometheus text or JSON)")
     Term.(const run $ requests $ concurrency $ zipf $ catalog_size $ format $ out $ seed_arg)
 
+(* --- bundle-bench --- *)
+
+let bundle_bench_cmd =
+  let run rows reps domains seed =
+    if rows < 1 || reps < 2 || domains < 1 then begin
+      prerr_endline
+        "mde bundle-bench: --rows and --domains must be positive, --reps >= 2";
+      exit 2
+    end;
+    let result = Mde_bundle_bench.run ~domains ~rows ~reps ~seed () in
+    Mde_bundle_bench.print result;
+    let path = Mde_bundle_bench.emit ~domains ~seed result in
+    Printf.printf "recorded in %s\n" path;
+    if not result.Mde_bundle_bench.identical then begin
+      prerr_endline "mde bundle-bench: execution paths disagree";
+      exit 1
+    end
+  in
+  let rows =
+    Arg.(
+      value & opt int 2000
+      & info [ "rows" ] ~docv:"N" ~doc:"Driver rows in the stochastic table.")
+  in
+  let reps =
+    Arg.(
+      value & opt int 200
+      & info [ "reps" ] ~docv:"N" ~doc:"Monte Carlo repetitions per tuple bundle.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domain-pool size for bundle construction and the kernel sweep.")
+  in
+  Cmd.v
+    (Cmd.info "bundle-bench"
+       ~doc:
+         "naive vs interpreted vs columnar tuple-bundle execution of one MCDB plan \
+          (records BENCH_bundle.json)")
+    Term.(const run $ rows $ reps $ domains $ seed_arg)
+
 (* --- serve-bench --- *)
 
 let serve_bench_cmd =
@@ -598,7 +639,7 @@ let () =
   let group =
     Cmd.group info
       [ traffic_cmd; epidemic_cmd; fire_cmd; schelling_cmd; market_cmd; mcdb_cmd;
-        housing_cmd; serve_bench_cmd; metrics_cmd ]
+        housing_cmd; serve_bench_cmd; bundle_bench_cmd; metrics_cmd ]
   in
   (* cmdliner's usage errors span several lines (message + usage + help
      pointer); compress to the first line so scripts see one diagnostic

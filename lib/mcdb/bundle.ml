@@ -1,47 +1,96 @@
 open Mde_relational
-
-type cell = Det of Value.t | Unc of Value.t array
+module Bitset = Column.Bitset
 
 type t = {
   schema : Schema.t;
   n_reps : int;
-  rows : cell array array;
-  presence : bool array array;  (* rows × reps *)
+  n_rows : int;
+  columns : Column.t array;
+  presence : Bitset.t;
 }
+
+type impl = [ `Kernel | `Interpreter ]
 
 let schema t = t.schema
 let n_reps t = t.n_reps
-let row_count t = Array.length t.rows
+let row_count t = t.n_rows
+let survivors t = Bitset.popcount t.presence
+let row_survivors t i = Bitset.row_popcount t.presence i
+let realize_row t i r = Array.map (fun c -> Column.value c i r) t.columns
+let present t i r = Bitset.get t.presence i r
 
-let cell_value cell r =
-  match cell with Det v -> v | Unc vs -> vs.(r)
+(* --- observability -------------------------------------------------
 
-let realize_row t i r = Array.map (fun c -> cell_value c r) t.rows.(i)
-let present t i r = t.presence.(i).(r)
+   With the no-op default registry the operators skip straight to the
+   work — no clock reads, no registration — so instrumented runs stay
+   bit-identical to uninstrumented ones. *)
 
-let compress_column values =
-  (* values : one per repetition; collapse to Det when constant. *)
-  let first = values.(0) in
-  if Array.for_all (fun v -> Value.equal v first) values then Det first
-  else Unc (Array.copy values)
+let instrumented ~cells f =
+  let obs = Mde_obs.default () in
+  if not (Mde_obs.enabled obs) then f ()
+  else
+    Mde_obs.with_span obs ~name:"bundle.kernel" (fun () ->
+        let t0 = Mde_obs.Clock.wall () in
+        let result = f () in
+        Mde_obs.Histogram.observe
+          (Mde_obs.histogram obs ~help:"Wall seconds per bundle operator sweep"
+             "mde_bundle_kernel_seconds")
+          (Mde_obs.Clock.wall () -. t0);
+        Mde_obs.Counter.add
+          (Mde_obs.counter obs
+             ~help:"Row-by-repetition cells swept by bundle operators"
+             "mde_bundle_cells_total")
+          cells;
+        result)
 
-let of_stochastic_table st rng ~n_reps =
-  assert (n_reps > 0);
+let count_fallbacks n =
+  if n > 0 then begin
+    let obs = Mde_obs.default () in
+    if Mde_obs.enabled obs then
+      Mde_obs.Counter.add
+        (Mde_obs.counter obs
+           ~help:"Bundle expressions evaluated by the interpreter fallback"
+           "mde_bundle_fallback_total")
+        n
+  end
+
+(* Row-chunked side-effecting sweep; [Pool.init] chunks contiguously,
+   and every per-row write (presence bytes, column slots) is disjoint
+   across rows, so the parallel sweep is bit-identical to sequential. *)
+let iter_rows ?pool n f =
+  match pool with
+  | None ->
+    for i = 0 to n - 1 do
+      f i
+    done
+  | Some _ -> ignore (Mde_par.Pool.init ?pool n f : unit array)
+
+(* --- construction -------------------------------------------------- *)
+
+let column_types schema =
+  Array.of_list (List.map (fun c -> c.Schema.ty) (Schema.columns schema))
+
+let of_stochastic_table ?pool st rng ~n_reps =
+  if n_reps < 1 then invalid_arg "Bundle.of_stochastic_table: n_reps must be >= 1";
   let vg = Stochastic_table.vg st in
   if not vg.Vg.row_stable then
     invalid_arg
       (Printf.sprintf
-         "Bundle.of_stochastic_table: VG function %S is not row-stable"
-         vg.Vg.name);
+         "Bundle.of_stochastic_table: VG function %S is not row-stable" vg.Vg.name);
   let out_schema = Stochastic_table.schema st in
-  let arity = Schema.arity out_schema in
-  let rows = ref [] in
-  Table.iter
-    (fun driver_row ->
-      (* One physical tuple per driver row; its uncertain attributes are
-         instantiated n_reps times and bundled column-wise. *)
-      let reps =
-        Array.init n_reps (fun _ ->
+  let driver_rows = Table.rows (Stochastic_table.driver st) in
+  let n_rows = Array.length driver_rows in
+  (* One pre-split stream per repetition, consumed driver-row-major —
+     exactly how [Stochastic_table.instantiate] consumes stream [r] in
+     [instantiate_many] — so realization [r] of this bundle is
+     bit-identical to the naive path's instance [r], and repetitions can
+     run on the pool without changing a single draw. *)
+  let streams = Mde_prob.Rng.split_n rng n_reps in
+  let reps_rows =
+    Mde_par.Pool.init ?pool n_reps (fun r ->
+        let rng = streams.(r) in
+        Array.map
+          (fun driver_row ->
             match Stochastic_table.generate_for_row st rng driver_row with
             | [ row ] -> row
             | rows ->
@@ -50,123 +99,176 @@ let of_stochastic_table st rng ~n_reps =
                    "Bundle.of_stochastic_table: VG %S emitted %d rows for one \
                     driver row (expected 1)"
                    vg.Vg.name (List.length rows)))
-      in
-      let cells =
-        Array.init arity (fun j -> compress_column (Array.map (fun rep -> rep.(j)) reps))
-      in
-      rows := cells :: !rows)
-    (Stochastic_table.driver st);
-  let rows = Array.of_list (List.rev !rows) in
-  let presence = Array.map (fun _ -> Array.make n_reps true) rows in
-  { schema = out_schema; n_reps; rows; presence }
+          driver_rows)
+  in
+  let tys = column_types out_schema in
+  let columns =
+    Array.init (Array.length tys) (fun j ->
+        Column.of_cells ~ty:tys.(j) ~rows:n_rows ~reps:n_reps (fun i r ->
+            reps_rows.(r).(i).(j)))
+  in
+  {
+    schema = out_schema;
+    n_reps;
+    n_rows;
+    columns;
+    presence = Bitset.create ~rows:n_rows ~reps:n_reps true;
+  }
 
 let of_table table ~n_reps =
-  assert (n_reps > 0);
-  let rows = Array.map (Array.map (fun v -> Det v)) (Table.rows table) in
-  let presence = Array.map (fun _ -> Array.make n_reps true) rows in
-  { schema = Table.schema table; n_reps; rows; presence }
+  if n_reps < 1 then invalid_arg "Bundle.of_table: n_reps must be >= 1";
+  let schema = Table.schema table in
+  let rows = Table.rows table in
+  let n_rows = Array.length rows in
+  let tys = column_types schema in
+  let columns =
+    Array.init (Array.length tys) (fun j ->
+        Column.of_det_cells ~ty:tys.(j) ~rows:n_rows ~reps:n_reps (fun i ->
+            rows.(i).(j)))
+  in
+  { schema; n_reps; n_rows; columns; presence = Bitset.create ~rows:n_rows ~reps:n_reps true }
 
-let select pred t =
-  let used = Expr.columns_used pred in
-  let idxs = List.map (Schema.column_index t.schema) used in
-  let presence = Array.map Array.copy t.presence in
-  Array.iteri
-    (fun i row ->
-      let det_only =
-        List.for_all (fun j -> match row.(j) with Det _ -> true | Unc _ -> false) idxs
-      in
-      if det_only then begin
-        (* One evaluation covers every repetition. *)
-        let realized = Array.map (fun c -> cell_value c 0) row in
-        if not (Expr.eval_bool t.schema realized pred) then
-          Array.fill presence.(i) 0 t.n_reps false
-      end
-      else
-        for r = 0 to t.n_reps - 1 do
-          if presence.(i).(r) then begin
-            let realized = realize_row t i r in
-            if not (Expr.eval_bool t.schema realized pred) then
-              presence.(i).(r) <- false
+(* --- select -------------------------------------------------------- *)
+
+let interp_det_only t e =
+  List.for_all
+    (fun name -> Column.det t.columns.(Schema.column_index t.schema name))
+    (Expr.columns_used e)
+
+let select ?pool ?(impl = `Kernel) pred t =
+  instrumented ~cells:(t.n_rows * t.n_reps) (fun () ->
+      let presence = Bitset.copy t.presence in
+      let compiled =
+        match impl with
+        | `Interpreter -> None
+        | `Kernel -> begin
+          let env = Kernel.env_of_columns t.schema ~reps:t.n_reps t.columns in
+          match Kernel.compile env pred with
+          | Some node -> begin
+            match Kernel.as_pred node with
+            | Some test -> Some (test, Kernel.node_unc node)
+            | None -> None
           end
-        done)
-    t.rows;
-  { t with presence }
+          | None -> None
+        end
+      in
+      begin
+        match compiled with
+        | Some (test, unc) ->
+          if not unc then
+            (* One evaluation covers every repetition. *)
+            iter_rows ?pool t.n_rows (fun i ->
+                if not (test i 0) then Bitset.clear_row presence i)
+          else
+            iter_rows ?pool t.n_rows (fun i ->
+                for r = 0 to t.n_reps - 1 do
+                  if Bitset.get presence i r && not (test i r) then
+                    Bitset.unset presence i r
+                done)
+        | None ->
+          (match impl with `Kernel -> count_fallbacks 1 | `Interpreter -> ());
+          if interp_det_only t pred then
+            iter_rows ?pool t.n_rows (fun i ->
+                if not (Expr.eval_bool t.schema (realize_row t i 0) pred) then
+                  Bitset.clear_row presence i)
+          else
+            iter_rows ?pool t.n_rows (fun i ->
+                for r = 0 to t.n_reps - 1 do
+                  if
+                    Bitset.get presence i r
+                    && not (Expr.eval_bool t.schema (realize_row t i r) pred)
+                  then Bitset.unset presence i r
+                done)
+      end;
+      { t with presence })
+
+(* --- project / extend ---------------------------------------------- *)
 
 let project names t =
   let idxs = List.map (Schema.column_index t.schema) names in
-  let rows =
-    Array.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs)) t.rows
-  in
-  { t with schema = Schema.project t.schema names; rows }
+  {
+    t with
+    schema = Schema.project t.schema names;
+    columns = Array.of_list (List.map (fun j -> t.columns.(j)) idxs);
+  }
 
-let extend defs t =
+let extend ?pool ?(impl = `Kernel) defs t =
   let added = Schema.of_list (List.map (fun (n, ty, _) -> (n, ty)) defs) in
   let out_schema = Schema.concat t.schema added in
-  let rows =
-    Array.mapi
-      (fun i row ->
-        let new_cells =
-          List.map
-            (fun (_, _, e) ->
-              let used = Expr.columns_used e in
-              let idxs = List.map (Schema.column_index t.schema) used in
-              let det_only =
-                List.for_all
-                  (fun j -> match row.(j) with Det _ -> true | Unc _ -> false)
-                  idxs
-              in
-              if det_only then
-                Det (Expr.eval t.schema (Array.map (fun c -> cell_value c 0) row) e)
+  instrumented ~cells:(t.n_rows * t.n_reps * List.length defs) (fun () ->
+      let env = Kernel.env_of_columns t.schema ~reps:t.n_reps t.columns in
+      let new_cols =
+        List.map
+          (fun (_, ty, e) ->
+            let node =
+              match impl with `Interpreter -> None | `Kernel -> Kernel.compile env e
+            in
+            match node with
+            | Some node -> Kernel.materialize ?pool ~rows:t.n_rows ~reps:t.n_reps node
+            | None ->
+              (match impl with `Kernel -> count_fallbacks 1 | `Interpreter -> ());
+              if interp_det_only t e then
+                Column.of_det_cells ~ty ~rows:t.n_rows ~reps:t.n_reps (fun i ->
+                    Expr.eval t.schema (realize_row t i 0) e)
               else
-                compress_column
-                  (Array.init t.n_reps (fun r -> Expr.eval t.schema (realize_row t i r) e)))
-            defs
-        in
-        Array.append row (Array.of_list new_cells))
-      t.rows
-  in
-  { t with schema = out_schema; rows }
+                Column.of_cells ~ty ~rows:t.n_rows ~reps:t.n_reps (fun i r ->
+                    Expr.eval t.schema (realize_row t i r) e))
+          defs
+      in
+      {
+        t with
+        schema = out_schema;
+        columns = Array.append t.columns (Array.of_list new_cols);
+      })
+
+(* --- join ----------------------------------------------------------- *)
 
 let det_key_exn t idxs i =
   List.map
     (fun j ->
-      match t.rows.(i).(j) with
-      | Det v -> v
-      | Unc _ -> invalid_arg "Bundle: key column is uncertain")
+      let c = t.columns.(j) in
+      if Column.det c then Column.value c i 0
+      else invalid_arg "Bundle: key column is uncertain")
     idxs
 
 let join ~on left right =
+  if left.n_reps <> right.n_reps then
+    invalid_arg "Bundle.join: repetition counts differ";
   let ls = left.schema and rs = right.schema in
-  assert (left.n_reps = right.n_reps);
   let out_schema = Schema.concat ls rs in
   let l_idx = List.map (fun (l, _) -> Schema.column_index ls l) on in
   let r_idx = List.map (fun (_, r) -> Schema.column_index rs r) on in
-  let build = Hashtbl.create (max 16 (Array.length right.rows)) in
+  (* NaN-safe build side: keys hash via [Value.hash]. *)
+  let build = Value.Tbl.create (max 16 right.n_rows) in
+  for j = 0 to right.n_rows - 1 do
+    let key = det_key_exn right r_idx j in
+    if not (List.exists Value.is_null key) then Value.Tbl.add build key j
+  done;
+  let pairs = ref [] in
+  for i = 0 to left.n_rows - 1 do
+    let key = det_key_exn left l_idx i in
+    if not (List.exists Value.is_null key) then
+      (* find_all returns most-recent first; restore build order. *)
+      List.iter
+        (fun j -> pairs := (i, j) :: !pairs)
+        (List.rev (Value.Tbl.find_all build key))
+  done;
+  let pairs = Array.of_list (List.rev !pairs) in
+  let n_out = Array.length pairs in
+  let li = Array.map fst pairs and ri = Array.map snd pairs in
+  let columns =
+    Array.append
+      (Array.map (fun c -> Column.gather c li) left.columns)
+      (Array.map (fun c -> Column.gather c ri) right.columns)
+  in
+  let presence = Bitset.create ~rows:n_out ~reps:left.n_reps false in
   Array.iteri
-    (fun i _ ->
-      let key = det_key_exn right r_idx i in
-      if not (List.exists Value.is_null key) then Hashtbl.add build key i)
-    right.rows;
-  let out_rows = ref [] and out_presence = ref [] in
-  Array.iteri
-    (fun i _ ->
-      let key = det_key_exn left l_idx i in
-      if not (List.exists Value.is_null key) then
-        List.iter
-          (fun j ->
-            out_rows := Array.append left.rows.(i) right.rows.(j) :: !out_rows;
-            out_presence :=
-              Array.init left.n_reps (fun r ->
-                  left.presence.(i).(r) && right.presence.(j).(r))
-              :: !out_presence)
-          (List.rev (Hashtbl.find_all build key)))
-    left.rows;
-  {
-    schema = out_schema;
-    n_reps = left.n_reps;
-    rows = Array.of_list (List.rev !out_rows);
-    presence = Array.of_list (List.rev !out_presence);
-  }
+    (fun k (i, j) ->
+      Bitset.and_rows ~dst:presence k ~a:left.presence i ~b:right.presence j)
+    pairs;
+  { schema = out_schema; n_reps = left.n_reps; n_rows = n_out; columns; presence }
+
+(* --- aggregate / fused query ---------------------------------------- *)
 
 type agg = Count | Sum of Expr.t | Avg of Expr.t | Min of Expr.t | Max of Expr.t
 
@@ -178,11 +280,94 @@ type group_state = {
   agg_counts : int array array;  (* per agg: rows contributing per rep *)
 }
 
-let aggregate ?(keys = []) aggs t =
+type def_eval = D_node of Kernel.node | D_interp of Expr.t
+type pred_eval = P_none | P_cell of (int -> int -> bool) | P_interp of Expr.t
+type agg_eval = A_count | A_cell of Kernel.cell | A_interp of Expr.t
+
+let fused ?pool ~impl t ~pred ~defs ~keys ~aggs =
   let key_idx = List.map (Schema.column_index t.schema) keys in
-  let groups : (Value.t list, group_state) Hashtbl.t = Hashtbl.create 16 in
+  let ext_schema =
+    match defs with
+    | [] -> t.schema
+    | _ ->
+      Schema.concat t.schema
+        (Schema.of_list (List.map (fun (n, ty, _) -> (n, ty)) defs))
+  in
+  let kernel = match impl with `Kernel -> true | `Interpreter -> false in
+  let fallbacks = ref 0 in
+  let env = Kernel.env_of_columns t.schema ~reps:t.n_reps t.columns in
+  let def_evals =
+    List.map
+      (fun (name, _, e) ->
+        if kernel then
+          match Kernel.compile env e with
+          | Some node -> (name, D_node node)
+          | None ->
+            incr fallbacks;
+            (name, D_interp e)
+        else (name, D_interp e))
+      defs
+  in
+  let env' =
+    Kernel.env_extend env
+      (List.filter_map
+         (function n, D_node node -> Some (n, node) | _, D_interp _ -> None)
+         def_evals)
+  in
+  let pred_eval =
+    match pred with
+    | None -> P_none
+    | Some p ->
+      if kernel then begin
+        match Option.bind (Kernel.compile env p) Kernel.as_pred with
+        | Some test -> P_cell test
+        | None ->
+          incr fallbacks;
+          P_interp p
+      end
+      else P_interp p
+  in
+  let agg_evals =
+    Array.of_list
+      (List.map
+         (fun (_, agg) ->
+           match agg with
+           | Count -> A_count
+           | Sum e | Avg e | Min e | Max e ->
+             if kernel then begin
+               match Option.bind (Kernel.compile env' e) Kernel.as_float_cell with
+               | Some cell -> A_cell cell
+               | None ->
+                 incr fallbacks;
+                 A_interp e
+             end
+             else A_interp e)
+         aggs)
+  in
+  if kernel then count_fallbacks !fallbacks;
+  (* Extended-schema row for interpreted aggregate arguments. *)
+  let ext_row i r =
+    let base = realize_row t i r in
+    match def_evals with
+    | [] -> base
+    | _ ->
+      Array.append base
+        (Array.of_list
+           (List.map
+              (function
+                | _, D_node node -> Kernel.node_value node i r
+                | _, D_interp e -> Expr.eval t.schema base e)
+              def_evals))
+  in
+  let pass =
+    match pred_eval with
+    | P_none -> fun _ _ -> true
+    | P_cell test -> test
+    | P_interp p -> fun i r -> Expr.eval_bool t.schema (realize_row t i r) p
+  in
+  let n_aggs = Array.length agg_evals in
+  let groups : group_state Value.Tbl.t = Value.Tbl.create 16 in
   let order = ref [] in
-  let n_aggs = List.length aggs in
   let fresh () =
     {
       counts = Array.make t.n_reps 0;
@@ -192,40 +377,103 @@ let aggregate ?(keys = []) aggs t =
       agg_counts = Array.init n_aggs (fun _ -> Array.make t.n_reps 0);
     }
   in
-  Array.iteri
-    (fun i _ ->
-      let key = det_key_exn t key_idx i in
-      let state =
-        match Hashtbl.find_opt groups key with
-        | Some s -> s
-        | None ->
-          let s = fresh () in
-          Hashtbl.add groups key s;
-          order := key :: !order;
-          s
+  let state_for i =
+    let key = det_key_exn t key_idx i in
+    match Value.Tbl.find_opt groups key with
+    | Some s -> s
+    | None ->
+      let s = fresh () in
+      Value.Tbl.add groups key s;
+      order := key :: !order;
+      s
+  in
+  let accumulate state a r x =
+    state.sums.(a).(r) <- state.sums.(a).(r) +. x;
+    if x < state.mins.(a).(r) then state.mins.(a).(r) <- x;
+    if x > state.maxs.(a).(r) then state.maxs.(a).(r) <- x;
+    state.agg_counts.(a).(r) <- state.agg_counts.(a).(r) + 1
+  in
+  begin
+    match pool with
+    | None ->
+      (* Single fused sweep: test, derive and accumulate per cell. *)
+      for i = 0 to t.n_rows - 1 do
+        let state = state_for i in
+        for r = 0 to t.n_reps - 1 do
+          if Bitset.get t.presence i r && pass i r then begin
+            state.counts.(r) <- state.counts.(r) + 1;
+            Array.iteri
+              (fun a ev ->
+                match ev with
+                | A_count -> ()
+                | A_cell cell ->
+                  if not (cell.Kernel.null i r) then
+                    accumulate state a r (cell.Kernel.value i r)
+                | A_interp e ->
+                  let v = Expr.eval ext_schema (ext_row i r) e in
+                  if not (Value.is_null v) then accumulate state a r (Value.to_float v))
+              agg_evals
+          end
+        done
+      done
+    | Some _ ->
+      (* Two-phase parallel: evaluate cells row-chunked into scratch,
+         then replay the accumulation sequentially in row order — float
+         addition is order-sensitive, so the replay keeps grouped sums
+         bit-identical to the sequential sweep. *)
+      let pass_bits = Bitset.create ~rows:t.n_rows ~reps:t.n_reps false in
+      let scratch =
+        Array.map
+          (function
+            | A_count -> None
+            | A_cell _ | A_interp _ ->
+              Some
+                ( Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+                    (max 1 (t.n_rows * t.n_reps)),
+                  Bitset.create ~rows:t.n_rows ~reps:t.n_reps false ))
+          agg_evals
       in
-      for r = 0 to t.n_reps - 1 do
-        if t.presence.(i).(r) then begin
-          state.counts.(r) <- state.counts.(r) + 1;
-          List.iteri
-            (fun a (_, agg) ->
-              match agg with
-              | Count -> ()
-              | Sum e | Avg e | Min e | Max e ->
-                let v = Expr.eval t.schema (realize_row t i r) e in
-                if not (Value.is_null v) then begin
-                  let x = Value.to_float v in
-                  state.sums.(a).(r) <- state.sums.(a).(r) +. x;
-                  if x < state.mins.(a).(r) then state.mins.(a).(r) <- x;
-                  if x > state.maxs.(a).(r) then state.maxs.(a).(r) <- x;
-                  state.agg_counts.(a).(r) <- state.agg_counts.(a).(r) + 1
-                end)
-            aggs
-        end
-      done)
-    t.rows;
+      iter_rows ?pool t.n_rows (fun i ->
+          for r = 0 to t.n_reps - 1 do
+            if Bitset.get t.presence i r && pass i r then begin
+              Bitset.set pass_bits i r;
+              Array.iteri
+                (fun a ev ->
+                  match (ev, scratch.(a)) with
+                  | A_count, _ | _, None -> ()
+                  | A_cell cell, Some (vals, skips) ->
+                    if cell.Kernel.null i r then Bitset.set skips i r
+                    else
+                      Bigarray.Array1.set vals ((i * t.n_reps) + r)
+                        (cell.Kernel.value i r)
+                  | A_interp e, Some (vals, skips) ->
+                    let v = Expr.eval ext_schema (ext_row i r) e in
+                    if Value.is_null v then Bitset.set skips i r
+                    else
+                      Bigarray.Array1.set vals ((i * t.n_reps) + r) (Value.to_float v))
+                agg_evals
+            end
+          done);
+      for i = 0 to t.n_rows - 1 do
+        let state = state_for i in
+        for r = 0 to t.n_reps - 1 do
+          if Bitset.get pass_bits i r then begin
+            state.counts.(r) <- state.counts.(r) + 1;
+            Array.iteri
+              (fun a ev ->
+                match (ev, scratch.(a)) with
+                | A_count, _ | _, None -> ()
+                | (A_cell _ | A_interp _), Some (vals, skips) ->
+                  if not (Bitset.get skips i r) then
+                    accumulate state a r
+                      (Bigarray.Array1.get vals ((i * t.n_reps) + r)))
+              agg_evals
+          end
+        done
+      done
+  end;
   let finish key =
-    let state = Hashtbl.find groups key in
+    let state = Value.Tbl.find groups key in
     let per_agg =
       Array.of_list
         (List.mapi
@@ -261,10 +509,53 @@ let aggregate ?(keys = []) aggs t =
   | [], [] -> [ finish_empty_global () ]
   | found, _ -> List.map finish (List.rev found)
 
+let aggregate ?pool ?(impl = `Kernel) ?(keys = []) aggs t =
+  instrumented ~cells:(t.n_rows * t.n_reps) (fun () ->
+      fused ?pool ~impl t ~pred:None ~defs:[] ~keys ~aggs)
+
+type plan = {
+  where_ : Expr.t option;
+  derive : (string * Value.ty * Expr.t) list;
+  group_keys : string list;
+  aggs : (string * agg) list;
+}
+
+let agg_fingerprint = function
+  | Count -> "count"
+  | Sum e -> Format.asprintf "sum(%a)" Expr.pp e
+  | Avg e -> Format.asprintf "avg(%a)" Expr.pp e
+  | Min e -> Format.asprintf "min(%a)" Expr.pp e
+  | Max e -> Format.asprintf "max(%a)" Expr.pp e
+
+let plan_fingerprint plan =
+  Format.asprintf "plan{where=%s;derive=[%s];keys=[%s];aggs=[%s]}"
+    (match plan.where_ with
+    | None -> "-"
+    | Some p -> Format.asprintf "%a" Expr.pp p)
+    (String.concat ";"
+       (List.map
+          (fun (n, ty, e) ->
+            Format.asprintf "%s:%s=%a" n (Value.type_name ty) Expr.pp e)
+          plan.derive))
+    (String.concat ";" plan.group_keys)
+    (String.concat ";"
+       (List.map (fun (n, a) -> n ^ "=" ^ agg_fingerprint a) plan.aggs))
+
+let query ?pool ?(impl = `Kernel) t plan =
+  if List.for_all (Schema.mem t.schema) plan.group_keys then
+    instrumented ~cells:(t.n_rows * t.n_reps) (fun () ->
+        fused ?pool ~impl t ~pred:plan.where_ ~defs:plan.derive
+          ~keys:plan.group_keys ~aggs:plan.aggs)
+  else
+    (* Group keys name derived columns: materialize, then aggregate. *)
+    let t = match plan.where_ with None -> t | Some p -> select ?pool ~impl p t in
+    let t = extend ?pool ~impl plan.derive t in
+    aggregate ?pool ~impl ~keys:plan.group_keys plan.aggs t
+
 let to_instances t =
   Array.init t.n_reps (fun r ->
       let rows = ref [] in
-      Array.iteri
-        (fun i _ -> if t.presence.(i).(r) then rows := realize_row t i r :: !rows)
-        t.rows;
-      Table.create t.schema (List.rev !rows))
+      for i = t.n_rows - 1 downto 0 do
+        if Bitset.get t.presence i r then rows := realize_row t i r :: !rows
+      done;
+      Table.create t.schema !rows)

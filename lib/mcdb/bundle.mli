@@ -1,61 +1,95 @@
-(** Tuple-bundle query execution (§2.1).
+(** Tuple-bundle query execution (§2.1), columnar edition.
 
     MCDB "executes a query plan only once, processing tuple bundles
     rather than ordinary tuples": each uncertain attribute of a tuple
-    carries the array of its instantiations across all Monte Carlo
-    repetitions, while deterministic attributes are stored once. A
-    per-repetition presence bitmap tracks which tuples survive selection
-    in which repetition, so selections, projections, computed columns,
-    joins on deterministic keys, and aggregations all happen in a single
-    pass over the data instead of once per repetition.
+    carries its instantiations across all Monte Carlo repetitions, while
+    deterministic attributes are stored once. Storage is columnar
+    ({!Column}): float attributes in float64 bigarrays, int/bool in int
+    arrays, strings dictionary-encoded, and presence as a packed
+    rows × reps bitset with popcount survivor counting. Predicates,
+    computed columns and aggregate arguments are compiled to typed
+    closures ({!Kernel}); expressions the compiler does not cover fall
+    back to the {!Mde_relational.Expr} interpreter per expression, with
+    identical results (fallbacks are counted on
+    [mde_bundle_fallback_total] when a live {!Mde_obs} registry is
+    installed, and every operator sweep records
+    [mde_bundle_kernel_seconds] and [mde_bundle_cells_total]).
+
+    Determinism contract: construction pre-splits one RNG stream per
+    repetition (so realization [r] of {!to_instances} is bit-identical to
+    element [r] of {!Stochastic_table.instantiate_many} with the same
+    seed), and the [?pool] row-chunked parallel paths produce
+    bit-identical bundles and aggregates to their sequential runs.
+    [?impl:`Interpreter] forces the fallback path everywhere — the
+    benchmark baseline, and the oracle the kernel path is tested
+    against.
 
     Restrictions (documented MCDB-style): bundle construction requires a
     row-stable VG function (exactly one output row per driver row), and
-    join keys / group-by keys must be deterministic. The general case
-    falls back to {!Stochastic_table.instantiate_many} + ordinary
+    join keys / group-by keys must be deterministic columns. The general
+    case falls back to {!Stochastic_table.instantiate_many} + ordinary
     queries; {!to_instances} lets tests check the two paths agree. *)
 
 open Mde_relational
 
-type cell =
-  | Det of Value.t  (** same value in every repetition *)
-  | Unc of Value.t array  (** one value per repetition *)
-
 type t
 
+type impl = [ `Kernel | `Interpreter ]
+(** [`Kernel] (the default) compiles what it can and falls back per
+    expression; [`Interpreter] forces interpreted evaluation. *)
+
 val of_stochastic_table :
-  Stochastic_table.t -> Mde_prob.Rng.t -> n_reps:int -> t
-(** Instantiate all repetitions at once. Columns whose values coincide
-    across repetitions are stored as [Det]. Raises [Invalid_argument] if
-    the table's VG function is not row-stable. *)
+  ?pool:Mde_par.Pool.t -> Stochastic_table.t -> Mde_prob.Rng.t -> n_reps:int -> t
+(** Instantiate all repetitions at once, one pre-split RNG stream per
+    repetition ([?pool] parallelizes over repetitions, bit-identically).
+    Columns constant across repetitions are stored deterministically.
+    Raises [Invalid_argument] if the table's VG function is not
+    row-stable or [n_reps < 1]. *)
 
 val of_table : Table.t -> n_reps:int -> t
-(** Wrap a deterministic table (all cells [Det], all rows present). *)
+(** Wrap a deterministic table (all columns deterministic, all rows
+    present). *)
 
 val schema : t -> Schema.t
 val n_reps : t -> int
+
 val row_count : t -> int
 (** Physical tuples (independent of presence). *)
+
+val survivors : t -> int
+(** Present (row, repetition) cells — one popcount sweep of the packed
+    presence bitmap. A fresh bundle has [row_count * n_reps]. *)
+
+val row_survivors : t -> int -> int
+(** Repetitions in which row [i] is present. *)
 
 val realize_row : t -> int -> int -> Table.row
 (** [realize_row b i r]: row [i]'s values in repetition [r]. *)
 
 val present : t -> int -> int -> bool
 
-val select : Expr.t -> t -> t
-(** Evaluate the predicate per repetition, narrowing presence. Evaluated
-    once per tuple when the predicate touches only deterministic cells. *)
+val select : ?pool:Mde_par.Pool.t -> ?impl:impl -> Expr.t -> t -> t
+(** Narrow presence by the predicate, sweeping the repetition axis with
+    a compiled kernel (deterministic predicates evaluate once per
+    tuple). [?pool] chunks rows over the domain pool; each row's
+    presence bits start on a byte boundary, so chunks write disjoint
+    bytes and the result is bit-identical. *)
 
 val project : string list -> t -> t
 
-val extend : (string * Value.ty * Expr.t) list -> t -> t
-(** Computed columns; a result cell is [Det] when every referenced input
-    cell is. *)
+val extend :
+  ?pool:Mde_par.Pool.t -> ?impl:impl -> (string * Value.ty * Expr.t) list -> t -> t
+(** Computed columns, materialized as typed columns. A compiled column
+    is deterministic when the expression touches only deterministic
+    inputs; a fallback column is deterministic when its values are
+    observed constant across repetitions. *)
 
 val join : on:(string * string) list -> t -> t -> t
-(** Hash equi-join on deterministic key columns; output presence is the
-    conjunction of the inputs' presence. Raises [Invalid_argument] if a
-    key column is uncertain. *)
+(** Hash equi-join on deterministic key columns (keyed by
+    {!Value.hash}, so NaN keys match themselves); output presence is
+    the byte-wise AND of the inputs' presence. Raises
+    [Invalid_argument] if a key column is uncertain or the repetition
+    counts differ. *)
 
 type agg =
   | Count
@@ -65,14 +99,50 @@ type agg =
   | Max of Expr.t
 
 val aggregate :
-  ?keys:string list -> (string * agg) list -> t -> (Table.row * float array array) list
+  ?pool:Mde_par.Pool.t ->
+  ?impl:impl ->
+  ?keys:string list ->
+  (string * agg) list ->
+  t ->
+  (Table.row * float array array) list
 (** Grouped aggregation in one pass: for each group (keyed on
-    deterministic columns; `?keys` defaults to none, i.e. one global
+    deterministic columns; [?keys] defaults to none, i.e. one global
     group) and each named aggregate, the per-repetition aggregate values
     (array of length [n_reps]). Empty groups in a repetition yield [nan]
-    for Avg/Min/Max and 0 for Count/Sum. *)
+    for Avg/Min/Max and 0 for Count/Sum. With [?pool], evaluation is
+    row-chunked and the accumulation replayed in row order, so grouped
+    sums are bit-identical to the sequential pass. *)
+
+type plan = {
+  where_ : Expr.t option;  (** selection over the base schema *)
+  derive : (string * Value.ty * Expr.t) list;  (** computed columns *)
+  group_keys : string list;
+  aggs : (string * agg) list;  (** over the derived schema *)
+}
+(** A select → extend → aggregate pipeline, the row-stable query shape
+    the serving layer pushes through the bundle engine. *)
+
+val plan_fingerprint : plan -> string
+(** Canonical one-line rendering of a plan (expressions printed with
+    {!Mde_relational.Expr.pp}) — stable across runs, the plan component
+    of a serving-layer cache key. *)
+
+val query :
+  ?pool:Mde_par.Pool.t ->
+  ?impl:impl ->
+  t ->
+  plan ->
+  (Table.row * float array array) list
+(** Run a plan in one fused pass: no intermediate bundle is
+    materialized and presence is not rewritten — each cell is tested,
+    derived and accumulated in a single sweep. Result is exactly
+    [aggregate ~keys (select |> extend)] on the same bundle (asserted in
+    tests, bit for bit). Group keys naming derived columns force the
+    unfused compose path. *)
 
 val to_instances : t -> Table.t array
 (** Materialize each repetition as an ordinary table (presence applied) —
     the bridge to the naive path for testing and for downstream operators
-    the bundle engine does not cover. *)
+    the bundle engine does not cover. Realization [r] is bit-identical
+    to element [r] of {!Stochastic_table.instantiate_many} for a bundle
+    built with the same seed. *)

@@ -1,0 +1,109 @@
+(** Typed columnar storage for the tuple-bundle engine.
+
+    A bundle stores each attribute as one column rather than boxing every
+    cell as a [Value.t]: float attributes live in a float64
+    [Bigarray.Array1] (no per-cell boxing, contiguous repetition sweeps),
+    int and bool attributes in [int array]s, and string attributes as
+    dictionary codes over a per-column dictionary. A column is either
+    {e deterministic} (one slot per physical row — every repetition
+    agrees) or {e uncertain} (rows × reps slots, repetition-major within
+    a row: slot of [(i, r)] is [i * reps + r]). Columns whose cells
+    cannot be represented in the typed storage (values that contradict
+    the declared type) degrade to a boxed [Value.t array] rather than
+    failing, so the engine never rejects data the interpreter accepted.
+
+    {!Bitset} is the packed rows × reps presence bitmap (1 bit per cell,
+    8× to 64× smaller than the [bool array array] it replaced) with
+    popcount-based survivor counting. Each row's bits start on a byte
+    boundary, so parallel workers that own disjoint contiguous row ranges
+    touch disjoint bytes — row-chunked writes need no synchronization. *)
+
+open Mde_relational
+
+module Bitset : sig
+  type t
+
+  val create : rows:int -> reps:int -> bool -> t
+  (** All bits initialized to the given value. Storage is
+      [(reps + 7) / 8] bytes per row. *)
+
+  val rows : t -> int
+  val reps : t -> int
+  val get : t -> int -> int -> bool
+  val set : t -> int -> int -> unit
+  val unset : t -> int -> int -> unit
+
+  val clear_row : t -> int -> unit
+  (** Zero every bit of one row (a deterministic predicate rejected the
+      tuple in all repetitions at once). *)
+
+  val copy : t -> t
+
+  val popcount : t -> int
+  (** Total set bits (table-driven byte popcount). *)
+
+  val row_popcount : t -> int -> int
+  (** Set bits in one row — repetitions in which the row survives. *)
+
+  val and_rows : dst:t -> int -> a:t -> int -> b:t -> int -> unit
+  (** [and_rows ~dst k ~a i ~b j]: row [k] of [dst] becomes the bitwise
+      AND of row [i] of [a] and row [j] of [b]. All three must share
+      [reps]. The join's presence conjunction, one byte at a time. *)
+
+  val gather_rows : t -> int array -> t
+  (** New bitset whose row [k] is row [idx.(k)] of the input. *)
+end
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val det : t -> bool
+val rows : t -> int
+val reps : t -> int
+
+val of_cells : ty:Value.ty -> rows:int -> reps:int -> (int -> int -> Value.t) -> t
+(** Build from a cell reader [get i r]. Detects determinism (all rows
+    constant across repetitions under [Value.equal]) and selects typed
+    storage from [ty], degrading to boxed storage if any cell's type
+    contradicts [ty]. *)
+
+val of_det_cells : ty:Value.ty -> rows:int -> reps:int -> (int -> Value.t) -> t
+(** Deterministic column from a per-row reader (wrapping a plain table);
+    [reps] is the owning bundle's repetition count. *)
+
+(** Raw constructors for compiled kernels that have already produced
+    typed storage. [rows] is inferred from the data length; [nulls], when
+    present, must have geometry rows × (det ? 1 : reps). *)
+
+val of_floats : det:bool -> reps:int -> ?nulls:Bitset.t -> floats -> t
+
+val of_ints : det:bool -> reps:int -> ?nulls:Bitset.t -> int array -> t
+
+val of_bools : det:bool -> reps:int -> ?nulls:Bitset.t -> int array -> t
+(** Bool storage is 0/1 ints; a distinct constructor so read-back knows
+    to rebuild [Value.Bool]. *)
+
+val of_codes : det:bool -> reps:int -> dict:string array -> int array -> t
+(** Dictionary-encoded strings; code [-1] is Null. *)
+
+val of_values : det:bool -> reps:int -> Value.t array -> t
+(** Boxed fallback storage. *)
+
+(** The kernel compiler's window into the storage. [nulls = None] means
+    the column has no Null cells. *)
+type view =
+  | Vfloat of { vdet : bool; data : floats; nulls : Bitset.t option }
+  | Vint of { vdet : bool; data : int array; nulls : Bitset.t option }
+  | Vbool of { vdet : bool; data : int array; nulls : Bitset.t option }
+  | Vstring of { vdet : bool; codes : int array; dict : string array }
+  | Vvalues of { vdet : bool; data : Value.t array }
+
+val view : t -> view
+
+val value : t -> int -> int -> Value.t
+(** Boxed read of cell [(i, r)]; deterministic columns ignore [r]. *)
+
+val gather : t -> int array -> t
+(** New column whose row [k] is row [idx.(k)] — the join's output
+    construction. Dictionaries are shared, not copied. *)

@@ -63,6 +63,32 @@ let monte_carlo ?pool t rng ~reps ~query =
   let streams = Rng.split_n rng reps in
   Mde_par.Pool.init ?pool reps (fun r -> query (instantiate t streams.(r)))
 
+let plan_samples ?pool ?impl t rng ~table ~reps plan =
+  if reps < 1 then invalid_arg "Database.plan_samples: reps must be >= 1";
+  if plan.Bundle.group_keys <> [] then
+    invalid_arg "Database.plan_samples: plan must aggregate into a single global group";
+  if plan.Bundle.aggs = [] then
+    invalid_arg "Database.plan_samples: plan has no aggregates";
+  let st =
+    match Hashtbl.find_opt t.stochastic table with
+    | Some st -> st
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Database.plan_samples: unknown stochastic table %S" table)
+  in
+  let run () =
+    let bundle = Bundle.of_stochastic_table ?pool st rng ~n_reps:reps in
+    match Bundle.query ?pool ?impl bundle plan with
+    | [ (_, aggs) ] -> aggs.(0)
+    | results ->
+      invalid_arg
+        (Printf.sprintf "Database.plan_samples: expected one group, got %d"
+           (List.length results))
+  in
+  let obs = Mde_obs.default () in
+  if not (Mde_obs.enabled obs) then run ()
+  else Mde_obs.with_span obs ~name:"mcdb.plan_samples" run
+
 (* Replication counts and estimator wall time go to whatever registry
    is installed at call time (registration is idempotent, so the
    repeated [counter]/[histogram] calls are hashtable lookups). With the

@@ -49,6 +49,26 @@ val monte_carlo :
     samples are bit-identical to the sequential run. Raises
     [Invalid_argument] if [reps < 1]. *)
 
+val plan_samples :
+  ?pool:Mde_par.Pool.t ->
+  ?impl:Bundle.impl ->
+  t ->
+  Mde_prob.Rng.t ->
+  table:string ->
+  reps:int ->
+  Bundle.plan ->
+  float array
+(** The tuple-bundle counterpart of {!monte_carlo} for plans over one
+    stochastic table: build a columnar {!Bundle} (one VG sweep for all
+    repetitions) and run the plan in a single fused pass, returning the
+    per-repetition samples of the plan's first aggregate. Bit-identical
+    to realizing instance [r] and running the plan on it, for every [r]
+    (the property the bundle tests assert). The plan must aggregate into
+    a single global group ([group_keys = []]) and name at least one
+    aggregate; the table's VG function must be row-stable. Raises
+    [Invalid_argument] otherwise, or for an unknown [table], or
+    [reps < 1]. *)
+
 val estimate :
   ?pool:Mde_par.Pool.t ->
   t ->

@@ -94,6 +94,42 @@ let extreme_quantile xs p =
          n tail);
   Stats.quantile xs p
 
+let quantiles xs ps =
+  let xs, _ = clean_counted ~who:"quantiles" xs in
+  if Array.length xs = 0 then invalid_arg "Estimator.quantiles: need at least 1 sample";
+  Array.iter (fun p ->
+      if not (p >= 0. && p <= 1.) then
+        invalid_arg "Estimator.quantiles: every p must be in [0,1]")
+    ps;
+  Stats.quantiles xs ps
+
+(* extreme_quantile + quantile_ci share the same sorted order statistics;
+   serving-layer tail queries want both, so compute them off one sort.
+   Kept rank-for-rank identical to the two separate calls (the estimator
+   tests assert it). *)
+let tail_estimate xs ~p ~level =
+  let xs, _ = clean_counted ~who:"tail_estimate" xs in
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Estimator.tail_estimate: need at least 2 samples";
+  check_unit_interval ~who:"tail_estimate" ~what:"p" p;
+  check_unit_interval ~who:"tail_estimate" ~what:"level" level;
+  let tail = Float.min p (1. -. p) in
+  if float_of_int n *. tail < 1. then
+    invalid_arg
+      (Printf.sprintf
+         "Estimator.tail_estimate: %d samples leave the %.4g tail empty; draw \
+          more repetitions"
+         n tail);
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let q = Stats.quantile_sorted sorted p in
+  let z = Special.normal_inv_cdf (1. -. ((1. -. level) /. 2.)) in
+  let nf = float_of_int n in
+  let half_width = z *. sqrt (nf *. p *. (1. -. p)) in
+  let lo_rank = Float.to_int (Float.max 0. (floor ((nf *. p) -. half_width))) in
+  let hi_rank = Float.to_int (Float.min (nf -. 1.) (ceil ((nf *. p) +. half_width))) in
+  (q, (sorted.(lo_rank), sorted.(hi_rank)))
+
 let conditional_tail_expectation xs p =
   let xs, _ = clean_counted ~who:"conditional_tail_expectation" xs in
   let q = Stats.quantile xs p in

@@ -36,6 +36,19 @@ val extreme_quantile : float array -> float -> float
     that the tail region contains at least one observation, else raises
     [Invalid_argument]. *)
 
+val quantiles : float array -> float array -> float array
+(** [quantiles xs ps]: several quantiles off a single sort (per-call
+    {!quantile} re-sorts the samples each time). Element [i] equals
+    [quantile xs ps.(i)] exactly. Raises [Invalid_argument] on an empty
+    (or all-[nan]) input or a [p] outside [0,1]. *)
+
+val tail_estimate : float array -> p:float -> level:float -> float * (float * float)
+(** [tail_estimate xs ~p ~level] = ([extreme_quantile xs p],
+    [quantile_ci xs p level]) computed off one sort instead of two —
+    the point estimate and its order-statistic CI for a risk quantile,
+    the pair every tail query wants. Identical values and validation to
+    the two separate calls. *)
+
 val conditional_tail_expectation : float array -> float -> float
 (** [conditional_tail_expectation xs p]: mean of the values at or above
     the p-quantile — expected shortfall, the standard risk companion to

@@ -24,6 +24,11 @@ val quantile : float array -> float -> float
 val quantiles : float array -> float array -> float array
 (** Several quantiles with a single sort. *)
 
+val quantile_sorted : float array -> float -> float
+(** {!quantile} on input the caller has already sorted ascending (and
+    sanitized — NaNs must be gone). The building block consumers use to
+    avoid one sort per quantile on shared samples. *)
+
 val median : float array -> float
 
 val autocovariance : float array -> int -> float

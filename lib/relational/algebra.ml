@@ -42,13 +42,16 @@ let equi_join ?(kind = Inner) ~on left right =
   let l_idx = List.map (fun (l, _) -> Schema.column_index ls l) on in
   let r_idx = List.map (fun (_, r) -> Schema.column_index rs r) on in
   let key_of idxs row = List.map (fun i -> row.(i)) idxs in
-  (* Build a hash table over the right (build) side. *)
-  let build = Hashtbl.create (max 16 (Table.cardinality right)) in
+  (* Build a hash table over the right (build) side. [Value.Tbl] keys
+     the probe by [Value.equal]/[Value.hash], so NaN keys match
+     themselves and Int/Float keys match numerically — the structural
+     Hashtbl this replaced silently dropped both. *)
+  let build = Value.Tbl.create (max 16 (Table.cardinality right)) in
   Array.iter
     (fun row ->
       let key = key_of r_idx row in
       if not (List.exists Value.is_null key) then
-        Hashtbl.add build key row)
+        Value.Tbl.add build key row)
     (Table.rows right);
   let null_pad = Array.make (Schema.arity rs) Value.Null in
   let out = ref [] in
@@ -56,7 +59,8 @@ let equi_join ?(kind = Inner) ~on left right =
     (fun lrow ->
       let key = key_of l_idx lrow in
       let matches =
-        if List.exists Value.is_null key then [] else Hashtbl.find_all build key
+        if List.exists Value.is_null key then []
+        else Value.Tbl.find_all build key
       in
       match (matches, kind) with
       | [], Inner -> ()
@@ -86,15 +90,15 @@ let key_membership ~on left right =
   let ls = Table.schema left and rs = Table.schema right in
   let l_idx = List.map (fun (l, _) -> Schema.column_index ls l) on in
   let r_idx = List.map (fun (_, r) -> Schema.column_index rs r) on in
-  let members = Hashtbl.create (max 16 (Table.cardinality right)) in
+  let members = Value.Tbl.create (max 16 (Table.cardinality right)) in
   Array.iter
     (fun row ->
       let key = List.map (fun i -> row.(i)) r_idx in
-      if not (List.exists Value.is_null key) then Hashtbl.replace members key ())
+      if not (List.exists Value.is_null key) then Value.Tbl.replace members key ())
     (Table.rows right);
   fun lrow ->
     let key = List.map (fun i -> lrow.(i)) l_idx in
-    (not (List.exists Value.is_null key)) && Hashtbl.mem members key
+    (not (List.exists Value.is_null key)) && Value.Tbl.mem members key
 
 let semi_join ~on left right =
   let matches = key_membership ~on left right in
@@ -178,17 +182,19 @@ let group_by ~keys ~aggs table =
   let out_schema =
     Schema.of_list (key_schema_cols @ List.map (fun (n, a) -> (n, agg_type a)) aggs)
   in
-  let groups : (Value.t list, acc array) Hashtbl.t = Hashtbl.create 64 in
+  (* Keyed by [Value.hash]: a NaN group key used to raise [Not_found]
+     in the lookup below because structural equality never matched it. *)
+  let groups : acc array Value.Tbl.t = Value.Tbl.create 64 in
   let order = ref [] in
   Array.iter
     (fun row ->
       let key = List.map (fun i -> row.(i)) key_idx in
       let accs =
-        match Hashtbl.find_opt groups key with
+        match Value.Tbl.find_opt groups key with
         | Some accs -> accs
         | None ->
           let accs = Array.of_list (List.map (fun _ -> fresh_acc ()) aggs) in
-          Hashtbl.add groups key accs;
+          Value.Tbl.add groups key accs;
           order := key :: !order;
           accs
       in
@@ -198,8 +204,9 @@ let group_by ~keys ~aggs table =
     match (!order, keys) with
     | [], [] ->
       (* Global aggregate over an empty or non-empty table: one row. *)
-      if Hashtbl.length groups = 0 then begin
-        Hashtbl.add groups [] (Array.of_list (List.map (fun _ -> fresh_acc ()) aggs));
+      if Value.Tbl.length groups = 0 then begin
+        Value.Tbl.add groups []
+          (Array.of_list (List.map (fun _ -> fresh_acc ()) aggs));
         [ [] ]
       end
       else [ [] ]
@@ -208,7 +215,7 @@ let group_by ~keys ~aggs table =
   let out_rows =
     List.map
       (fun key ->
-        let accs = Hashtbl.find groups key in
+        let accs = Value.Tbl.find groups key in
         Array.of_list
           (key @ List.mapi (fun i (_, agg) -> finish_acc agg accs.(i)) aggs))
       keys_in_order
@@ -239,13 +246,13 @@ let order_by ?(descending = false) names table =
   Table.of_rows schema (Array.map fst indexed)
 
 let distinct table =
-  let seen = Hashtbl.create 64 in
+  let seen = Value.Tbl.create 64 in
   let out = ref [] in
   Array.iter
     (fun row ->
       let key = Array.to_list row in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.add seen key ();
+      if not (Value.Tbl.mem seen key) then begin
+        Value.Tbl.add seen key ();
         out := row :: !out
       end)
     (Table.rows table);

@@ -55,4 +55,12 @@ val columns_used : t -> string list
     optimizer uses to decide whether a predicate commutes past an
     operator. *)
 
+val typeof : (string -> Value.ty option) -> t -> Value.ty option
+(** Static result type under a column-type environment: [Some ty] means
+    every non-raising evaluation yields a value of type [ty] (or Null,
+    which arithmetic propagates). [None] means unknown or
+    evaluation-dependent (Null literals, mixed-type [If] branches,
+    arithmetic over non-numeric operands). The kernel compiler keys its
+    typed code paths off this; anything [None] falls back to {!eval}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -28,6 +28,21 @@ let compare a b =
   | (Null | Bool _ | Int _ | Float _ | String _), _ -> Int.compare (rank a) (rank b)
 
 let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0x6e756c6c
+  | Bool false -> 0x0b001
+  | Bool true -> 0x0b101
+  (* Int and Float hash through the same float image because [compare]
+     (hence [equal]) orders them numerically across types: Int 1 and
+     Float 1. are equal keys and must collide. *)
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f ->
+    (* Every NaN payload is [equal] under [Float.compare], so all NaNs
+       must share one hash. *)
+    if Float.is_nan f then 0x7ff8 else Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
 let is_null = function Null -> true | Bool _ | Int _ | Float _ | String _ -> false
 
 let to_float = function
@@ -58,3 +73,12 @@ let to_display = function
   | Bool b -> if b then "true" else "false"
 
 let pp ppf v = Format.pp_print_string ppf (to_display v)
+
+module Key = struct
+  type nonrec t = t list
+
+  let equal = List.equal equal
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + hash v) 17 k
+end
+
+module Tbl = Hashtbl.Make (Key)

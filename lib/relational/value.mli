@@ -20,6 +20,14 @@ val compare : t -> t -> int
     may mix them. *)
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Compatible with [equal] (equal values hash identically), which the
+    polymorphic [Hashtbl.hash] is {e not}: all NaN floats are [equal]
+    under [Float.compare] yet structurally distinct, and [Int i] equals
+    [Float (float_of_int i)]. Hash-join and group-by keys must use this
+    (via {!Key}/{!Tbl}) or NaN keys crash or silently fail to match. *)
+
 val is_null : t -> bool
 
 val to_float : t -> float
@@ -37,3 +45,10 @@ val to_string_value : t -> string
 
 val pp : Format.formatter -> t -> unit
 val to_display : t -> string
+
+module Key : Hashtbl.HashedType with type t = t list
+(** Composite keys (one value per key column) under {!equal}/{!hash}. *)
+
+module Tbl : Hashtbl.S with type key = t list
+(** The hash table every join/group-by in the tree must use: keyed by
+    {!Key}, so NaN and cross-type numeric keys behave per {!compare}. *)

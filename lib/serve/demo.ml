@@ -49,6 +49,17 @@ let walk_chain () =
     },
     current )
 
+(* The columnar twin of [mean_sbp]: per-repetition Avg(sbp) in one fused
+   bundle pass accumulates rows in the same order as [Table.iter] over
+   the realized instance, so the served samples are bit-identical. *)
+let sbp_plan =
+  {
+    Mde_mcdb.Bundle.where_ = None;
+    derive = [];
+    group_keys = [];
+    aggs = [ ("mean_sbp", Mde_mcdb.Bundle.Avg (Expr.col "sbp")) ];
+  }
+
 let queue_composite =
   {
     Mde_composite.Result_cache.model1 = (fun rng -> 10. *. Rng.float rng);
@@ -58,7 +69,9 @@ let queue_composite =
 let server ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission ?(rows = 120)
     () =
   let t = Server.create ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission () in
-  Server.register_mcdb t ~name:"sbp" ~query:mean_sbp (sbp_database rows);
+  let db = sbp_database rows in
+  Server.register_mcdb t ~name:"sbp" ~query:mean_sbp db;
+  Server.register_mcdb_plan t ~name:"sbp_bundle" ~table:"SBP_DATA" ~plan:sbp_plan db;
   let chain, current = walk_chain () in
   Server.register_chain t ~name:"walk" ~query:current chain;
   Server.register_composite t ~name:"queue" queue_composite;
@@ -69,14 +82,19 @@ let catalog ?deadline size =
   Array.init size (fun i ->
       let seed = 1000 + i in
       let kind =
-        match i mod 4 with
+        match i mod 5 with
         | 0 -> Server.Mcdb_mean { reps = 32 + (16 * (i mod 3)) }
         | 1 -> Server.Mcdb_tail { reps = 64; p = 0.9 }
         | 2 -> Server.Chain_mean { steps = 8; reps = 24 }
-        | _ -> Server.Composite_estimate { n = 64; alpha = 0.25 }
+        | 3 -> Server.Composite_estimate { n = 64; alpha = 0.25 }
+        | _ -> Server.Mcdb_tail { reps = 64; p = 0.9 }
       in
       let model =
-        match i mod 4 with 0 | 1 -> "sbp" | 2 -> "walk" | _ -> "queue"
+        match i mod 5 with
+        | 0 | 1 -> "sbp"
+        | 2 -> "walk"
+        | 3 -> "queue"
+        | _ -> "sbp_bundle"
       in
       { Server.model; kind; seed; deadline })
 

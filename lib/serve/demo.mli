@@ -15,12 +15,20 @@ val server :
   unit ->
   Server.t
 (** A fresh server with models ["sbp"] (MCDB over a [rows]-row patient
-    table, default 120), ["walk"] (SimSQL chain) and ["queue"] (two-stage
-    composite) registered. *)
+    table, default 120), ["sbp_bundle"] (the same database served through
+    the columnar tuple-bundle engine via {!sbp_plan} — bit-identical
+    answers, one VG sweep instead of one realization per repetition),
+    ["walk"] (SimSQL chain) and ["queue"] (two-stage composite)
+    registered. *)
+
+val sbp_plan : Mde_mcdb.Bundle.plan
+(** Per-repetition Avg(sbp) over SBP_DATA — the bundle plan behind
+    ["sbp_bundle"], accumulating rows in the same order as the naive
+    query so the two models' samples match bit for bit. *)
 
 val catalog : ?deadline:float -> int -> Server.request array
 (** [catalog size] builds [size] distinct request templates cycling over
-    the four query kinds,
+    the query kinds (including the columnar ["sbp_bundle"] path),
     each with its own seed (so fingerprints are pairwise distinct). Index
     order is the popularity rank order a Zipf workload samples from. *)
 

@@ -1,6 +1,7 @@
 module Rc = Mde_composite.Result_cache
 module Est = Mde_mcdb.Estimator
 module Database = Mde_mcdb.Database
+module Bundle = Mde_mcdb.Bundle
 module Chain = Mde_simsql.Chain
 module Rng = Mde_prob.Rng
 
@@ -27,6 +28,7 @@ type admission = Admit_all | Cost_aware of { min_gain : float; warmup : int }
 
 type model =
   | Mcdb of { db : Database.t; query : Mde_relational.Catalog.t -> float }
+  | Bundle_model of { db : Database.t; table : string; plan : Bundle.plan }
   | Chain_model of { chain : Chain.t; query : Chain.state -> float }
   | Composite : 'a Rc.two_stage -> model
 
@@ -141,6 +143,14 @@ let register t name model =
   Hashtbl.replace t.models name model
 
 let register_mcdb t ~name ~query db = register t name (Mcdb { db; query })
+
+let register_mcdb_plan t ~name ~table ~plan db =
+  (* Fail at registration, not first request: the bundle path serves the
+     per-repetition samples of the plan's single global aggregate. *)
+  if plan.Bundle.group_keys <> [] then
+    invalid_arg "Server: bundle plan must aggregate into a single global group";
+  if plan.Bundle.aggs = [] then invalid_arg "Server: bundle plan has no aggregates";
+  register t name (Bundle_model { db; table; plan })
 let register_chain t ~name ~query chain = register t name (Chain_model { chain; query })
 let register_composite t ~name stages = register t name (Composite stages)
 
@@ -167,7 +177,7 @@ let validate t request =
   | Some d when not (d > 0.) -> invalid_arg "Server: deadline must be positive"
   | _ -> ());
   (match (model, request.kind) with
-  | Mcdb _, (Mcdb_mean _ | Mcdb_tail _)
+  | (Mcdb _ | Bundle_model _), (Mcdb_mean _ | Mcdb_tail _)
   | Chain_model _, Chain_mean _
   | Composite _, Composite_estimate _ -> ()
   | _ ->
@@ -189,6 +199,9 @@ let validate t request =
 let model_fingerprint t request =
   match lookup t request.model with
   | Mcdb { db; _ } -> Printf.sprintf "mcdb:%s:%s" request.model (Database.fingerprint db)
+  | Bundle_model { db; table; plan } ->
+    Printf.sprintf "bundle:%s:%s:%s:%s" request.model table
+      (Bundle.plan_fingerprint plan) (Database.fingerprint db)
   | Chain_model _ -> Printf.sprintf "chain:%s" request.model
   | Composite _ -> Printf.sprintf "rc:%s" request.model
 
@@ -260,7 +273,21 @@ let execute ~clock ~model ~kind ~seed ~per_unit_cost ~time_left =
       (est.Est.mean, Some est.Est.ci95)
     | Mcdb { db; query }, Mcdb_tail { p; _ } ->
       let samples = Database.monte_carlo db (Rng.create ~seed ()) ~reps:units ~query in
-      (Est.extreme_quantile samples p, Some (Est.quantile_ci samples p 0.95))
+      (* Point estimate and CI share one sort of the samples. *)
+      let q, ci = Est.tail_estimate samples ~p ~level:0.95 in
+      (q, Some ci)
+    | Bundle_model { db; table; plan }, Mcdb_mean _ ->
+      let samples =
+        Database.plan_samples db (Rng.create ~seed ()) ~table ~reps:units plan
+      in
+      let est = Est.of_samples samples in
+      (est.Est.mean, Some est.Est.ci95)
+    | Bundle_model { db; table; plan }, Mcdb_tail { p; _ } ->
+      let samples =
+        Database.plan_samples db (Rng.create ~seed ()) ~table ~reps:units plan
+      in
+      let q, ci = Est.tail_estimate samples ~p ~level:0.95 in
+      (q, Some ci)
     | Chain_model { chain; query }, Chain_mean { steps; _ } ->
       let series = Chain.monte_carlo chain (Rng.create ~seed ()) ~steps ~reps:units ~query in
       let finals = Array.map (fun row -> row.(steps)) series in

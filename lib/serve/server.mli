@@ -90,6 +90,25 @@ val register_mcdb :
     query closure is identified by [name]; the database contributes
     {!Mde_mcdb.Database.fingerprint} to the cache key. *)
 
+val register_mcdb_plan :
+  t ->
+  name:string ->
+  table:string ->
+  plan:Mde_mcdb.Bundle.plan ->
+  Mde_mcdb.Database.t ->
+  unit
+(** Serve [Mcdb_mean]/[Mcdb_tail] requests through the columnar
+    tuple-bundle engine ({!Mde_mcdb.Database.plan_samples}): one VG sweep
+    builds the bundle, one fused pass runs the plan, versus one full
+    database realization per repetition for {!register_mcdb}. Samples are
+    bit-identical to the naive path for the same seed, so the two
+    registrations answer identically — only the execution cost differs.
+    The plan must aggregate into a single global group and name at least
+    one aggregate (its first aggregate is the served value), and [table]
+    must be a row-stable stochastic table of the database; violations
+    raise [Invalid_argument] here or at execution. The plan contributes
+    {!Mde_mcdb.Bundle.plan_fingerprint} to the cache key. *)
+
 val register_chain :
   t -> name:string -> query:(Mde_simsql.Chain.state -> float) -> Mde_simsql.Chain.t -> unit
 

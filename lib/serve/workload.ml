@@ -40,15 +40,23 @@ let zipf_sample rng cdf =
   done;
   !lo
 
-(* Nearest-rank percentile of an unsorted sample. *)
-let percentile xs q =
-  match Array.length xs with
+(* Nearest-rank percentile of a pre-sorted sample. *)
+let percentile_sorted sorted q =
+  match Array.length sorted with
   | 0 -> nan
   | n ->
-    let sorted = Array.copy xs in
-    Array.sort Float.compare sorted;
     let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
     sorted.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
+
+let percentile xs q =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  percentile_sorted sorted q
+
+let percentiles xs qs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  Array.map (percentile_sorted sorted) qs
 
 let run ?(clock = Mde_obs.Clock.wall) server ~catalog config =
   if Array.length catalog = 0 then invalid_arg "Workload.run: empty catalog";
@@ -92,6 +100,8 @@ let run ?(clock = Mde_obs.Clock.wall) server ~catalog config =
   in
   let hits = count (fun r -> r.Server.cache = Server.Hit) in
   let degraded = count (fun r -> r.Server.degraded) in
+  (* One sort serves all three report percentiles. *)
+  let ps = percentiles latencies [| 0.50; 0.95; 0.99 |] in
   {
     issued = !issued;
     served;
@@ -103,9 +113,9 @@ let run ?(clock = Mde_obs.Clock.wall) server ~catalog config =
     mean_latency =
       (if served = 0 then nan
        else Array.fold_left ( +. ) 0. latencies /. float_of_int served);
-    p50 = percentile latencies 0.50;
-    p95 = percentile latencies 0.95;
-    p99 = percentile latencies 0.99;
+    p50 = ps.(0);
+    p95 = ps.(1);
+    p99 = ps.(2);
     hit_rate = (if served = 0 then 0. else float_of_int hits /. float_of_int served);
     rejection_rate =
       (if !issued = 0 then 0. else float_of_int !rejected /. float_of_int !issued);

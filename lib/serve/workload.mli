@@ -40,6 +40,14 @@ val zipf_cdf : s:float -> n:int -> float array
 val zipf_sample : Mde_prob.Rng.t -> float array -> int
 (** Inverse-CDF sample of a rank. *)
 
+val percentile : float array -> float -> float
+(** Nearest-rank percentile of an unsorted sample; [nan] when empty. *)
+
+val percentiles : float array -> float array -> float array
+(** Several nearest-rank percentiles off a single sort; element [i]
+    equals [percentile xs qs.(i)] exactly (the report's p50/p95/p99 are
+    computed this way rather than with three sorts). *)
+
 val run :
   ?clock:(unit -> float) ->
   Server.t ->

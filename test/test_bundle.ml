@@ -1,0 +1,517 @@
+(* Columnar bundle engine: parity properties against the naive path.
+
+   The contract under test (Bundle's doc): realization [r] of a bundle
+   built from seed [s] is bit-identical to element [r] of
+   [Stochastic_table.instantiate_many] with the same seed, and every
+   operator (select / extend / aggregate / fused query) produces
+   bit-identical results across the compiled-kernel path, the
+   interpreter-fallback path, and the naive per-instance path — pooled
+   or sequential. Randomized trials draw rows / reps / predicates /
+   computed columns from a seeded RNG so failures reproduce exactly. *)
+
+open Mde_relational
+module Rng = Mde_prob.Rng
+module Vg = Mde_mcdb.Vg
+module St = Mde_mcdb.Stochastic_table
+module Bundle = Mde_mcdb.Bundle
+module Database = Mde_mcdb.Database
+module Pool = Mde_par.Pool
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+let v_float f = Value.Float f
+
+let float_bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Bitwise on floats (NaN ≡ NaN, -0. ≢ 0.), structural elsewhere. *)
+let value_eq a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y -> float_bits_eq x y
+  | _ -> Value.equal a b
+
+let row_eq a b = Array.length a = Array.length b && Array.for_all2 value_eq a b
+
+let check_tables_identical msg expected actual =
+  Alcotest.(check int)
+    (msg ^ ": cardinality")
+    (Table.cardinality expected) (Table.cardinality actual);
+  Array.iteri
+    (fun i row ->
+      if not (row_eq row (Table.rows actual).(i)) then
+        Alcotest.failf "%s: row %d differs" msg i)
+    (Table.rows expected)
+
+(* --- randomized fixture ------------------------------------------------ *)
+
+let sbp_param =
+  Table.create
+    (Schema.of_list [ ("mean", Value.Tfloat); ("std", Value.Tfloat) ])
+    [ [| v_float 120.; v_float 15. |] ]
+
+let sbp_schema =
+  Schema.of_list
+    [ ("pid", Value.Tint); ("gender", Value.Tstring); ("sbp", Value.Tfloat) ]
+
+let sbp_table n =
+  let driver =
+    Table.create
+      (Schema.of_list [ ("pid", Value.Tint); ("gender", Value.Tstring) ])
+      (List.init n (fun i ->
+           [| v_int i; v_str (if i mod 2 = 0 then "F" else "M") |]))
+  in
+  St.define ~name:"SBP_DATA" ~schema:sbp_schema ~driver ~vg:Vg.normal
+    ~params:(fun _ -> [ sbp_param ])
+    ~combine:(fun driver vg_row -> [| driver.(0); driver.(1); vg_row.(0) |])
+
+(* Predicate pool: a mix of kernel-covered shapes (typed comparisons,
+   boolean connectives, Is_null, If over booleans) and shapes the
+   compiler declines (mixed-kind If branches, comparison against a Null
+   literal) that must take the interpreter fallback with identical
+   results. None of them can raise on the SBP schema. *)
+let predicates =
+  Expr.
+    [
+      col "sbp" > float 120.;
+      col "sbp" <= float 110. || col "gender" = string "F";
+      col "pid" < int 5;
+      not_ (col "gender" = string "M") && col "sbp" >= float 100.;
+      Is_null (col "sbp");
+      If (col "pid" < int 3, col "sbp" > float 115., bool false);
+      (* fallback: mixed-kind If branches defeat static typing *)
+      If (col "gender" = string "F", col "sbp", col "pid") > float 118.;
+      (* fallback: Null literal comparison *)
+      col "sbp" > Lit Value.Null;
+      ((col "sbp" - float 120.) / float 15.) * (col "sbp" - float 120.) / float 15.
+      > float 1.;
+    ]
+
+(* Computed-column pool: (name, declared type, expr), again mixing
+   kernel-covered and fallback shapes. *)
+let derivations =
+  Expr.
+    [
+      ("risk", Value.Tfloat, (col "sbp" - float 120.) / float 15.);
+      ("flag", Value.Tbool, col "sbp" > float 125.);
+      ("bucket", Value.Tint, If (col "sbp" > float 120., int 1, int 0));
+      (* fallback: the Null literal defeats static typing *)
+      ("mixed", Value.Tfloat, If (col "gender" = string "F", col "sbp", Lit Value.Null));
+      ("label", Value.Tstring, If (col "sbp" > float 120., string "hi", string "lo"));
+    ]
+
+let agg_pool =
+  [
+    ("n", Bundle.Count);
+    ("s", Bundle.Sum (Expr.col "sbp"));
+    ("a", Bundle.Avg (Expr.col "sbp"));
+    ("lo", Bundle.Min (Expr.col "sbp"));
+    ("hi", Bundle.Max (Expr.col "sbp"));
+  ]
+
+let algebra_agg = function
+  | Bundle.Count -> Algebra.Count
+  | Bundle.Sum e -> Algebra.Sum e
+  | Bundle.Avg e -> Algebra.Avg e
+  | Bundle.Min e -> Algebra.Min e
+  | Bundle.Max e -> Algebra.Max e
+
+(* Bundle aggregates are float-valued; map Algebra's Value results onto
+   the same representation (empty-group Avg/Min/Max is Null ↦ nan,
+   which is also Bundle's empty-group value). *)
+let agg_value_to_float = function
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | Value.Null -> nan
+  | v -> Alcotest.failf "unexpected aggregate value %s" (Format.asprintf "%a" Value.pp v)
+
+(* --- to_instances ≡ instantiate_many ----------------------------------- *)
+
+let test_to_instances_matches_naive () =
+  let rng0 = Rng.create ~seed:101 () in
+  for trial = 0 to 9 do
+    let rows = 1 + Rng.int rng0 12 and reps = 1 + Rng.int rng0 8 in
+    let st = sbp_table rows in
+    let seed = 500 + trial in
+    let b = Bundle.of_stochastic_table st (Rng.create ~seed ()) ~n_reps:reps in
+    let naive = St.instantiate_many st (Rng.create ~seed ()) reps in
+    let realized = Bundle.to_instances b in
+    Alcotest.(check int) "instance count" reps (Array.length realized);
+    Array.iteri
+      (fun r t ->
+        check_tables_identical
+          (Printf.sprintf "trial %d rep %d" trial r)
+          naive.(r) t)
+      realized
+  done
+
+(* --- select: kernel ≡ interpreter ≡ naive σ ---------------------------- *)
+
+let test_select_parity () =
+  let rng0 = Rng.create ~seed:202 () in
+  List.iteri
+    (fun pi pred ->
+      let rows = 2 + Rng.int rng0 10 and reps = 2 + Rng.int rng0 6 in
+      let st = sbp_table rows in
+      let seed = 900 + pi in
+      let b = Bundle.of_stochastic_table st (Rng.create ~seed ()) ~n_reps:reps in
+      let kernel = Bundle.select ~impl:`Kernel pred b in
+      let interp = Bundle.select ~impl:`Interpreter pred b in
+      for i = 0 to Bundle.row_count b - 1 do
+        for r = 0 to reps - 1 do
+          if Bundle.present kernel i r <> Bundle.present interp i r then
+            Alcotest.failf "predicate %d: kernel/interp presence differs at (%d,%d)"
+              pi i r
+        done
+      done;
+      let naive = St.instantiate_many st (Rng.create ~seed ()) reps in
+      Array.iteri
+        (fun r t ->
+          check_tables_identical
+            (Printf.sprintf "predicate %d rep %d vs naive σ" pi r)
+            (Algebra.select pred naive.(r))
+            t)
+        (Bundle.to_instances kernel))
+    predicates
+
+(* --- extend: kernel ≡ interpreter ≡ naive ------------------------------ *)
+
+let test_extend_parity () =
+  let rng0 = Rng.create ~seed:303 () in
+  List.iteri
+    (fun di def ->
+      let rows = 2 + Rng.int rng0 8 and reps = 2 + Rng.int rng0 6 in
+      let st = sbp_table rows in
+      let seed = 1300 + di in
+      let b = Bundle.of_stochastic_table st (Rng.create ~seed ()) ~n_reps:reps in
+      let kernel = Bundle.extend ~impl:`Kernel [ def ] b in
+      let interp = Bundle.extend ~impl:`Interpreter [ def ] b in
+      for i = 0 to Bundle.row_count b - 1 do
+        for r = 0 to reps - 1 do
+          if not (row_eq (Bundle.realize_row kernel i r) (Bundle.realize_row interp i r))
+          then
+            Alcotest.failf "derivation %d: kernel/interp row differs at (%d,%d)" di i r
+        done
+      done;
+      let naive = St.instantiate_many st (Rng.create ~seed ()) reps in
+      Array.iteri
+        (fun r t ->
+          check_tables_identical
+            (Printf.sprintf "derivation %d rep %d vs naive extend" di r)
+            (Algebra.extend [ def ] naive.(r))
+            t)
+        (Bundle.to_instances kernel))
+    derivations
+
+(* --- aggregate: kernel ≡ interpreter ≡ naive group_by ------------------ *)
+
+let check_agg_results_identical msg expected actual =
+  Alcotest.(check int) (msg ^ ": group count") (List.length expected)
+    (List.length actual);
+  List.iter2
+    (fun (k1, v1) (k2, v2) ->
+      if not (row_eq k1 k2) then Alcotest.failf "%s: group keys differ" msg;
+      Array.iteri
+        (fun j samples ->
+          Array.iteri
+            (fun r x ->
+              if not (float_bits_eq x v2.(j).(r)) then
+                Alcotest.failf "%s: agg %d rep %d: %h <> %h" msg j r x v2.(j).(r))
+            samples)
+        v1)
+    expected actual
+
+let test_aggregate_parity () =
+  let rng0 = Rng.create ~seed:404 () in
+  List.iteri
+    (fun pi pred ->
+      let rows = 2 + Rng.int rng0 10 and reps = 2 + Rng.int rng0 6 in
+      let st = sbp_table rows in
+      let seed = 1700 + pi in
+      let b = Bundle.of_stochastic_table st (Rng.create ~seed ()) ~n_reps:reps in
+      let filtered = Bundle.select pred b in
+      List.iter
+        (fun keys ->
+          let kernel = Bundle.aggregate ~impl:`Kernel ~keys agg_pool filtered in
+          let interp = Bundle.aggregate ~impl:`Interpreter ~keys agg_pool filtered in
+          check_agg_results_identical
+            (Printf.sprintf "predicate %d keys [%s] kernel vs interp" pi
+               (String.concat ";" keys))
+            kernel interp;
+          (* Naive oracle: run σ + γ on every realized instance. A group
+             empty in repetition [r] simply has no row in the naive
+             output; the bundle reports Count 0 / Sum 0 / nan there. *)
+          let naive = St.instantiate_many st (Rng.create ~seed ()) reps in
+          let algebra_aggs =
+            List.map (fun (name, a) -> (name, algebra_agg a)) agg_pool
+          in
+          let n_keys = List.length keys in
+          List.iter
+            (fun (key, per_agg) ->
+              for r = 0 to reps - 1 do
+                let inst = Algebra.select pred naive.(r) in
+                let g = Algebra.group_by ~keys ~aggs:algebra_aggs inst in
+                let matching =
+                  Array.to_list (Table.rows g)
+                  |> List.filter (fun row ->
+                         Array.for_all2 value_eq (Array.sub row 0 n_keys) key)
+                in
+                match matching with
+                | [] ->
+                  (* group absent in this repetition: Count must be 0 *)
+                  Array.iteri
+                    (fun j (_, a) ->
+                      match a with
+                      | Bundle.Count ->
+                        Alcotest.(check (float 0.)) "empty group count" 0.
+                          per_agg.(j).(r)
+                      | _ -> ())
+                    (Array.of_list agg_pool)
+                | [ row ] ->
+                  let n_keys = List.length keys in
+                  List.iteri
+                    (fun j (_, _) ->
+                      let expect = agg_value_to_float row.(n_keys + j) in
+                      if not (float_bits_eq expect per_agg.(j).(r)) then
+                        Alcotest.failf
+                          "predicate %d rep %d agg %d: naive %h <> bundle %h" pi r
+                          j expect
+                          per_agg.(j).(r))
+                    agg_pool
+                | _ -> Alcotest.fail "duplicate group in naive output"
+              done)
+            kernel)
+        [ []; [ "gender" ]; [ "gender"; "pid" ] ])
+    predicates
+
+(* --- fused query ≡ select |> extend |> aggregate ----------------------- *)
+
+let plan =
+  {
+    Bundle.where_ = Some Expr.(col "sbp" > float 100.);
+    derive = [ ("risk", Value.Tfloat, Expr.((col "sbp" - float 120.) / float 15.)) ];
+    group_keys = [];
+    aggs =
+      [
+        ("mean_sbp", Bundle.Avg (Expr.col "sbp"));
+        ("max_risk", Bundle.Max (Expr.col "risk"));
+        ("n", Bundle.Count);
+      ];
+  }
+
+let compose ?pool ?impl b (p : Bundle.plan) =
+  let b = match p.where_ with None -> b | Some e -> Bundle.select ?pool ?impl e b in
+  let b = match p.derive with [] -> b | defs -> Bundle.extend ?pool ?impl defs b in
+  Bundle.aggregate ?pool ?impl ~keys:p.group_keys p.aggs b
+
+let test_query_fused_equals_compose () =
+  let st = sbp_table 40 in
+  let b = Bundle.of_stochastic_table st (Rng.create ~seed:7 ()) ~n_reps:32 in
+  let plan =
+    (* pid_band is derived but deterministic (pid is deterministic), so
+       it is a legal group key that is absent from the base schema —
+       grouping on it forces the unfused compose path inside [query]. *)
+    {
+      plan with
+      Bundle.derive =
+        plan.Bundle.derive
+        @ [ ("pid_band", Value.Tint, Expr.(If (col "pid" < int 20, int 0, int 1))) ];
+    }
+  in
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun keys ->
+          let p = { plan with Bundle.group_keys = keys } in
+          check_agg_results_identical "query vs compose"
+            (Bundle.query ~impl b p) (compose ~impl b p))
+        [ []; [ "gender" ]; [ "pid_band" ] ])
+    [ `Kernel; `Interpreter ]
+
+(* --- pooled execution is bit-identical --------------------------------- *)
+
+let test_pooled_bit_identity () =
+  let st = sbp_table 23 in
+  let reps = 17 in
+  Pool.with_pool ~domains:2 (fun pool ->
+      let seq = Bundle.of_stochastic_table st (Rng.create ~seed:31 ()) ~n_reps:reps in
+      let par =
+        Bundle.of_stochastic_table ~pool st (Rng.create ~seed:31 ()) ~n_reps:reps
+      in
+      for i = 0 to Bundle.row_count seq - 1 do
+        for r = 0 to reps - 1 do
+          if not (row_eq (Bundle.realize_row seq i r) (Bundle.realize_row par i r))
+          then Alcotest.failf "pooled construction differs at (%d,%d)" i r
+        done
+      done;
+      let pred = Expr.(col "sbp" > float 118.) in
+      let s_seq = Bundle.select pred seq and s_par = Bundle.select ~pool pred par in
+      Alcotest.(check int) "pooled select survivors" (Bundle.survivors s_seq)
+        (Bundle.survivors s_par);
+      for i = 0 to Bundle.row_count seq - 1 do
+        for r = 0 to reps - 1 do
+          if Bundle.present s_seq i r <> Bundle.present s_par i r then
+            Alcotest.failf "pooled select presence differs at (%d,%d)" i r
+        done
+      done;
+      List.iter
+        (fun keys ->
+          check_agg_results_identical "pooled aggregate"
+            (Bundle.aggregate ~keys agg_pool s_seq)
+            (Bundle.aggregate ~pool ~keys agg_pool s_par))
+        [ []; [ "gender" ] ];
+      check_agg_results_identical "pooled fused query" (Bundle.query seq plan)
+        (Bundle.query ~pool par plan))
+
+(* --- survivors = popcount of presence ---------------------------------- *)
+
+let test_survivors_popcount () =
+  let st = sbp_table 15 in
+  let b = Bundle.of_stochastic_table st (Rng.create ~seed:77 ()) ~n_reps:11 in
+  let b = Bundle.select Expr.(col "sbp" > float 120.) b in
+  let per_cell = ref 0 and per_row = ref 0 in
+  for i = 0 to Bundle.row_count b - 1 do
+    per_row := !per_row + Bundle.row_survivors b i;
+    for r = 0 to Bundle.n_reps b - 1 do
+      if Bundle.present b i r then incr per_cell
+    done
+  done;
+  Alcotest.(check int) "survivors = per-cell walk" !per_cell (Bundle.survivors b);
+  Alcotest.(check int) "survivors = row popcounts" !per_row (Bundle.survivors b)
+
+(* --- NaN keys: joins and grouping treat NaN = NaN ---------------------- *)
+
+let test_nan_keys () =
+  let schema =
+    Schema.of_list [ ("k", Value.Tfloat); ("x", Value.Tfloat) ]
+  in
+  let t =
+    Table.create schema
+      [
+        [| v_float nan; v_float 1. |];
+        [| v_float 2.; v_float 10. |];
+        [| v_float nan; v_float 5. |];
+      ]
+  in
+  let b = Bundle.of_table t ~n_reps:3 in
+  (match Bundle.aggregate ~keys:[ "k" ] [ ("s", Bundle.Sum (Expr.col "x")) ] b with
+  | groups ->
+    Alcotest.(check int) "NaN rows form one group" 2 (List.length groups);
+    let nan_group =
+      List.find (fun (key, _) -> Value.equal key.(0) (v_float nan)) groups
+    in
+    let _, per_agg = nan_group in
+    Array.iter
+      (fun s -> Alcotest.(check (float 0.)) "NaN group sums both rows" 6. s)
+      per_agg.(0));
+  let right =
+    Table.create
+      (Schema.of_list [ ("rk", Value.Tfloat); ("y", Value.Tint) ])
+      [ [| v_float nan; v_int 42 |] ]
+  in
+  let joined = Bundle.join ~on:[ ("k", "rk") ] b (Bundle.of_table right ~n_reps:3) in
+  (* both NaN-keyed left rows match the NaN-keyed right row *)
+  Alcotest.(check int) "NaN join matches" 2 (Bundle.row_count joined)
+
+(* --- Database.plan_samples --------------------------------------------- *)
+
+let test_plan_samples_matches_instances () =
+  let db = Database.create () in
+  Database.add_stochastic db (sbp_table 25);
+  let reps = 20 and seed = 55 in
+  let samples =
+    Database.plan_samples db (Rng.create ~seed ()) ~table:"SBP_DATA" ~reps plan
+  in
+  Alcotest.(check int) "one sample per repetition" reps (Array.length samples);
+  (* oracle: realize instance r, run the plan naively, take the first
+     aggregate (mean_sbp) *)
+  let naive = St.instantiate_many (sbp_table 25) (Rng.create ~seed ()) reps in
+  Array.iteri
+    (fun r inst ->
+      let inst = Algebra.select (Option.get plan.Bundle.where_) inst in
+      let inst = Algebra.extend plan.Bundle.derive inst in
+      let g =
+        Algebra.group_by ~keys:[]
+          ~aggs:[ ("mean_sbp", Algebra.Avg (Expr.col "sbp")) ]
+          inst
+      in
+      let expect = agg_value_to_float (Table.rows g).(0).(0) in
+      if not (float_bits_eq expect samples.(r)) then
+        Alcotest.failf "rep %d: naive %h <> plan_samples %h" r expect samples.(r))
+    naive;
+  (* pooled and interpreted paths are bit-identical too *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      let pooled =
+        Database.plan_samples ~pool db (Rng.create ~seed ()) ~table:"SBP_DATA" ~reps
+          plan
+      in
+      Array.iteri
+        (fun r x ->
+          if not (float_bits_eq x pooled.(r)) then
+            Alcotest.failf "pooled plan_samples differs at rep %d" r)
+        samples);
+  let interp =
+    Database.plan_samples ~impl:`Interpreter db (Rng.create ~seed ())
+      ~table:"SBP_DATA" ~reps plan
+  in
+  Array.iteri
+    (fun r x ->
+      if not (float_bits_eq x interp.(r)) then
+        Alcotest.failf "interpreted plan_samples differs at rep %d" r)
+    samples
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with
+  | Invalid_argument _ -> true
+  | _ -> false
+
+let test_plan_samples_validation () =
+  let db = Database.create () in
+  Database.add_stochastic db (sbp_table 5);
+  let rng () = Rng.create ~seed:1 () in
+  Alcotest.(check bool) "reps < 1" true
+    (raises_invalid (fun () ->
+         Database.plan_samples db (rng ()) ~table:"SBP_DATA" ~reps:0 plan));
+  Alcotest.(check bool) "unknown table" true
+    (raises_invalid (fun () ->
+         Database.plan_samples db (rng ()) ~table:"NOPE" ~reps:4 plan));
+  Alcotest.(check bool) "grouped plan" true
+    (raises_invalid (fun () ->
+         Database.plan_samples db (rng ()) ~table:"SBP_DATA" ~reps:4
+           { plan with Bundle.group_keys = [ "gender" ] }));
+  Alcotest.(check bool) "no aggregates" true
+    (raises_invalid (fun () ->
+         Database.plan_samples db (rng ()) ~table:"SBP_DATA" ~reps:4
+           { plan with Bundle.aggs = [] }))
+
+let () =
+  Alcotest.run "mde_bundle"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "to_instances = instantiate_many" `Quick
+            test_to_instances_matches_naive;
+          Alcotest.test_case "select: kernel = interp = naive" `Quick
+            test_select_parity;
+          Alcotest.test_case "extend: kernel = interp = naive" `Quick
+            test_extend_parity;
+          Alcotest.test_case "aggregate: kernel = interp = naive" `Quick
+            test_aggregate_parity;
+          Alcotest.test_case "fused query = compose" `Quick
+            test_query_fused_equals_compose;
+        ] );
+      ( "parallel",
+        [ Alcotest.test_case "pooled = sequential, bit for bit" `Quick
+            test_pooled_bit_identity ] );
+      ( "presence",
+        [ Alcotest.test_case "survivors = popcount" `Quick test_survivors_popcount ] );
+      ( "nan-keys",
+        [ Alcotest.test_case "NaN groups and joins" `Quick test_nan_keys ] );
+      ( "plan-samples",
+        [
+          Alcotest.test_case "matches per-instance naive" `Quick
+            test_plan_samples_matches_instances;
+          Alcotest.test_case "validation" `Quick test_plan_samples_validation;
+        ] );
+    ]

@@ -486,6 +486,47 @@ let test_quantile_ci_coverage () =
     true
     (coverage > 0.88 && coverage <= 1.0)
 
+let test_quantiles_match_per_call () =
+  let rng = Rng.create ~seed:33 () in
+  let xs = Mde_prob.Dist.sample_n (Mde_prob.Dist.Normal { mean = 5.; std = 2. }) rng 500 in
+  let ps = [| 0.; 0.01; 0.25; 0.5; 0.75; 0.9; 0.99; 1. |] in
+  let qs = Estimator.quantiles xs ps in
+  Array.iteri
+    (fun i p ->
+      let expect = Estimator.quantile xs p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%.2f single-sort = per-call" p)
+        true
+        (Int64.equal (Int64.bits_of_float expect) (Int64.bits_of_float qs.(i))))
+    ps;
+  Alcotest.(check bool) "empty raises" true
+    (try ignore (Estimator.quantiles [||] [| 0.5 |]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "p out of range raises" true
+    (try ignore (Estimator.quantiles xs [| 1.5 |]); false
+     with Invalid_argument _ -> true)
+
+let test_tail_estimate_matches_per_call () =
+  let rng = Rng.create ~seed:34 () in
+  let xs = Mde_prob.Dist.sample_n (Mde_prob.Dist.Uniform (0., 100.)) rng 400 in
+  List.iter
+    (fun p ->
+      let q, (lo, hi) = Estimator.tail_estimate xs ~p ~level:0.95 in
+      let q' = Estimator.extreme_quantile xs p in
+      let lo', hi' = Estimator.quantile_ci xs p 0.95 in
+      let eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%.2f point estimate" p)
+        true (eq q q');
+      Alcotest.(check bool) "ci" true (eq lo lo' && eq hi hi'))
+    [ 0.5; 0.9; 0.95 ];
+  Alcotest.(check bool) "empty tail raises" true
+    (try ignore (Estimator.tail_estimate (Array.init 5 float_of_int) ~p:0.999 ~level:0.95); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "level out of range raises" true
+    (try ignore (Estimator.tail_estimate xs ~p:0.9 ~level:1.5); false
+     with Invalid_argument _ -> true)
+
 (* What-if revenue query: full pipeline through bundles (integration). *)
 let test_whatif_revenue_pipeline () =
   let customers =
@@ -586,6 +627,10 @@ let () =
           Alcotest.test_case "tail expectation" `Quick test_conditional_tail_expectation;
           Alcotest.test_case "quantile CI" `Quick test_quantile_ci_orders;
           Alcotest.test_case "quantile CI coverage" `Slow test_quantile_ci_coverage;
+          Alcotest.test_case "multi-quantile = per-call" `Quick
+            test_quantiles_match_per_call;
+          Alcotest.test_case "tail_estimate = per-call pair" `Quick
+            test_tail_estimate_matches_per_call;
         ] );
       ( "integration",
         [ Alcotest.test_case "what-if revenue" `Quick test_whatif_revenue_pipeline ] );

@@ -188,6 +188,62 @@ let test_group_by_skips_nulls () =
   (* Nulls excluded: (7.5+3.0+9.1+5.5)/4. *)
   Alcotest.(check (float 1e-9)) "avg" 6.275 (Value.to_float (Table.get g 0 "avg"))
 
+(* NaN keys: [Value.compare] makes every NaN equal to itself and
+   [Value.hash] gives every NaN payload the same hash, so the hash-keyed
+   operators must treat NaN as one key — not leak one group (or drop one
+   match) per row. Regression for the float-keyed Monte Carlo outputs
+   the bundle engine feeds through these operators. *)
+let test_nan_keys () =
+  let neg_nan = Int64.float_of_bits 0xFFF8000000000001L in
+  let t =
+    Table.create
+      (Schema.of_list [ ("k", Value.Tfloat); ("x", Value.Tfloat) ])
+      [
+        [| v_float nan; v_float 1. |];
+        [| v_float 2.; v_float 10. |];
+        [| v_float neg_nan; v_float 5. |];
+      ]
+  in
+  let g =
+    Algebra.group_by ~keys:[ "k" ]
+      ~aggs:[ ("s", Algebra.Sum (Expr.col "x")); ("n", Algebra.Count) ]
+      t
+  in
+  Alcotest.(check int) "NaN payloads collapse to one group" 2 (Table.cardinality g);
+  let nan_group =
+    Array.to_list (Table.rows g)
+    |> List.find (fun r ->
+           match r.(0) with Value.Float f -> Float.is_nan f | _ -> false)
+  in
+  Alcotest.(check (float 1e-9)) "NaN group sums both rows" 6.
+    (Value.to_float nan_group.(1));
+  Alcotest.(check int) "NaN group counts both rows" 2 (Value.to_int nan_group.(2));
+  let right =
+    Table.create
+      (Schema.of_list [ ("rk", Value.Tfloat); ("y", Value.Tint) ])
+      [ [| v_float nan; v_int 7 |] ]
+  in
+  let j = Algebra.equi_join ~on:[ ("k", "rk") ] t right in
+  Alcotest.(check int) "NaN join key matches both NaN rows" 2 (Table.cardinality j);
+  Alcotest.(check int) "distinct collapses NaN duplicates" 2
+    (Table.cardinality (Algebra.distinct (Algebra.project [ "k" ] t)))
+
+(* Int and Float keys that compare equal must hash equal — group_by and
+   joins key by [Value.equal], so Int 2 and Float 2. are the same key. *)
+let test_cross_type_numeric_keys () =
+  let l =
+    Table.create
+      (Schema.of_list [ ("k", Value.Tint) ])
+      [ [| v_int 2 |]; [| v_int 3 |] ]
+  in
+  let r =
+    Table.create
+      (Schema.of_list [ ("rk", Value.Tfloat) ])
+      [ [| v_float 2. |] ]
+  in
+  Alcotest.(check int) "Int 2 joins Float 2." 1
+    (Table.cardinality (Algebra.equi_join ~on:[ ("k", "rk") ] l r))
+
 let test_count_if () =
   let g =
     Algebra.group_by ~keys:[]
@@ -540,6 +596,8 @@ let () =
           Alcotest.test_case "global aggregate" `Quick test_group_by_global;
           Alcotest.test_case "nulls skipped" `Quick test_group_by_skips_nulls;
           Alcotest.test_case "count_if" `Quick test_count_if;
+          Alcotest.test_case "NaN keys" `Quick test_nan_keys;
+          Alcotest.test_case "cross-type numeric keys" `Quick test_cross_type_numeric_keys;
           Alcotest.test_case "order by" `Quick test_order_by;
           Alcotest.test_case "order by stable" `Quick test_order_by_stable;
           Alcotest.test_case "distinct/union/limit" `Quick test_distinct_union_limit;

@@ -344,6 +344,45 @@ let test_deadline_degradation () =
   let cached = get_served (Server.serve t (req "sbp" (Server.Mcdb_mean { reps = 24 }) 7)) in
   Alcotest.(check bool) "full answer now cached" true (cached.Server.cache = Server.Hit)
 
+(* The report's p50/p95/p99 come from [percentiles] (one sort); each
+   element must be bit-identical to the per-call [percentile] path. *)
+let test_workload_percentiles () =
+  let rng = Rng.create ~seed:44 () in
+  let xs = Array.init 237 (fun _ -> Rng.float rng *. 10.) in
+  let qs = [| 0.; 0.25; 0.50; 0.95; 0.99; 1. |] in
+  let ps = Workload.percentiles xs qs in
+  Array.iteri
+    (fun i q ->
+      let expect = Workload.percentile xs q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f single-sort = per-call" q)
+        true
+        (Int64.equal (Int64.bits_of_float expect) (Int64.bits_of_float ps.(i))))
+    qs;
+  Alcotest.(check bool) "empty sample is nan" true
+    (Float.is_nan (Workload.percentile [||] 0.5))
+
+(* "sbp_bundle" pushes the same query through the columnar bundle
+   engine ([Database.plan_samples] with an Avg plan) that "sbp" answers
+   with the naive instantiate-and-scan loop. Same seed, same reps: the
+   served samples — hence value and CI — must be bit-identical. *)
+let test_bundle_model_matches_naive_model () =
+  let t = Demo.server ~rows:25 () in
+  List.iter
+    (fun (kind, seed) ->
+      let naive = get_served (Server.serve t (req "sbp" kind seed)) in
+      let bundle = get_served (Server.serve t (req "sbp_bundle" kind seed)) in
+      Alcotest.(check (float 0.)) "value identical" naive.Server.value
+        bundle.Server.value;
+      check_pair "ci identical" (Option.get naive.Server.ci95)
+        (Option.get bundle.Server.ci95);
+      Alcotest.(check int) "same budget" naive.Server.reps_executed
+        bundle.Server.reps_executed)
+    [
+      (Server.Mcdb_mean { reps = 24 }, 5);
+      (Server.Mcdb_tail { reps = 40; p = 0.9 }, 6);
+    ]
+
 let test_demo_cold_warm () =
   let server = Demo.server ~rows:30 () in
   let catalog = Demo.catalog 8 in
@@ -379,6 +418,10 @@ let () =
           Alcotest.test_case "CPU clock misses queue sleep" `Quick
             test_cpu_clock_misses_sleep;
           Alcotest.test_case "deadline degradation" `Quick test_deadline_degradation;
+          Alcotest.test_case "workload percentiles = per-call" `Quick
+            test_workload_percentiles;
+          Alcotest.test_case "bundle model == naive model" `Quick
+            test_bundle_model_matches_naive_model;
           Alcotest.test_case "cold vs warm workload" `Quick test_demo_cold_warm;
         ] );
     ]
