@@ -118,7 +118,9 @@ let identical3 ~reps naive interp kernel =
 let run ?(domains = 1) ~rows ~reps ~seed () =
   let st = sbp_table rows in
   let with_pool f =
-    if domains > 1 then Mde.Par.Pool.with_pool ~domains (fun pool -> f (Some pool))
+    (* Shared pool: the domains live across runs, so spawn cost never
+       lands inside a timed section. *)
+    if domains > 1 then f (Some (Mde.Par.Pool.shared ~domains ()))
     else f None
   in
   with_pool (fun pool ->

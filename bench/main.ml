@@ -16,6 +16,8 @@ let list_experiments () =
   Format.printf "  %-8s %s@." "--perf" "Bechamel microbenchmarks";
   Format.printf "  %-8s %s@." "--domains N"
     "sequential vs N-domain Monte Carlo replication wall time";
+  Format.printf "  %-8s %s@." "--par [N]"
+    "small-N pool smoke: asserts the domains=1 overhead gate (default N=1)";
   Format.printf "  %-8s %s@." "--serve [N]"
     "Zipf workload against the serving layer (optional domain count)";
   Format.printf "  %-8s %s@." "--bundle [rows reps]"
@@ -40,6 +42,13 @@ let () =
     | Some domains when domains >= 1 -> Perf.run_parallel ~domains ()
     | _ ->
       Format.eprintf "--domains expects a positive integer, got %S@." n;
+      exit 1)
+  | [ "--par" ] -> Perf.run_parallel ~reps:120 ~domains:1 ()
+  | [ "--par"; n ] -> (
+    match int_of_string_opt n with
+    | Some domains when domains >= 1 -> Perf.run_parallel ~reps:120 ~domains ()
+    | _ ->
+      Format.eprintf "--par expects a positive integer domain count, got %S@." n;
       exit 1)
   | [ "--bundle" ] -> Bundle_run.run ()
   | [ "--bundle"; rows; reps ] -> (

@@ -229,7 +229,8 @@ let replication_fixture () =
   in
   (db, query)
 
-let bench_par_json ~reps ~domains ~t_seq ~t_par ~identical =
+let bench_par_json ~reps ~domains ~t_seq ~t_par ~identical ~batches ~seq_batches
+    ~steals =
   Mde_bench_emit.append ~file:"BENCH_par.json" ~name:"mcdb-replications"
     [
       ("reps", Mde_bench_emit.Int reps);
@@ -238,23 +239,51 @@ let bench_par_json ~reps ~domains ~t_seq ~t_par ~identical =
       ("parallel_s", Float t_par);
       ("speedup", Float (t_seq /. t_par));
       ("identical_output", Bool identical);
+      ("pool_batches", Int batches);
+      ("pool_seq_batches", Int seq_batches);
+      ("pool_steals", Int steals);
     ]
 
-let run_parallel ~domains () =
+(* Min over [k] runs: the least-noise estimator for a deterministic
+   computation on a shared machine. The result is identical every run by
+   construction, so keeping the last is as good as any. *)
+let best_of k f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to k do
+    let r, t = wall_time f in
+    if t < !best then best := t;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+(* Pooled runs must cost at most this factor over sequential when the
+   pool cannot help (domains = 1): the sequential fast path makes pool
+   dispatch essentially free. CI runs this as a smoke gate. *)
+let domains1_overhead_gate = 1.10
+
+let run_parallel ?(reps = 400) ~domains () =
   Util.section "PAR"
     (Printf.sprintf "domain-parallel Monte Carlo replications (%d domains)" domains);
   let db, query = replication_fixture () in
-  let reps = 400 in
   let seed = 42 in
-  let seq, t_seq =
-    wall_time (fun () ->
-        Mcdb.Database.monte_carlo db (Rng.create ~seed ()) ~reps ~query)
+  let run ?pool () =
+    Mcdb.Database.monte_carlo ?pool db (Rng.create ~seed ()) ~reps ~query
   in
-  let par, t_par =
-    Pool.with_pool ~domains (fun pool ->
-        wall_time (fun () ->
-            Mcdb.Database.monte_carlo ~pool db (Rng.create ~seed ()) ~reps ~query))
-  in
+  (* A persistent shared pool: spawned once, reused across every timed
+     run — the per-call domain spawn was most of the old slowdown. *)
+  let pool = Pool.shared ~domains () in
+  (* Warm-up trains the adaptive chunk estimator and faults in both
+     paths before anything is timed. *)
+  ignore (run ~pool ());
+  ignore (run ());
+  let stats0 = Pool.stats pool in
+  let seq, t_seq = best_of 3 (fun () -> run ()) in
+  let par, t_par = best_of 3 (fun () -> run ~pool ()) in
+  let stats1 = Pool.stats pool in
+  let sum = Array.fold_left ( + ) 0 in
+  let batches = stats1.Pool.batches - stats0.Pool.batches in
+  let seq_batches = stats1.Pool.seq_batches - stats0.Pool.seq_batches in
+  let steals = sum stats1.Pool.steals - sum stats0.Pool.steals in
   let identical = seq = par in
   Util.table
     [ "mode"; "wall time"; "speedup" ]
@@ -269,10 +298,24 @@ let run_parallel ~domains () =
   Util.note "output equality: %s"
     (if identical then "bit-identical (determinism contract holds)"
      else "MISMATCH — determinism contract violated");
+  Util.note "pool: %d fanned-out batches, %d sequential fast-path batches, %d steals"
+    batches seq_batches steals;
+  (match Pool.estimated_item_seconds pool ~site:"mcdb.monte_carlo" with
+  | Some s -> Util.note "adaptive estimate: %.1f us per replication" (s *. 1e6)
+  | None -> ());
   Util.note "available cores: %d" (Domain.recommended_domain_count ());
-  let path = bench_par_json ~reps ~domains ~t_seq ~t_par ~identical in
+  let path =
+    bench_par_json ~reps ~domains ~t_seq ~t_par ~identical ~batches ~seq_batches
+      ~steals
+  in
   Util.note "recorded in %s" path;
-  if not identical then exit 1
+  if not identical then exit 1;
+  if domains = 1 && t_par > domains1_overhead_gate *. t_seq then begin
+    Util.note "FAIL: domains=1 pool overhead %.1f%% exceeds the %.0f%% gate"
+      (100. *. ((t_par /. t_seq) -. 1.))
+      (100. *. (domains1_overhead_gate -. 1.));
+    exit 1
+  end
 
 let tests =
   [

@@ -35,8 +35,9 @@ let run ~domains () =
     (config, Serve.Demo.cold_warm ~clock server ~catalog config)
   in
   let config, (cold, warm, verdict) =
-    if domains > 1 then
-      Mde.Par.Pool.with_pool ~domains (fun pool -> run_with (Some pool))
+    (* The shared pool persists across invocations — no domain spawn
+       inside the measured window. *)
+    if domains > 1 then run_with (Some (Mde.Par.Pool.shared ~domains ()))
     else run_with None
   in
   Mde.Obs.set_default Mde.Obs.noop;

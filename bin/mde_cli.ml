@@ -310,12 +310,12 @@ let mcdb_cmd =
       (Format.asprintf "%a" Mde.Mcdb.Estimator.pp_estimate
          (Mde.Mcdb.Estimator.of_samples samples_seq));
     if domains > 1 then begin
+      let pool = Mde.Par.Pool.shared ~domains () in
       let samples_par, t_par =
-        Mde.Par.Pool.with_pool ~domains (fun pool ->
-            wall (fun () ->
-                Mde.Mcdb.Database.monte_carlo ~pool db
-                  (Mde.Prob.Rng.create ~seed ())
-                  ~reps ~query))
+        wall (fun () ->
+            Mde.Mcdb.Database.monte_carlo ~pool db
+              (Mde.Prob.Rng.create ~seed ())
+              ~reps ~query)
       in
       Printf.printf "%d domains         %.3f s   %s\n" domains t_par
         (Format.asprintf "%a" Mde.Mcdb.Estimator.pp_estimate
@@ -375,19 +375,26 @@ let housing_cmd =
 (* --- metrics --- *)
 
 let metrics_cmd =
-  let run requests concurrency zipf catalog_size format out seed =
-    if requests < 1 || concurrency < 1 || catalog_size < 1 then begin
-      prerr_endline "mde metrics: --requests, --concurrency and --catalog must be positive";
+  let run requests concurrency zipf catalog_size domains format out seed =
+    if requests < 1 || concurrency < 1 || catalog_size < 1 || domains < 1 then begin
+      prerr_endline
+        "mde metrics: --requests, --concurrency, --catalog and --domains must be \
+         positive";
       exit 2
     end;
     (* Install the live registry before any instrumented object exists:
-       the server, cache and scheduler capture it at construction. *)
+       the server, cache, scheduler and pool capture it at construction. *)
     let registry = Mde.Obs.create () in
     Mde.Obs.set_default registry;
-    let server = Mde.Serve.Demo.server () in
+    (* Always route through a pool (1-domain pools run sequentially on
+       the caller) so pool batch/chunk/steal metrics appear in the
+       exposition alongside the serving-layer ones. *)
+    let pool = Mde.Par.Pool.create ~domains () in
+    let server = Mde.Serve.Demo.server ~pool () in
     let catalog = Mde.Serve.Demo.catalog catalog_size in
     let config = { Mde.Serve.Workload.requests; concurrency; zipf_s = zipf; seed } in
     let report, _responses = Mde.Serve.Workload.run server ~catalog config in
+    Mde.Par.Pool.shutdown pool;
     Mde.Obs.set_default Mde.Obs.noop;
     Printf.eprintf "mde: workload served %d/%d requests in %.3f s\n%!" report.served
       report.issued report.elapsed;
@@ -436,6 +443,14 @@ let metrics_cmd =
       & info [ "format" ] ~docv:"FMT"
           ~doc:"Snapshot format: prom (Prometheus text) or json.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Serve the workload over a pool of $(docv) domains; pool metrics are \
+             exported either way (a 1-domain pool runs sequentially).")
+  in
   let out =
     Arg.(
       value
@@ -447,7 +462,9 @@ let metrics_cmd =
        ~doc:
          "run the demo serving workload with observability on and dump the metrics \
           snapshot (validated Prometheus text or JSON)")
-    Term.(const run $ requests $ concurrency $ zipf $ catalog_size $ format $ out $ seed_arg)
+    Term.(
+      const run $ requests $ concurrency $ zipf $ catalog_size $ domains $ format $ out
+      $ seed_arg)
 
 (* --- bundle-bench --- *)
 

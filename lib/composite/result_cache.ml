@@ -90,7 +90,7 @@ let pilot ?pool two_stage rng ~inputs ~outputs_per_input =
      The measured costs c1/c2 are wall-clock-dependent either way. *)
   let streams = Rng.split_n rng k in
   let sampled =
-    Mde_par.Pool.init ?pool k (fun i ->
+    Mde_par.Pool.init ?pool ~site:"composite.pilot" k (fun i ->
         let s = streams.(i) in
         let start = Sys.time () in
         let y1 = two_stage.model1 s in

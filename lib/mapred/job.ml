@@ -59,7 +59,7 @@ let map_reduce ?pool ?reduce_partitions ?combine ~map ~reduce input =
     in
     (!mapped, to_shuffle)
   in
-  let mapped_parts = Mde_par.Pool.map ?pool map_partition in_parts in
+  let mapped_parts = Mde_par.Pool.map ?pool ~site:"mapred.map" map_partition in_parts in
   let records_mapped = Array.fold_left (fun acc (m, _) -> acc + m) 0 mapped_parts in
   (* Shuffle: route sequentially so every reduce bucket accumulates its
      (key, value) pairs in the same arrival order with or without a
@@ -82,7 +82,7 @@ let map_reduce ?pool ?reduce_partitions ?combine ~map ~reduce input =
   (* Reduce phase: group by key per partition, preserving first-seen
      order; partitions are independent, so this fans out too. *)
   let reduced_parts =
-    Mde_par.Pool.map ?pool
+    Mde_par.Pool.map ?pool ~site:"mapred.reduce"
       (fun bucket ->
         let grouped = group_pairs (List.rev !bucket) in
         let outputs =
@@ -167,7 +167,7 @@ let sort_by ?pool ~cmp input =
       parts;
     (* Local sorts are independent per range partition. *)
     let out =
-      Mde_par.Pool.map ?pool
+      Mde_par.Pool.map ?pool ~site:"mapred.sort"
         (fun bucket ->
           let a = Array.of_list (List.rev bucket) in
           Array.sort cmp a;

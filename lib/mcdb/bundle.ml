@@ -63,7 +63,7 @@ let iter_rows ?pool n f =
     for i = 0 to n - 1 do
       f i
     done
-  | Some _ -> ignore (Mde_par.Pool.init ?pool n f : unit array)
+  | Some _ -> ignore (Mde_par.Pool.init ?pool ~site:"bundle.sweep" n f : unit array)
 
 (* --- construction -------------------------------------------------- *)
 
@@ -87,7 +87,7 @@ let of_stochastic_table ?pool st rng ~n_reps =
      run on the pool without changing a single draw. *)
   let streams = Mde_prob.Rng.split_n rng n_reps in
   let reps_rows =
-    Mde_par.Pool.init ?pool n_reps (fun r ->
+    Mde_par.Pool.init ?pool ~site:"bundle.generate" n_reps (fun r ->
         let rng = streams.(r) in
         Array.map
           (fun driver_row ->

@@ -61,7 +61,7 @@ let monte_carlo ?pool t rng ~reps ~query =
      whether it runs here or on a pool domain: parallel and sequential
      runs are bit-identical. *)
   let streams = Rng.split_n rng reps in
-  Mde_par.Pool.init ?pool reps (fun r -> query (instantiate t streams.(r)))
+  Mde_par.Pool.init ?pool ~site:"mcdb.monte_carlo" reps (fun r -> query (instantiate t streams.(r)))
 
 let plan_samples ?pool ?impl t rng ~table ~reps plan =
   if reps < 1 then invalid_arg "Database.plan_samples: reps must be >= 1";

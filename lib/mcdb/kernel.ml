@@ -374,7 +374,7 @@ let fill_rows ?pool rows f =
     for i = 0 to rows - 1 do
       f i
     done
-  | Some _ -> ignore (Mde_par.Pool.init ?pool rows f : unit array)
+  | Some _ -> ignore (Mde_par.Pool.init ?pool ~site:"bundle.materialize" rows f : unit array)
 
 let materialize ?pool ~rows ~reps node =
   let det = not (node_unc node) in

@@ -42,4 +42,4 @@ let instantiate_many ?pool t rng n =
   (* One split stream per realization, so the naive path parallelizes
      with bit-identical output to its sequential run. *)
   let streams = Mde_prob.Rng.split_n rng n in
-  Mde_par.Pool.init ?pool n (fun r -> instantiate t streams.(r))
+  Mde_par.Pool.init ?pool ~site:"mcdb.instantiate" n (fun r -> instantiate t streams.(r))

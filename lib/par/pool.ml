@@ -1,45 +1,191 @@
-(* Task counts per domain and chunk latency feed the observability
-   registry (counters are atomic, the histogram takes its own lock), so
-   recording from worker domains is safe. With the no-op registry every
-   recording site is a branch — no clock reads, no allocation. *)
+(* A persistent work-stealing pool.
+
+   The first-generation pool had three pathologies that made parallel
+   runs *slower* than sequential on small-core machines (recorded in
+   bench/BENCH_par.json at 0.04-0.09x): a fresh set of domains was
+   spawned and joined around every [with_pool] call, every task went
+   through one mutex-guarded shared queue, and [parallel_init] boxed
+   every result in an option cell and unwrapped with a full extra pass.
+   This version keeps domains alive across calls ([shared]), gives each
+   domain its own deque (owner pops LIFO at the bottom, thieves take
+   FIFO from the top, so contention is per-deque and cold tasks migrate
+   first), sizes chunks adaptively from measured per-item latency, takes
+   a sequential fast path when a batch is too small to pay for a
+   fan-out, and writes results unboxed into the final array.
+
+   Determinism is unchanged: the pool decides only *where* index [i]
+   runs, never what it computes, so pooled output is bit-identical to
+   sequential output for self-contained work items. *)
+
+(* --- per-domain deques ---------------------------------------------
+
+   A growable ring buffer under its own small mutex. Indices [head]
+   (steal end, oldest task) and [tail] (owner end) increase
+   monotonically; occupancy is [tail - head] and slot [i] lives at
+   [i land (capacity - 1)]. A mutex per deque is plenty here: tasks are
+   whole chunks (hundreds of microseconds by construction), so deque
+   operations are far off the critical path. *)
+
+let nop_task () = ()
+
+type deque = {
+  dlock : Mutex.t;
+  mutable buf : (unit -> unit) array;
+  mutable head : int;
+  mutable tail : int;
+}
+
+let deque_create () =
+  { dlock = Mutex.create (); buf = Array.make 16 nop_task; head = 0; tail = 0 }
+
+let deque_grow d =
+  let n = Array.length d.buf in
+  let buf = Array.make (2 * n) nop_task in
+  for i = d.head to d.tail - 1 do
+    buf.(i land ((2 * n) - 1)) <- d.buf.(i land (n - 1))
+  done;
+  d.buf <- buf
+
+let push_bottom d task =
+  Mutex.lock d.dlock;
+  if d.tail - d.head = Array.length d.buf then deque_grow d;
+  d.buf.(d.tail land (Array.length d.buf - 1)) <- task;
+  d.tail <- d.tail + 1;
+  Mutex.unlock d.dlock
+
+(* Owner end: newest task first, so a domain finishes the work it just
+   queued while thieves drain the oldest (coldest) tasks. *)
+let pop_bottom d =
+  Mutex.lock d.dlock;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      d.tail <- d.tail - 1;
+      let i = d.tail land (Array.length d.buf - 1) in
+      let t = d.buf.(i) in
+      d.buf.(i) <- nop_task;
+      Some t
+    end
+  in
+  Mutex.unlock d.dlock;
+  r
+
+let steal_top d =
+  Mutex.lock d.dlock;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      let i = d.head land (Array.length d.buf - 1) in
+      let t = d.buf.(i) in
+      d.buf.(i) <- nop_task;
+      d.head <- d.head + 1;
+      Some t
+    end
+  in
+  Mutex.unlock d.dlock;
+  r
+
+(* --- metrics and adaptive state ------------------------------------
+
+   Registry metrics are bound at [create] (no-op registry = one branch
+   per recording site). The adaptive chunk estimate is kept per *site*
+   — a caller-supplied label naming the kind of work — because one pool
+   serves workloads whose per-item cost spans six orders of magnitude
+   (a Monte Carlo replication vs one columnar cell sweep); a single
+   pooled estimate would missize every one of them. *)
+
 type metrics = {
+  obs : Mde_obs.t;
   obs_on : bool;
   domain_tasks : Mde_obs.Counter.t array;  (* index 0 = submitting domain *)
-  chunk_seconds : Mde_obs.Histogram.t;
+  domain_steals : Mde_obs.Counter.t array;
+  m_batches : Mde_obs.Counter.t;
+  m_seq : Mde_obs.Counter.t;
+}
+
+type site = {
+  site_hist : Mde_obs.Histogram.t;  (* chunk wall seconds, labelled site=... *)
+  site_chunk : Mde_obs.Gauge.t;  (* last adaptive chunk size chosen *)
+  mutable per_item : float;  (* EWMA seconds per work item; 0. = unmeasured *)
 }
 
 type t = {
-  mutex : Mutex.t;
+  mutex : Mutex.t;  (* batch bookkeeping + idle/wake protocol *)
   work_available : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  deques : deque array;  (* one per domain; index 0 = submitting caller *)
+  tasks_queued : int Atomic.t;  (* pushed but not yet taken; sleep gate *)
   mutable closing : bool;
   mutable workers : unit Domain.t array;
   n_domains : int;
+  (* Always-on plain counters for [stats]: each domain writes only its
+     own slot, so the writes are disjoint and race-free. *)
+  task_counts : int array;
+  steal_counts : int array;
+  mutable batches : int;
+  mutable seq_batches : int;
+  sites : (string, site) Hashtbl.t;
+  sites_lock : Mutex.t;
   metrics : metrics;
 }
 
-(* Workers block on [work_available] until a task arrives or the pool
-   closes; a closing pool still drains whatever is queued. *)
-let rec worker_loop pool tasks_counter =
-  Mutex.lock pool.mutex;
-  let rec next () =
-    match Queue.take_opt pool.queue with
-    | Some _ as task -> task
+(* --- taking and running tasks -------------------------------------- *)
+
+let take_task pool i =
+  let found =
+    match pop_bottom pool.deques.(i) with
+    | Some _ as t -> t
     | None ->
-      if pool.closing then None
+      let nd = pool.n_domains in
+      let rec scan k =
+        if k >= nd then None
+        else
+          match steal_top pool.deques.((i + k) mod nd) with
+          | Some _ as t ->
+            pool.steal_counts.(i) <- pool.steal_counts.(i) + 1;
+            if pool.metrics.obs_on then
+              Mde_obs.Counter.incr pool.metrics.domain_steals.(i);
+            t
+          | None -> scan (k + 1)
+      in
+      scan 1
+  in
+  (match found with
+  | Some _ -> ignore (Atomic.fetch_and_add pool.tasks_queued (-1))
+  | None -> ());
+  found
+
+let run_task pool i task =
+  task ();
+  pool.task_counts.(i) <- pool.task_counts.(i) + 1;
+  if pool.metrics.obs_on then Mde_obs.Counter.incr pool.metrics.domain_tasks.(i)
+
+(* A worker spins through its deque and the others'; with nothing to
+   take it sleeps on [work_available]. The [tasks_queued] check and the
+   wait happen under the pool mutex, and submitters bump the counter and
+   broadcast under the same mutex, so a wakeup can never be missed. A
+   closing pool drains every queued task before the worker exits. *)
+let rec worker_loop pool i =
+  match take_task pool i with
+  | Some task ->
+    run_task pool i task;
+    worker_loop pool i
+  | None ->
+    Mutex.lock pool.mutex;
+    let stop =
+      if Atomic.get pool.tasks_queued > 0 then false
+      else if pool.closing then true
       else begin
         Condition.wait pool.work_available pool.mutex;
-        next ()
+        false
       end
-  in
-  let task = next () in
-  Mutex.unlock pool.mutex;
-  match task with
-  | Some task ->
-    task ();
-    Mde_obs.Counter.incr tasks_counter;
-    worker_loop pool tasks_counter
-  | None -> ()
+    in
+    Mutex.unlock pool.mutex;
+    if not stop then begin
+      Domain.cpu_relax ();
+      worker_loop pool i
+    end
+
+(* --- lifecycle ------------------------------------------------------ *)
 
 let create ?domains () =
   let n =
@@ -51,31 +197,48 @@ let create ?domains () =
   let obs = Mde_obs.default () in
   let metrics =
     {
+      obs;
       obs_on = Mde_obs.enabled obs;
       domain_tasks =
         Array.init n (fun i ->
-            Mde_obs.counter obs ~help:"Pool tasks executed, by domain (0 = caller)"
+            Mde_obs.counter obs ~help:"Pool chunks executed, by domain (0 = caller)"
               ~labels:[ ("domain", string_of_int i) ]
               "mde_pool_tasks_total");
-      chunk_seconds =
-        Mde_obs.histogram obs ~help:"Wall seconds per executed pool chunk"
-          "mde_pool_chunk_seconds";
+      domain_steals =
+        Array.init n (fun i ->
+            Mde_obs.counter obs
+              ~help:"Pool chunks stolen from another domain's deque, by thief"
+              ~labels:[ ("domain", string_of_int i) ]
+              "mde_pool_steals_total");
+      m_batches =
+        Mde_obs.counter obs ~help:"Batches fanned out over the pool"
+          "mde_pool_batches_total";
+      m_seq =
+        Mde_obs.counter obs
+          ~help:"Batches run sequentially on the caller (below crossover or 1 domain)"
+          "mde_pool_seq_batches_total";
     }
   in
   let pool =
     {
       mutex = Mutex.create ();
       work_available = Condition.create ();
-      queue = Queue.create ();
+      deques = Array.init n (fun _ -> deque_create ());
+      tasks_queued = Atomic.make 0;
       closing = false;
       workers = [||];
       n_domains = n;
+      task_counts = Array.make n 0;
+      steal_counts = Array.make n 0;
+      batches = 0;
+      seq_batches = 0;
+      sites = Hashtbl.create 8;
+      sites_lock = Mutex.create ();
       metrics;
     }
   in
   pool.workers <-
-    Array.init (n - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop pool metrics.domain_tasks.(i + 1)));
+    Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
 
 let domains pool = pool.n_domains
@@ -95,29 +258,152 @@ let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* Run [run_chunk lo hi] for each chunk of [0, n), spread over the pool.
-   The submitting domain takes part: while its batch is outstanding it
-   executes queued tasks (its own batch's or any other), and only sleeps
-   when the queue is momentarily empty. Exactly one exception — the
-   first, in completion order — survives the batch and is re-raised on
-   the caller once every chunk has finished, so a failing batch never
-   leaves tasks behind to corrupt a later one. *)
-let parallel_chunks pool ~n ~chunk run_chunk =
+(* The process-wide pools: spawned once per distinct size, reused by
+   every later [shared] call, shut down at exit. This is what kills the
+   spawn-per-call overhead in the bench and serving paths — a domain
+   costs milliseconds to start, which used to be paid inside loops whose
+   entire work was milliseconds. *)
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let shared_lock = Mutex.create ()
+let shared_cleanup_installed = ref false
+
+let shared ?domains () =
+  let n =
+    match domains with
+    | None -> Domain.recommended_domain_count ()
+    | Some d -> d
+  in
+  if n < 1 then invalid_arg "Pool.shared: domains must be >= 1";
+  Mutex.lock shared_lock;
+  if not !shared_cleanup_installed then begin
+    shared_cleanup_installed := true;
+    at_exit (fun () ->
+        Mutex.lock shared_lock;
+        let pools = Hashtbl.fold (fun _ p acc -> p :: acc) shared_pools [] in
+        Hashtbl.reset shared_pools;
+        Mutex.unlock shared_lock;
+        List.iter shutdown pools)
+  end;
+  let pool =
+    match Hashtbl.find_opt shared_pools n with
+    | Some p when not p.closing -> p
+    | _ ->
+      let p = create ~domains:n () in
+      Hashtbl.replace shared_pools n p;
+      p
+  in
+  Mutex.unlock shared_lock;
+  pool
+
+(* --- adaptive chunking ---------------------------------------------- *)
+
+(* Below this much *total* sequential work a fan-out cannot pay for its
+   own dispatch (queue pushes, wakeups, cross-domain cache traffic), so
+   the batch runs on the caller. *)
+let crossover_seconds = 50e-6
+
+(* Preferred wall time per chunk once the per-item cost is known: coarse
+   enough that dispatch is noise, fine enough that a batch still splits
+   across domains. *)
+let target_chunk_seconds = 10e-3
+
+(* Never choose chunks cheaper than this even when load balance asks for
+   more splits — tiny chunks are how the old pool drowned in dispatch. *)
+let min_chunk_seconds = 200e-6
+
+let ewma_weight = 0.3
+
+let find_site pool name =
+  Mutex.lock pool.sites_lock;
+  let s =
+    match Hashtbl.find_opt pool.sites name with
+    | Some s -> s
+    | None ->
+      let m = pool.metrics in
+      let s =
+        {
+          site_hist =
+            Mde_obs.histogram m.obs ~help:"Wall seconds per executed pool chunk"
+              ~labels:[ ("site", name) ]
+              "mde_pool_chunk_seconds";
+          site_chunk =
+            Mde_obs.gauge m.obs
+              ~help:"Adaptive chunk size chosen for the site's last fan-out"
+              ~labels:[ ("site", name) ]
+              "mde_pool_chunk_size";
+          per_item = 0.;
+        }
+      in
+      Hashtbl.replace pool.sites name s;
+      s
+  in
+  Mutex.unlock pool.sites_lock;
+  s
+
+(* Clock resolution can read a cheap batch as zero seconds; the 1ns/item
+   floor keeps such a measurement meaningfully "known and tiny" rather
+   than resetting the estimate to unmeasured. *)
+let update_site pool s ~items ~seconds =
+  if items > 0 then begin
+    let sample = Float.max (seconds /. float_of_int items) 1e-9 in
+    Mutex.lock pool.sites_lock;
+    s.per_item <-
+      (if s.per_item <= 0. then sample
+       else ((1. -. ewma_weight) *. s.per_item) +. (ewma_weight *. sample));
+    Mutex.unlock pool.sites_lock
+  end
+
+let default_chunk pool n =
+  (* Unmeasured site: aim for ~4 chunks per domain — fine enough to
+     balance uneven work, coarse enough to keep dispatch negligible. *)
+  max 1 ((n + (4 * pool.n_domains) - 1) / (4 * pool.n_domains))
+
+let adaptive_chunk pool s n =
+  if s.per_item <= 0. then default_chunk pool n
+  else begin
+    let by_target = int_of_float (target_chunk_seconds /. s.per_item) in
+    let floor_cost = int_of_float (ceil (min_chunk_seconds /. s.per_item)) in
+    let balance_cap = max 1 (n / (2 * pool.n_domains)) in
+    max 1 (min n (max (min by_target balance_cap) floor_cost))
+  end
+
+let estimated_item_seconds pool ~site =
+  Mutex.lock pool.sites_lock;
+  let v =
+    match Hashtbl.find_opt pool.sites site with
+    | Some s when s.per_item > 0. -> Some s.per_item
+    | _ -> None
+  in
+  Mutex.unlock pool.sites_lock;
+  v
+
+(* --- batch execution ------------------------------------------------ *)
+
+(* Run [run_chunk lo hi] for each chunk of [0, n), spread round-robin
+   over the per-domain deques. The submitting domain takes part: while
+   its batch is outstanding it executes tasks (its own deque first, then
+   steals) and only sleeps when nothing is left to take. Exactly one
+   exception — the first, in completion order — survives the batch and
+   is re-raised on the caller once every chunk has finished, so a
+   failing batch never leaves tasks behind to corrupt a later one. *)
+let parallel_chunks pool s ~n ~chunk run_chunk =
   let n_chunks = (n + chunk - 1) / chunk in
   let remaining = ref n_chunks in
   let error = ref None in
+  let work_seconds = ref 0. in
   let batch_done = Condition.create () in
   let task_for c () =
-    let t0 = if pool.metrics.obs_on then Mde_obs.Clock.wall () else 0. in
+    let t0 = Mde_obs.Clock.wall () in
     (try run_chunk (c * chunk) (min n ((c + 1) * chunk))
      with e ->
        let bt = Printexc.get_raw_backtrace () in
        Mutex.lock pool.mutex;
        if !error = None then error := Some (e, bt);
        Mutex.unlock pool.mutex);
-    if pool.metrics.obs_on then
-      Mde_obs.Histogram.observe pool.metrics.chunk_seconds (Mde_obs.Clock.wall () -. t0);
+    let dt = Mde_obs.Clock.wall () -. t0 in
+    if pool.metrics.obs_on then Mde_obs.Histogram.observe s.site_hist dt;
     Mutex.lock pool.mutex;
+    work_seconds := !work_seconds +. dt;
     decr remaining;
     if !remaining = 0 then Condition.broadcast batch_done;
     Mutex.unlock pool.mutex
@@ -127,61 +413,114 @@ let parallel_chunks pool ~n ~chunk run_chunk =
     Mutex.unlock pool.mutex;
     invalid_arg "Pool: submitted to a shut-down pool"
   end;
+  pool.batches <- pool.batches + 1;
+  if pool.metrics.obs_on then Mde_obs.Counter.incr pool.metrics.m_batches;
   for c = 0 to n_chunks - 1 do
-    Queue.add (task_for c) pool.queue
+    push_bottom pool.deques.(c mod pool.n_domains) (task_for c)
   done;
+  ignore (Atomic.fetch_and_add pool.tasks_queued n_chunks);
   Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
   let rec help () =
-    if !remaining > 0 then begin
-      match Queue.take_opt pool.queue with
-      | Some task ->
-        Mutex.unlock pool.mutex;
-        task ();
-        Mde_obs.Counter.incr pool.metrics.domain_tasks.(0);
-        Mutex.lock pool.mutex;
-        help ()
-      | None ->
-        Condition.wait batch_done pool.mutex;
-        help ()
-    end
+    match take_task pool 0 with
+    | Some task ->
+      run_task pool 0 task;
+      help ()
+    | None ->
+      Mutex.lock pool.mutex;
+      while !remaining > 0 do
+        Condition.wait batch_done pool.mutex
+      done;
+      Mutex.unlock pool.mutex
   in
   help ();
-  Mutex.unlock pool.mutex;
+  update_site pool s ~items:n ~seconds:!work_seconds;
   match !error with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
-let default_chunk pool n =
-  (* Aim for ~4 chunks per domain: fine enough to balance uneven work,
-     coarse enough to keep scheduling overhead negligible. *)
-  max 1 ((n + (4 * pool.n_domains) - 1) / (4 * pool.n_domains))
-
-let parallel_init pool ?chunk n f =
+let parallel_init pool ?(site = "default") ?chunk n f =
   if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  (* Validate before any fast-path branch: ~chunk:0 must be rejected on
+     a 1-domain pool exactly as on a multi-domain one. *)
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.parallel_init: chunk must be >= 1"
+  | _ -> ());
   if pool.closing then invalid_arg "Pool: submitted to a shut-down pool";
   if n = 0 then [||]
-  else if pool.n_domains <= 1 then Array.init n f
   else begin
-    let chunk =
-      match chunk with
-      | Some c ->
-        if c < 1 then invalid_arg "Pool.parallel_init: chunk must be >= 1";
-        c
-      | None -> default_chunk pool n
+    let s = find_site pool site in
+    let sequential () =
+      let t0 = Mde_obs.Clock.wall () in
+      let out = Array.init n f in
+      let dt = Mde_obs.Clock.wall () -. t0 in
+      Mutex.lock pool.mutex;
+      pool.seq_batches <- pool.seq_batches + 1;
+      Mutex.unlock pool.mutex;
+      if pool.metrics.obs_on then begin
+        Mde_obs.Counter.incr pool.metrics.m_seq;
+        (* The whole batch ran as one caller-side chunk; record it so
+           chunk latency is observable even on 1-domain pools. *)
+        Mde_obs.Histogram.observe s.site_hist dt
+      end;
+      update_site pool s ~items:n ~seconds:dt;
+      out
     in
-    let out = Array.make n None in
-    parallel_chunks pool ~n ~chunk (fun lo hi ->
-        for i = lo to hi - 1 do
-          out.(i) <- Some (f i)
-        done);
-    Array.map (function Some v -> v | None -> assert false) out
+    if pool.n_domains <= 1 || n = 1 then sequential ()
+    else
+      match chunk with
+      | None when s.per_item > 0. && float_of_int n *. s.per_item < crossover_seconds
+        ->
+        sequential ()
+      | _ ->
+        let chunk =
+          match chunk with Some c -> c | None -> adaptive_chunk pool s n
+        in
+        if pool.metrics.obs_on then
+          Mde_obs.Gauge.set s.site_chunk (float_of_int chunk);
+        (* Unboxed result writing: evaluation order of [f] is unspecified
+           by contract, so the caller computes [f 0] up front to seed the
+           result array, and every chunk writes its slots directly — no
+           option boxing, no unwrap pass. Slot writes are disjoint across
+           chunks and published to the caller by batch completion. *)
+        let first = f 0 in
+        let out = Array.make n first in
+        parallel_chunks pool s ~n ~chunk (fun lo hi ->
+            for i = Stdlib.max lo 1 to hi - 1 do
+              out.(i) <- f i
+            done);
+        out
   end
 
-let parallel_map pool ?chunk f a =
-  parallel_init pool ?chunk (Array.length a) (fun i -> f a.(i))
+let parallel_map pool ?site ?chunk f a =
+  parallel_init pool ?site ?chunk (Array.length a) (fun i -> f a.(i))
 
-let map ?pool f a =
-  match pool with None -> Array.map f a | Some p -> parallel_map p f a
+let map ?pool ?site f a =
+  match pool with None -> Array.map f a | Some p -> parallel_map p ?site f a
 
-let init ?pool n f =
-  match pool with None -> Array.init n f | Some p -> parallel_init p n f
+let init ?pool ?site n f =
+  match pool with None -> Array.init n f | Some p -> parallel_init p ?site n f
+
+(* --- introspection -------------------------------------------------- *)
+
+type stats = {
+  stat_domains : int;
+  batches : int;
+  seq_batches : int;
+  tasks : int array;
+  steals : int array;
+}
+
+let stats pool =
+  Mutex.lock pool.mutex;
+  let s =
+    {
+      stat_domains = pool.n_domains;
+      batches = pool.batches;
+      seq_batches = pool.seq_batches;
+      tasks = Array.copy pool.task_counts;
+      steals = Array.copy pool.steal_counts;
+    }
+  in
+  Mutex.unlock pool.mutex;
+  s

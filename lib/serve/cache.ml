@@ -126,18 +126,37 @@ let add t ?(admit = true) key value =
       if length t >= t.cap then (
         match t.tail with
         | Some lru ->
+          (* A dead-on-arrival tail is an expiration, not a capacity
+             eviction — the slot was already free in TTL terms, and
+             counter totals must not depend on whether a probe noticed
+             the expiry first. *)
+          let was_expired = expired t lru in
           delete t lru;
-          t.evictions <- t.evictions + 1;
-          Mde_obs.Counter.incr t.metrics.m_evictions
+          if was_expired then begin
+            t.expirations <- t.expirations + 1;
+            Mde_obs.Counter.incr t.metrics.m_expirations
+          end
+          else begin
+            t.evictions <- t.evictions + 1;
+            Mde_obs.Counter.incr t.metrics.m_evictions
+          end
         | None -> ());
       let node = { key; value; expires = t.clock () +. t.ttl; prev = None; next = None } in
       Hashtbl.replace t.tbl key node;
       push_front t node
 
+(* [mem] deletes and counts an expired entry exactly as [find] does
+   (minus the miss — membership is a question, not a lookup), so
+   (mem; find) and (find; mem) leave identical counter totals. *)
 let mem t key =
   match Hashtbl.find_opt t.tbl key with
   | None -> false
-  | Some node -> not (expired t node)
+  | Some node when expired t node ->
+    delete t node;
+    t.expirations <- t.expirations + 1;
+    Mde_obs.Counter.incr t.metrics.m_expirations;
+    false
+  | Some _ -> true
 
 let keys_mru_first t =
   let rec walk acc = function

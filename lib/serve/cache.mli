@@ -49,13 +49,17 @@ val find : 'a t -> string -> 'a option
     miss. *)
 
 val add : 'a t -> ?admit:bool -> string -> 'a -> unit
-(** Insert (or refresh) a binding, evicting the LRU entry if the cache is
-    full. With [~admit:false] the value is dropped instead and counted as
-    an admission rejection — the hook for cost-aware admission control. *)
+(** Insert (or refresh) a binding, dropping the LRU entry if the cache
+    is full — counted as an expiration when that entry's TTL had already
+    passed, as a capacity eviction otherwise. With [~admit:false] the
+    value is dropped instead and counted as an admission rejection — the
+    hook for cost-aware admission control. *)
 
 val mem : 'a t -> string -> bool
-(** [true] iff the key is present and unexpired; does not touch recency
-    or counters. *)
+(** [true] iff the key is present and unexpired. Does not touch recency,
+    and counts neither hit nor miss; a present-but-expired entry is
+    removed and counted as one expiration, exactly as {!find} would, so
+    counter totals do not depend on which probe noticed the expiry. *)
 
 val length : 'a t -> int
 val capacity : 'a t -> int

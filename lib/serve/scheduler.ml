@@ -16,6 +16,7 @@ type counters = {
   submitted : int;
   rejected : int;
   completed : int;
+  failed : int;
   batches : int;
 }
 
@@ -30,11 +31,15 @@ type 'a t = {
   pool : Mde_par.Pool.t option;
   clock : unit -> float;
   mutable queue : 'a item list;  (* newest first; reversed at drain *)
+  mutable stashed : 'a completion list;
+      (* completions collected by a drain that raised, delivered by the
+         next drain so accepted work is never lost *)
   mutable pending : int;
   mutable next_ticket : int;
   mutable submitted : int;
   mutable rejected : int;
   mutable completed : int;
+  mutable failed : int;
   mutable batches : int;
   metrics : metrics;
 }
@@ -49,11 +54,13 @@ let create ?pool ?(clock = Mde_obs.Clock.wall) ?obs config =
     pool;
     clock;
     queue = [];
+    stashed = [];
     pending = 0;
     next_ticket = 0;
     submitted = 0;
     rejected = 0;
     completed = 0;
+    failed = 0;
     batches = 0;
     metrics =
       {
@@ -112,53 +119,86 @@ let take_batch config = function
     go [] 0 [] queue
 
 let drain t =
-  let completions = ref [] in
+  (* Completions rescued from a previous drain that raised go out first. *)
+  let completions = ref t.stashed in
+  t.stashed <- [];
   (* Oldest first. *)
   let queue = ref (List.rev t.queue) in
   t.queue <- [];
-  (* On exception, re-stash the unprocessed remainder (newest first). *)
+  (* First failure seen, re-raised once its batch's siblings are
+     accounted for. *)
+  let error = ref None in
+  (* Batch currently handed to the pool; non-empty only while a fan-out
+     is in flight, so a failing dispatch can put it back. *)
+  let in_flight = ref [] in
   let restore () =
+    (* Re-stash the unprocessed remainder (newest first) and bank the
+       completions already collected for the next drain: one failing
+       request must not destroy accepted work. *)
     t.queue <- List.rev !queue;
-    t.pending <- List.length !queue;
+    t.stashed <- !completions;
     Mde_obs.Gauge.set t.metrics.m_queue_depth (float_of_int t.pending)
   in
   (try
-     while !queue <> [] do
+     while !queue <> [] && !error = None do
        let batch, rest = take_batch t.config !queue in
+       in_flight := batch;
        queue := rest;
        Mde_obs.Histogram.observe t.metrics.m_batch_size
          (float_of_int (List.length batch));
        let dispatch = t.clock () in
+       (* Each closure is wrapped to capture its own outcome, so the pool
+          fan-out itself never raises on a user exception and sibling
+          results in the same batch survive a failing request. *)
        let runs =
          Array.of_list
            (List.map
               (fun item ->
                 let time_left = Option.map (fun d -> d -. dispatch) item.deadline in
-                fun () -> item.run ~time_left)
+                fun () ->
+                  match item.run ~time_left with
+                  | v -> Ok v
+                  | exception e -> Error (e, Printexc.get_raw_backtrace ()))
               batch)
        in
-       let results = Mde_par.Pool.map ?pool:t.pool (fun f -> f ()) runs in
+       let results =
+         Mde_par.Pool.map ?pool:t.pool ~site:"serve.batch" (fun f -> f ()) runs
+       in
        let finished = t.clock () in
+       in_flight := [];
        t.batches <- t.batches + 1;
        List.iteri
          (fun i (item : _ item) ->
-           t.completed <- t.completed + 1;
            t.pending <- t.pending - 1;
-           completions :=
-             { ticket = item.ticket; result = results.(i); latency = finished -. item.submitted_at }
-             :: !completions)
+           match results.(i) with
+           | Ok result ->
+             t.completed <- t.completed + 1;
+             completions :=
+               { ticket = item.ticket; result; latency = finished -. item.submitted_at }
+               :: !completions
+           | Error (e, bt) ->
+             t.failed <- t.failed + 1;
+             if !error = None then error := Some (e, bt))
          batch;
        Mde_obs.Gauge.set t.metrics.m_queue_depth (float_of_int t.pending)
      done
    with exn ->
+     (* The fan-out itself failed (e.g. a shut-down pool): the batch
+        never ran, so put it back in front of the remainder. *)
+     queue := !in_flight @ !queue;
      restore ();
      raise exn);
-  List.sort (fun a b -> compare a.ticket b.ticket) !completions
+  match !error with
+  | Some (e, bt) ->
+    restore ();
+    Printexc.raise_with_backtrace e bt
+  | None -> List.sort (fun a b -> compare a.ticket b.ticket) !completions
 
 let counters t =
   {
     submitted = t.submitted;
     rejected = t.rejected;
     completed = t.completed;
+    failed = t.failed;
     batches = t.batches;
   }

@@ -39,6 +39,7 @@ type counters = {
   submitted : int;  (** accepted submissions *)
   rejected : int;  (** backpressure rejections *)
   completed : int;
+  failed : int;  (** requests whose closure raised during {!drain} *)
   batches : int;  (** pool fan-outs executed *)
 }
 
@@ -70,8 +71,15 @@ val pending : 'a t -> int
 
 val drain : 'a t -> 'a completion list
 (** Execute every queued item (batching as described above) and return
-    completions in ticket order. Empty queue returns []. If a closure
-    raises, the exception propagates (first in batch-completion order,
-    per the pool contract) and the remaining queue is preserved. *)
+    completions in ticket order. Empty queue returns [].
+
+    Exception safety: every item's outcome is captured individually, so
+    one raising closure cannot destroy accepted work. If any closure
+    raises, the drain stops after that batch, the first exception (in
+    ticket order within the batch) propagates with its backtrace, the
+    unprocessed remainder of the queue is preserved, the failing
+    request is counted in [counters.failed], and {e all} completions
+    already collected — including the failing request's batch siblings
+    — are delivered by the next [drain] call. *)
 
 val counters : 'a t -> counters

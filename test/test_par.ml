@@ -58,6 +58,81 @@ let test_with_pool_shuts_down_on_raise () =
          false
        with Invalid_argument _ -> true)
 
+let test_chunk_validated_on_every_pool_size () =
+  (* Regression: the 1-domain fast path used to return before the
+     [?chunk] check, so [~chunk:0] silently succeeded there while
+     raising on a multi-domain pool. *)
+  let rejects pool label =
+    Alcotest.(check bool) label true
+      (try
+         ignore (Pool.parallel_init pool ~chunk:0 8 Fun.id);
+         false
+       with Invalid_argument _ -> true);
+    Alcotest.(check bool) (label ^ ", negative") true
+      (try
+         ignore (Pool.parallel_map pool ~chunk:(-3) Fun.id (Array.init 8 Fun.id));
+         false
+       with Invalid_argument _ -> true)
+  in
+  Pool.with_pool ~domains:1 (fun pool -> rejects pool "chunk=0 on 1-domain pool");
+  Pool.with_pool ~domains:2 (fun pool -> rejects pool "chunk=0 on 2-domain pool")
+
+let test_each_index_evaluated_once () =
+  (* The unboxed write path seeds the result array with [f 0] computed
+     on the caller; no index may be skipped or recomputed because of
+     that. *)
+  Pool.with_pool ~domains:3 (fun pool ->
+      let counts = Array.init 101 (fun _ -> Atomic.make 0) in
+      let out =
+        Pool.parallel_init pool ~chunk:4 101 (fun i ->
+            Atomic.incr counts.(i);
+            i)
+      in
+      Alcotest.(check (array int)) "values correct" (Array.init 101 Fun.id) out;
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int) (Printf.sprintf "index %d ran once" i) 1 (Atomic.get c))
+        counts)
+
+let test_stats_and_steals () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      ignore (Pool.parallel_init pool ~chunk:1 32 Fun.id);
+      let s = Pool.stats pool in
+      Alcotest.(check int) "stat domains" 2 s.Pool.stat_domains;
+      Alcotest.(check bool) "a batch fanned out" true (s.Pool.batches >= 1);
+      Alcotest.(check int) "every chunk executed and counted" 32
+        (Array.fold_left ( + ) 0 s.Pool.tasks);
+      Alcotest.(check int) "per-domain arrays sized to the pool" 2
+        (Array.length s.Pool.steals))
+
+let test_crossover_fast_path_engages () =
+  (* Trivial work trains the per-site estimate down to nanoseconds per
+     item, after which an unchunked small batch must run sequentially on
+     the caller. A few attempts absorb scheduling noise in the first
+     measurement. *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      let engaged = ref false in
+      for _ = 1 to 12 do
+        let before = (Pool.stats pool).Pool.seq_batches in
+        ignore (Pool.parallel_init pool ~site:"test.tiny" 16 Fun.id);
+        if (Pool.stats pool).Pool.seq_batches > before then engaged := true
+      done;
+      Alcotest.(check bool) "sequential fast path engaged" true !engaged;
+      (* An explicit [~chunk] is an instruction to fan out regardless. *)
+      let before = (Pool.stats pool).Pool.batches in
+      ignore (Pool.parallel_init pool ~site:"test.tiny" ~chunk:4 16 Fun.id);
+      Alcotest.(check bool) "explicit chunk still fans out" true
+        ((Pool.stats pool).Pool.batches > before))
+
+let test_shared_pool_reused () =
+  let p1 = Pool.shared ~domains:2 () in
+  let p2 = Pool.shared ~domains:2 () in
+  Alcotest.(check bool) "same size, same pool" true (p1 == p2);
+  let p3 = Pool.shared ~domains:1 () in
+  Alcotest.(check bool) "different size, different pool" true (p1 != p3);
+  Alcotest.(check (array int)) "shared pool computes" (Array.init 40 succ)
+    (Pool.parallel_init p1 40 succ)
+
 (* --- exception propagation --- *)
 
 exception Worker_trouble of int
@@ -75,6 +150,30 @@ let test_exception_propagates () =
       Alcotest.(check (array int)) "pool alive after failure"
         (Array.init 30 Fun.id)
         (Pool.parallel_init pool 30 Fun.id))
+
+let test_shutdown_drains_in_flight_work () =
+  (* Close the pool under a batch submitted from another domain: every
+     queued chunk must still run before the workers exit. *)
+  let pool = Pool.create ~domains:3 () in
+  let started = Atomic.make false in
+  let submitter =
+    Domain.spawn (fun () ->
+        Pool.parallel_init pool ~chunk:1 64 (fun i ->
+            if i > 0 then Atomic.set started true;
+            i * i))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check (array int)) "every chunk of the in-flight batch ran"
+    (Array.init 64 (fun i -> i * i))
+    (Domain.join submitter);
+  Alcotest.(check bool) "submit after shutdown raises" true
+    (try
+       ignore (Pool.parallel_init pool 4 Fun.id);
+       false
+     with Invalid_argument _ -> true)
 
 (* --- determinism: parallel == sequential, bit for bit --- *)
 
@@ -197,7 +296,17 @@ let () =
           Alcotest.test_case "single-domain pool" `Quick test_single_domain_pool;
           Alcotest.test_case "zero domains rejected" `Quick test_create_rejects_zero_domains;
           Alcotest.test_case "with_pool cleans up" `Quick test_with_pool_shuts_down_on_raise;
+          Alcotest.test_case "chunk validated on every pool size" `Quick
+            test_chunk_validated_on_every_pool_size;
+          Alcotest.test_case "each index evaluated once" `Quick
+            test_each_index_evaluated_once;
+          Alcotest.test_case "stats and steals" `Quick test_stats_and_steals;
+          Alcotest.test_case "crossover fast path" `Quick
+            test_crossover_fast_path_engages;
+          Alcotest.test_case "shared pool reused" `Quick test_shared_pool_reused;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "shutdown drains in-flight work" `Quick
+            test_shutdown_drains_in_flight_work;
         ] );
       ( "determinism",
         [

@@ -63,6 +63,58 @@ let test_cache_counters () =
   Alcotest.(check bool) "rejected entry absent" false (Cache.mem c "z");
   Alcotest.(check (float 1e-12)) "hit rate" 0.6 (Cache.hit_rate c)
 
+(* Counter totals must not depend on which probe notices an expiry:
+   [mem] and [find] each delete an expired entry and count one
+   expiration, and only [find] adds a miss. *)
+let test_cache_expiry_counter_parity () =
+  let probe first =
+    let now = ref 0. in
+    let c = Cache.create ~capacity:4 ~ttl:10. ~clock:(fun () -> !now) () in
+    Cache.add c "k" 1;
+    now := 20.;
+    (match first with
+    | `Mem_then_find ->
+      Alcotest.(check bool) "mem sees expiry" false (Cache.mem c "k");
+      Alcotest.(check (option int)) "find then misses" None (Cache.find c "k")
+    | `Find_then_mem ->
+      Alcotest.(check (option int)) "find sees expiry" None (Cache.find c "k");
+      Alcotest.(check bool) "mem then misses" false (Cache.mem c "k"));
+    Cache.counters c
+  in
+  let a = probe `Mem_then_find and b = probe `Find_then_mem in
+  Alcotest.(check int) "expirations agree" a.Cache.expirations b.Cache.expirations;
+  Alcotest.(check int) "one expiration either way" 1 a.Cache.expirations;
+  Alcotest.(check int) "misses agree" a.Cache.misses b.Cache.misses;
+  Alcotest.(check int) "one miss either way" 1 a.Cache.misses;
+  Alcotest.(check int) "mem removed the dead entry" 0
+    (let now = ref 0. in
+     let c = Cache.create ~capacity:4 ~ttl:10. ~clock:(fun () -> !now) () in
+     Cache.add c "k" 1;
+     now := 20.;
+     ignore (Cache.mem c "k");
+     Cache.length c)
+
+let test_cache_add_counts_expired_tail_as_expiration () =
+  let now = ref 0. in
+  let c = Cache.create ~capacity:2 ~ttl:10. ~clock:(fun () -> !now) () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  (* Both entries are past their TTL when the capacity displacement
+     happens: dropping the dead tail is an expiration, not an LRU
+     eviction. *)
+  now := 20.;
+  Cache.add c "c" 3;
+  let ctr = Cache.counters c in
+  Alcotest.(check int) "no eviction charged" 0 ctr.Cache.evictions;
+  Alcotest.(check int) "expiration charged" 1 ctr.Cache.expirations;
+  (* Refresh [b] so the tail is live again: a live tail displaced at
+     capacity is still an eviction. *)
+  Cache.add c "b" 5;
+  Cache.add c "d" 4;
+  let ctr = Cache.counters c in
+  Alcotest.(check int) "live tail evicts" 1 ctr.Cache.evictions;
+  Alcotest.(check int) "expirations unchanged" 1 ctr.Cache.expirations
+
 let test_cache_pays_off () =
   (* A popular class (most requests exact repeats) pays off; a class
      that never repeats does not. *)
@@ -254,6 +306,46 @@ let test_backpressure () =
   Alcotest.(check int) "2 rejected" 2 (Server.stats t).Server.rejected;
   Alcotest.(check int) "queue drains fully" 4 (List.length (Server.drain t))
 
+exception Request_trouble
+
+(* One raising request must not destroy accepted work: completions from
+   earlier batches and from its own batch siblings survive the raise and
+   come out of the next drain, the unprocessed remainder stays queued,
+   and the counters account every item exactly once. *)
+let test_drain_exception_preserves_accepted_work () =
+  let s = Scheduler.create { Scheduler.queue_capacity = 16; batch_size = 2 } in
+  let submit i =
+    match
+      Scheduler.submit s ~class_key:"k" (fun ~time_left:_ ->
+          if i = 2 then raise Request_trouble else i * 10)
+    with
+    | `Accepted ticket -> ticket
+    | `Rejected -> Alcotest.fail "submit rejected"
+  in
+  (* Batches of 2: [0;1] completes, [2;3] has the raiser (3 is its
+     sibling), [4] is never dispatched. *)
+  let tickets = List.init 5 submit in
+  Alcotest.(check bool) "first drain raises" true
+    (try
+       ignore (Scheduler.drain s);
+       false
+     with Request_trouble -> true);
+  let ctr = Scheduler.counters s in
+  Alcotest.(check int) "completed counts survivors" 3 ctr.Scheduler.completed;
+  Alcotest.(check int) "failed counts the raiser" 1 ctr.Scheduler.failed;
+  Alcotest.(check int) "undispatched item still pending" 1 (Scheduler.pending s);
+  (* The second drain delivers the banked completions plus the
+     remainder, in ticket order. *)
+  let completions = Scheduler.drain s in
+  Alcotest.(check (list int)) "all accepted work delivered"
+    [ List.nth tickets 0; List.nth tickets 1; List.nth tickets 3; List.nth tickets 4 ]
+    (List.map (fun c -> c.Scheduler.ticket) completions);
+  Alcotest.(check (list int)) "results intact" [ 0; 10; 30; 40 ]
+    (List.map (fun c -> c.Scheduler.result) completions);
+  let ctr = Scheduler.counters s in
+  Alcotest.(check int) "completed settles at 4" 4 ctr.Scheduler.completed;
+  Alcotest.(check int) "nothing left pending" 0 (Scheduler.pending s)
+
 (* The default scheduler clock is wall time, so a request that sleeps in
    the queue past its deadline must see a negative budget at dispatch —
    and its completion latency must include the sleep. *)
@@ -404,6 +496,10 @@ let () =
           Alcotest.test_case "LRU eviction order" `Quick test_cache_lru;
           Alcotest.test_case "TTL expiry" `Quick test_cache_ttl;
           Alcotest.test_case "exact counters" `Quick test_cache_counters;
+          Alcotest.test_case "expiry counter parity (mem vs find)" `Quick
+            test_cache_expiry_counter_parity;
+          Alcotest.test_case "expired tail counts as expiration" `Quick
+            test_cache_add_counts_expired_tail_as_expiration;
           Alcotest.test_case "cost-aware admission" `Quick test_cache_pays_off;
         ] );
       ( "fingerprint",
@@ -413,6 +509,8 @@ let () =
           Alcotest.test_case "served == direct (pooled, batched, cached)" `Quick
             test_served_equals_direct;
           Alcotest.test_case "backpressure" `Quick test_backpressure;
+          Alcotest.test_case "drain preserves accepted work on exception" `Quick
+            test_drain_exception_preserves_accepted_work;
           Alcotest.test_case "wall clock sees queue sleep" `Quick
             test_wall_clock_sees_sleep;
           Alcotest.test_case "CPU clock misses queue sleep" `Quick
