@@ -1,10 +1,15 @@
 type field = Int of int | Float of float | Bool of bool | Str of string | Json of string
 
+(* JSON has no nan/inf literals: an unserved percentile (nan) or an
+   empty-window throughput (inf) must become null, not an invalid
+   token that corrupts the whole BENCH_*.json array. Exposed so callers
+   assembling raw [Json] values (e.g. latency-under-load curves) share
+   the same guard instead of reinventing it wrong. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
 let render_value = function
   | Int i -> string_of_int i
-  | Float f ->
-    (* JSON has no nan/inf literals. *)
-    if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+  | Float f -> json_float f
   | Bool b -> string_of_bool b
   | Str s -> Printf.sprintf "%S" s
   | Json s -> s

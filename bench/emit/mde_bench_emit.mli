@@ -12,6 +12,14 @@ type field = Int of int | Float of float | Bool of bool | Str of string | Json o
     JSON value (e.g. an {!Mde_obs.Export.json} snapshot attached as a
     nested object). *)
 
+val json_float : float -> string
+(** Render one float as a JSON number — or [null] when it is not finite,
+    because JSON has no nan/inf literals and a single bare [nan] token
+    invalidates the whole accumulated array. This is the exact rendering
+    the [Float] field case uses; callers assembling raw {!field.Json}
+    values must use it for any float that could be non-finite (e.g.
+    percentiles over an empty served set). *)
+
 val git_describe : unit -> string
 (** [git describe --always --dirty], or ["unknown"] when git or the
     repository is unavailable. *)

@@ -21,7 +21,9 @@ let list_experiments () =
   Format.printf "  %-8s %s@." "--serve [N]"
     "Zipf workload against the serving layer (optional domain count)";
   Format.printf "  %-8s %s@." "--bundle [rows reps]"
-    "naive vs interpreted vs columnar tuple-bundle execution"
+    "naive vs interpreted vs columnar tuple-bundle execution";
+  Format.printf "  %-8s %s@." "--shard [N]"
+    "sharded serving front: bit-identity vs single shard + open-loop overload sweep"
 
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -57,6 +59,13 @@ let () =
       Bundle_run.run ~rows ~reps ()
     | _ ->
       Format.eprintf "--bundle expects positive integers ROWS REPS (reps >= 2)@.";
+      exit 1)
+  | [ "--shard" ] -> Shard_run.run ()
+  | [ "--shard"; n ] -> (
+    match int_of_string_opt n with
+    | Some shards when shards >= 1 -> Shard_run.run ~shards ()
+    | _ ->
+      Format.eprintf "--shard expects a positive integer shard count, got %S@." n;
       exit 1)
   | [ "--serve" ] -> Serve_bench.run ~domains:1 ()
   | [ "--serve"; n ] -> (

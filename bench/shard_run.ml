@@ -1,0 +1,20 @@
+(* The --shard experiment: sharded-vs-single-shard bit-identity plus the
+   open-loop overload sweep, recorded in bench/BENCH_serve.json via the
+   shared Mde_shard_bench harness (also behind [mde_cli shard-bench]). *)
+
+module S = Mde_shard_bench
+
+let run ?(shards = 2) ?(domains = 1) () =
+  Util.section "SHARD"
+    (Printf.sprintf
+       "sharded serving front: %d shards, open-loop overload sweep (%d domains)" shards
+       domains);
+  let result = S.run ~domains ~shards ~seed:7 () in
+  S.print result;
+  let path = S.emit result in
+  Util.note "recorded in %s" path;
+  match S.gate result with
+  | Ok () -> ()
+  | Error msg ->
+    Util.note "FAIL: %s" msg;
+    exit 1

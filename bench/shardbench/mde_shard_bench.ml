@@ -1,0 +1,203 @@
+module Serve = Mde.Serve
+module W = Serve.Workload
+module Emit = Mde_bench_emit
+
+type point = { offered_rate : float; report : W.open_report }
+
+type result = {
+  shards : int;
+  domains : int;
+  rows : int;
+  catalog : int;
+  arrivals : int;
+  queue : int;
+  zipf : float;
+  seed : int;
+  compared : int;
+  mismatches : int;
+  capacity_rps : float;
+  points : point list;
+}
+
+(* 8x the measured paired-pass capacity overshoots even a generous
+   estimate of the front's true capacity, so the top sweep point is
+   overloaded by construction and the shed gate below is machine-speed
+   independent. *)
+let default_multipliers = [ 0.5; 1.0; 2.0; 8.0 ]
+
+let responses_identical (a : Serve.Server.response) (b : Serve.Server.response) =
+  a.Serve.Server.value = b.Serve.Server.value
+  && a.Serve.Server.ci95 = b.Serve.Server.ci95
+  && a.Serve.Server.reps_executed = b.Serve.Server.reps_executed
+
+let run ?(domains = 1) ?(shards = 2) ?(rows = 60) ?(catalog = 16) ?(arrivals = 160)
+    ?(queue = 8) ?(zipf = 1.1) ?(rates = []) ~seed () =
+  if domains < 1 || shards < 1 || rows < 1 || catalog < 1 || arrivals < 1 || queue < 1
+  then invalid_arg "Mde_shard_bench.run: sizes must be positive";
+  if List.exists (fun r -> not (r > 0.)) rates then
+    invalid_arg "Mde_shard_bench.run: rates must be positive";
+  let clock = Unix.gettimeofday in
+  let with_pool f =
+    if domains > 1 then Mde.Par.Pool.with_pool ~domains (fun pool -> f (Some pool))
+    else f None
+  in
+  with_pool @@ fun pool ->
+  let templates = Serve.Demo.catalog catalog in
+  (* Phase 1 — bit-identity + capacity. The same Zipf-sampled sequence
+     (repeats exercise both sides' caches) is served request-by-request
+     through a single-shard server and the front; serve drains
+     immediately, so queues never fill and nothing is shed. *)
+  let picks =
+    let cdf = W.zipf_cdf ~s:zipf ~n:catalog in
+    let rng = Mde.Prob.Rng.create ~seed:(seed + 17) () in
+    Array.init arrivals (fun _ -> W.zipf_sample rng cdf)
+  in
+  let single = Serve.Demo.server ?pool ~clock ~rows () in
+  let front = Serve.Demo.front ?pool ~clock ~rows ~shards () in
+  let compared = ref 0 and mismatches = ref 0 in
+  let t0 = clock () in
+  Array.iter
+    (fun rank ->
+      let request = templates.(rank) in
+      match (Serve.Server.serve single request, Serve.Shard.serve front request) with
+      | `Served a, `Served b ->
+        incr compared;
+        if not (responses_identical a b) then incr mismatches
+      | (`Rejected | `Served _), (`Shed _ | `Served _) -> ())
+    picks;
+  let elapsed = clock () -. t0 in
+  ignore (Serve.Shard.shutdown front);
+  let capacity_rps =
+    if elapsed > 0. then float_of_int arrivals /. elapsed else infinity
+  in
+  (* Phase 2 — the open-loop sweep, a fresh cold front per point so the
+     points are comparable. Small per-shard queues keep the shed
+     threshold low and p99 structurally bounded under overload. *)
+  let rates =
+    match rates with
+    | [] -> List.map (fun m -> m *. capacity_rps) default_multipliers
+    | explicit -> explicit
+  in
+  let sweep_catalog =
+    Array.map
+      (fun (r : Serve.Server.request) ->
+        if r.Serve.Server.model = "sbp_bundle" then
+          { r with Serve.Server.model = "sbp_any" }
+        else r)
+      templates
+  in
+  let scheduler = { Serve.Scheduler.default_config with queue_capacity = queue } in
+  let points =
+    List.map
+      (fun rate ->
+        let front = Serve.Demo.front ?pool ~clock ~rows ~scheduler ~shards () in
+        let report, _ =
+          W.run_open ~clock (W.shard_target front) ~catalog:sweep_catalog
+            { W.arrivals; rate; zipf_s = zipf; seed }
+        in
+        ignore (Serve.Shard.shutdown front);
+        { offered_rate = rate; report })
+      rates
+  in
+  {
+    shards;
+    domains;
+    rows;
+    catalog;
+    arrivals;
+    queue;
+    zipf;
+    seed;
+    compared = !compared;
+    mismatches = !mismatches;
+    capacity_rps;
+    points;
+  }
+
+let identical r = r.compared > 0 && r.mismatches = 0
+let shed_engaged r = List.exists (fun p -> p.report.W.shed > 0) r.points
+
+let gate r =
+  if not (identical r) then
+    Error
+      (Printf.sprintf "sharded vs single-shard: %d mismatches over %d compared"
+         r.mismatches r.compared)
+  else
+    match List.rev r.points with
+    | [] -> Error "no sweep points"
+    | top :: _ ->
+      (* Only the auto-calibrated sweep guarantees the top point is
+         overloaded; an explicit --rate run may be pure underload. *)
+      if top.offered_rate < 7.9 *. r.capacity_rps then Ok ()
+      else if top.report.W.shed = 0 then
+        Error "overloaded top rate shed nothing: admission control never engaged"
+      else if top.report.W.served = 0 then
+        Error "overloaded top rate served nothing: the front sank instead of shedding"
+      else if not (Float.is_finite top.report.W.p99) then
+        Error "overloaded top rate has non-finite p99 over served requests"
+      else Ok ()
+
+let ms v = if Float.is_finite v then Printf.sprintf "%.2f" (1e3 *. v) else "-"
+
+let print r =
+  Printf.printf
+    "shard-bench: %d shards, %d-template catalog, %d arrivals, queue %d/shard (%d \
+     domains)\n"
+    r.shards r.catalog r.arrivals r.queue r.domains;
+  (if identical r then
+     Printf.printf
+       "sharded vs single-shard estimates: bit-identical over %d compared requests\n"
+       r.compared
+   else
+     Printf.printf "sharded vs single-shard estimates: %d MISMATCHES over %d compared\n"
+       r.mismatches r.compared);
+  Printf.printf "paired-pass capacity estimate: %.1f req/s\n\n" r.capacity_rps;
+  Printf.printf "%12s %12s %9s %9s %9s %7s %7s\n" "offered" "throughput" "p50" "p95"
+    "p99" "served" "shed";
+  List.iter
+    (fun p ->
+      let rep = p.report in
+      Printf.printf "%10.1f/s %10.1f/s %7sms %7sms %7sms %7d %7d\n" p.offered_rate
+        rep.W.throughput (ms rep.W.p50) (ms rep.W.p95) (ms rep.W.p99) rep.W.served
+        rep.W.shed)
+    r.points
+
+let emit r =
+  (* The curve rides along as one raw Json array; percentiles over an
+     all-shed point are nan, which json_float renders as null so the
+     accumulated BENCH_serve.json stays parseable. *)
+  let curve =
+    "["
+    ^ String.concat ", "
+        (List.map
+           (fun p ->
+             let rep = p.report in
+             Printf.sprintf
+               "{\"offered_rps\": %s, \"throughput_rps\": %s, \"served\": %d, \
+                \"shed\": %d, \"shed_rate\": %s, \"hits\": %d, \"p50_s\": %s, \
+                \"p95_s\": %s, \"p99_s\": %s}"
+               (Emit.json_float p.offered_rate)
+               (Emit.json_float rep.W.throughput)
+               rep.W.served rep.W.shed
+               (Emit.json_float rep.W.shed_rate)
+               rep.W.hits (Emit.json_float rep.W.p50) (Emit.json_float rep.W.p95)
+               (Emit.json_float rep.W.p99))
+           r.points)
+    ^ "]"
+  in
+  Emit.append ~file:"BENCH_serve.json" ~name:"shard-openloop"
+    [
+      ("shards", Emit.Int r.shards);
+      ("domains", Int r.domains);
+      ("rows", Int r.rows);
+      ("catalog", Int r.catalog);
+      ("arrivals", Int r.arrivals);
+      ("queue_capacity", Int r.queue);
+      ("zipf_s", Float r.zipf);
+      ("seed", Int r.seed);
+      ("capacity_rps", Float r.capacity_rps);
+      ("compared", Int r.compared);
+      ("identical_output", Bool (identical r));
+      ("shed_engaged", Bool (shed_engaged r));
+      ("curve", Json curve);
+    ]

@@ -1,0 +1,85 @@
+(** The sharded-serving experiment, shared by [bench/main -- --shard]
+    and [mde_cli shard-bench] so both record the same run.
+
+    Two phases over the demo catalog ({!Mde.Serve.Demo}):
+
+    - {e bit-identity}: the same Zipf-sampled request sequence is served
+      request-by-request through a single-shard {!Mde.Serve.Server} and
+      a [shards]-shard {!Mde.Serve.Shard} front, and every response pair
+      is compared bit for bit (value, CI, repetitions) — the front's
+      determinism contract, checked live. The timed front pass doubles
+      as the capacity estimate the rate sweep calibrates against.
+    - {e open-loop sweep}: a fresh front per point (small per-shard
+      queues) is driven by {!Mde.Serve.Workload.run_open} at each
+      offered rate — by default 0.5x, 1x, 2x and 8x the measured
+      capacity, so the top point is deliberately overloaded and typed
+      shedding must engage. The latency-under-load curve (throughput,
+      p50/p95/p99, shed rate per offered rate) is appended to
+      [bench/BENCH_serve.json] as the ["shard-openloop"] entry.
+
+    The sweep catalog reroutes the bundle templates through the
+    federated ["sbp_any"] name, so the federation path runs under
+    load. *)
+
+type point = {
+  offered_rate : float;
+  report : Mde.Serve.Workload.open_report;
+}
+
+type result = {
+  shards : int;
+  domains : int;
+  rows : int;
+  catalog : int;
+  arrivals : int;  (** requests in the identity pass and per sweep point *)
+  queue : int;  (** per-shard scheduler queue capacity during the sweep *)
+  zipf : float;
+  seed : int;
+  compared : int;  (** response pairs compared in the identity pass *)
+  mismatches : int;
+  capacity_rps : float;
+      (** paired-pass throughput (each request served by {e both}
+          targets), so a conservative floor on either target's capacity *)
+  points : point list;  (** one per offered rate, sweep order *)
+}
+
+val run :
+  ?domains:int ->
+  ?shards:int ->
+  ?rows:int ->
+  ?catalog:int ->
+  ?arrivals:int ->
+  ?queue:int ->
+  ?zipf:float ->
+  ?rates:float list ->
+  seed:int ->
+  unit ->
+  result
+(** Execute both phases. [rates] fixes the swept offered rates
+    explicitly (requests per second); the default [[]] sweeps multiples
+    of the measured capacity as described above. Defaults:
+    [domains = 1], [shards = 2], [rows = 60], [catalog = 16],
+    [arrivals = 160], [queue = 8], [zipf = 1.1]. Raises
+    [Invalid_argument] on non-positive sizes or rates. *)
+
+val identical : result -> bool
+(** At least one pair compared and no mismatches. *)
+
+val shed_engaged : result -> bool
+(** Some sweep point shed at least one request. *)
+
+val gate : result -> (unit, string) Result.t
+(** The acceptance gate shared by the bench harness and CI smoke:
+    {!identical}, and — when the default auto-calibrated sweep ran (so
+    the top rate is deliberate overload) — the last point must have
+    shed > 0, served > 0 and a finite p99. [Error] carries a one-line
+    reason. *)
+
+val print : result -> unit
+(** Human-readable phase summaries and the rate-sweep table, to stdout. *)
+
+val emit : result -> string
+(** Append the ["shard-openloop"] entry (params, capacity, identity
+    verdict, and the curve as a nested JSON array — non-finite floats
+    rendered as [null] via {!Mde_bench_emit.json_float}) to
+    [bench/BENCH_serve.json]; returns the path written. *)

@@ -648,6 +648,88 @@ let serve_bench_cmd =
       const run $ requests $ concurrency $ zipf $ catalog_size $ cache_capacity
       $ domains $ deadline $ metrics $ seed_arg)
 
+(* --- shard-bench --- *)
+
+let shard_bench_cmd =
+  let run shards rate requests catalog queue zipf domains rows seed =
+    if shards < 1 || requests < 1 || catalog < 1 || queue < 1 || domains < 1 || rows < 1
+    then begin
+      prerr_endline
+        "mde shard-bench: --shards, --requests, --catalog, --queue, --rows and \
+         --domains must be positive";
+      exit 2
+    end;
+    if rate < 0. || zipf < 0. then begin
+      prerr_endline "mde shard-bench: --rate and --zipf must be non-negative";
+      exit 2
+    end;
+    let rates = if rate > 0. then [ rate ] else [] in
+    let result =
+      Mde_shard_bench.run ~domains ~shards ~rows ~catalog ~arrivals:requests ~queue
+        ~zipf ~rates ~seed ()
+    in
+    Mde_shard_bench.print result;
+    let path = Mde_shard_bench.emit result in
+    Printf.printf "recorded in %s\n" path;
+    match Mde_shard_bench.gate result with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline ("mde shard-bench: " ^ msg);
+      exit 1
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Shards in the front.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Offered load in requests per second for a single open-loop point (0 = \
+             sweep multiples of the measured capacity, ending deliberately \
+             overloaded).")
+  in
+  let requests =
+    Arg.(
+      value & opt int 160
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Requests in the identity pass and arrivals per sweep point.")
+  in
+  let catalog_size =
+    Arg.(
+      value & opt int 16 & info [ "catalog" ] ~docv:"N" ~doc:"Distinct request templates.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 8
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Per-shard scheduler queue capacity during the sweep.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S" ~doc:"Zipf popularity skew exponent.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N" ~doc:"Domain-pool size shared by every shard.")
+  in
+  let rows =
+    Arg.(
+      value & opt int 60
+      & info [ "rows" ] ~docv:"N" ~doc:"Driver rows in the demo stochastic table.")
+  in
+  Cmd.v
+    (Cmd.info "shard-bench"
+       ~doc:
+         "consistent-hash sharded serving front: bit-identity vs a single shard, then \
+          an open-loop latency-under-load sweep with typed shedding (records \
+          BENCH_serve.json)")
+    Term.(
+      const run $ shards $ rate $ requests $ catalog_size $ queue $ zipf $ domains
+      $ rows $ seed_arg)
+
 let () =
   let info =
     Cmd.info "mde" ~version:"1.0.0"
@@ -656,7 +738,7 @@ let () =
   let group =
     Cmd.group info
       [ traffic_cmd; epidemic_cmd; fire_cmd; schelling_cmd; market_cmd; mcdb_cmd;
-        housing_cmd; serve_bench_cmd; bundle_bench_cmd; metrics_cmd ]
+        housing_cmd; serve_bench_cmd; shard_bench_cmd; bundle_bench_cmd; metrics_cmd ]
   in
   (* cmdliner's usage errors span several lines (message + usage + help
      pointer); compress to the first line so scripts see one diagnostic

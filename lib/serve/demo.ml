@@ -77,6 +77,24 @@ let server ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission ?(rows 
   Server.register_composite t ~name:"queue" queue_composite;
   t
 
+(* The sharded twin of [server]: same models on every shard, plus the
+   federated "sbp_any" name answered by whichever of the bundle / naive
+   SBP backends is currently cheaper (identical bits either way). *)
+let front ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission ?high_water
+    ?(rows = 120) ~shards () =
+  let t =
+    Shard.create ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission
+      ?high_water ~shards ()
+  in
+  let db = sbp_database rows in
+  Shard.register_mcdb t ~name:"sbp" ~query:mean_sbp db;
+  Shard.register_mcdb_plan t ~name:"sbp_bundle" ~table:"SBP_DATA" ~plan:sbp_plan db;
+  let chain, current = walk_chain () in
+  Shard.register_chain t ~name:"walk" ~query:current chain;
+  Shard.register_composite t ~name:"queue" queue_composite;
+  Shard.federate t ~name:"sbp_any" ~backends:[ "sbp_bundle"; "sbp" ];
+  t
+
 let catalog ?deadline size =
   if size < 1 then invalid_arg "Demo.catalog: size must be >= 1";
   Array.init size (fun i ->

@@ -21,6 +21,24 @@ val server :
     ["walk"] (SimSQL chain) and ["queue"] (two-stage composite)
     registered. *)
 
+val front :
+  ?pool:Mde_par.Pool.t ->
+  ?clock:(unit -> float) ->
+  ?cache_capacity:int ->
+  ?cache_ttl:float ->
+  ?scheduler:Scheduler.config ->
+  ?admission:Server.admission ->
+  ?high_water:int ->
+  ?rows:int ->
+  shards:int ->
+  unit ->
+  Shard.t
+(** The sharded twin of {!server}: a {!Shard} front with the same four
+    models registered on every shard, plus the federated name
+    ["sbp_any"] ({!Shard.federate} over ["sbp_bundle"] then ["sbp"]) —
+    so the same demo catalog drives either target, and the federation
+    path is exercised by requests addressed to ["sbp_any"]. *)
+
 val sbp_plan : Mde_mcdb.Bundle.plan
 (** Per-repetition Avg(sbp) over SBP_DATA — the bundle plan behind
     ["sbp_bundle"], accumulating rows in the same order as the naive

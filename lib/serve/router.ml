@@ -1,0 +1,46 @@
+type t = { shards : int }
+
+(* FNV-1a over the key bytes: cheap, stable across runs and processes
+   (unlike [Hashtbl.hash], whose output is version-dependent), and good
+   enough once finished through splitmix64 below. *)
+let hash64 s =
+  let offset_basis = 0xcbf29ce484222325L and prime = 0x100000001b3L in
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+(* splitmix64 finalizer: turns the correlated (key-hash, shard) pairs
+   into independent-looking 64-bit weights. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let weight ~key ~shard =
+  (* Golden-ratio stride decorrelates consecutive shard indices before
+     the finishing mix. *)
+  mix (Int64.logxor (hash64 key) (Int64.mul (Int64.of_int (shard + 1)) 0x9e3779b97f4a7c15L))
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Router.create: shards must be >= 1";
+  { shards }
+
+let shards t = t.shards
+let resize _t ~shards = create ~shards
+
+let route t key =
+  (* Highest-random-weight wins; unsigned comparison so the sign bit is
+     just another weight bit. *)
+  let best = ref 0 and best_w = ref (weight ~key ~shard:0) in
+  for shard = 1 to t.shards - 1 do
+    let w = weight ~key ~shard in
+    if Int64.unsigned_compare w !best_w > 0 then begin
+      best := shard;
+      best_w := w
+    end
+  done;
+  !best

@@ -18,6 +18,7 @@ type counters = {
   completed : int;
   failed : int;
   batches : int;
+  abandoned : int;
 }
 
 type metrics = {
@@ -41,6 +42,8 @@ type 'a t = {
   mutable completed : int;
   mutable failed : int;
   mutable batches : int;
+  mutable abandoned : int;
+  mutable closed : bool;
   metrics : metrics;
 }
 
@@ -62,6 +65,8 @@ let create ?pool ?(clock = Mde_obs.Clock.wall) ?obs config =
     completed = 0;
     failed = 0;
     batches = 0;
+    abandoned = 0;
+    closed = false;
     metrics =
       {
         m_queue_depth =
@@ -80,6 +85,7 @@ let create ?pool ?(clock = Mde_obs.Clock.wall) ?obs config =
 let pending t = t.pending
 
 let submit t ~class_key ?deadline run =
+  if t.closed then invalid_arg "Scheduler.submit: scheduler is shut down";
   if t.pending >= t.config.queue_capacity then (
     t.rejected <- t.rejected + 1;
     Mde_obs.Counter.incr t.metrics.m_rejections;
@@ -194,6 +200,22 @@ let drain t =
     Printexc.raise_with_backtrace e bt
   | None -> List.sort (fun a b -> compare a.ticket b.ticket) !completions
 
+(* Completions banked by a failed drain used to be silently lost when
+   the scheduler was dropped before the next drain: deliver them here
+   instead, and account every undispatched item exactly once. *)
+let shutdown t =
+  if t.closed then []
+  else begin
+    t.closed <- true;
+    let banked = t.stashed in
+    t.stashed <- [];
+    t.abandoned <- t.abandoned + t.pending;
+    t.pending <- 0;
+    t.queue <- [];
+    Mde_obs.Gauge.set t.metrics.m_queue_depth 0.;
+    List.sort (fun a b -> compare a.ticket b.ticket) banked
+  end
+
 let counters t =
   {
     submitted = t.submitted;
@@ -201,4 +223,5 @@ let counters t =
     completed = t.completed;
     failed = t.failed;
     batches = t.batches;
+    abandoned = t.abandoned;
   }

@@ -41,6 +41,7 @@ type counters = {
   completed : int;
   failed : int;  (** requests whose closure raised during {!drain} *)
   batches : int;  (** pool fan-outs executed *)
+  abandoned : int;  (** accepted items never executed, dropped by {!shutdown} *)
 }
 
 val create :
@@ -81,5 +82,15 @@ val drain : 'a t -> 'a completion list
     request is counted in [counters.failed], and {e all} completions
     already collected — including the failing request's batch siblings
     — are delivered by the next [drain] call. *)
+
+val shutdown : 'a t -> 'a completion list
+(** Close the scheduler and deliver, in ticket order, any completions a
+    failed {!drain} banked — work that was fully executed but whose
+    results would otherwise be silently lost if the scheduler were
+    dropped before the next drain. Queued items that never ran are
+    dropped and counted in [counters.abandoned] (so every accepted
+    submission is accounted exactly once as completed, failed or
+    abandoned). Idempotent: later calls return []. After shutdown,
+    {!submit} raises [Invalid_argument] and {!drain} returns []. *)
 
 val counters : 'a t -> counters

@@ -388,8 +388,7 @@ let admit_decision t cls =
         (Cache.class_statistics ~compute_cost ~serve_cost ~result_variance
            ~repeat_fraction)
 
-let drain t =
-  let completions = Scheduler.drain t.sched in
+let settle t completions =
   let executed =
     List.map
       (fun { Scheduler.ticket; result; latency } ->
@@ -428,6 +427,10 @@ let drain t =
   let out = List.rev_append t.ready executed in
   t.ready <- [];
   List.sort (fun (a, _) (b, _) -> compare a b) out
+
+let drain t = settle t (Scheduler.drain t.sched)
+
+let shutdown t = settle t (Scheduler.shutdown t.sched)
 
 let serve t request =
   match submit t request with

@@ -136,6 +136,15 @@ val drain : t -> (int * response) list
 val serve : t -> request -> [ `Served of response | `Rejected ]
 (** [submit] + [drain] for a single request. *)
 
+val shutdown : t -> (int * response) list
+(** Close the server's scheduler ({!Scheduler.shutdown}) and deliver
+    every response that is already available — pending cache hits plus
+    completions a failed drain banked — without executing queued work
+    (which is dropped and counted as abandoned). Call this instead of
+    dropping a server on the floor after a drain raised: executed work
+    is never silently lost. Idempotent; a later {!submit} that misses
+    the cache raises [Invalid_argument]. *)
+
 type stats = {
   served : int;
   rejected : int;

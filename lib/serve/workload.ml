@@ -58,6 +58,126 @@ let percentiles xs qs =
   Array.sort Float.compare sorted;
   Array.map (percentile_sorted sorted) qs
 
+(* --- open loop --- *)
+
+type target = {
+  t_submit : Server.request -> [ `Queued of int | `Dropped ];
+  t_drain : unit -> (int * Server.response) list;
+}
+
+let server_target server =
+  {
+    t_submit =
+      (fun r ->
+        match Server.submit server r with `Queued id -> `Queued id | `Rejected -> `Dropped);
+    t_drain = (fun () -> Server.drain server);
+  }
+
+let shard_target front =
+  {
+    t_submit =
+      (fun r ->
+        match Shard.submit front r with `Queued id -> `Queued id | `Shed _ -> `Dropped);
+    t_drain = (fun () -> Shard.drain front);
+  }
+
+type open_config = { arrivals : int; rate : float; zipf_s : float; seed : int }
+
+type open_report = {
+  offered : int;
+  offered_rate : float;
+  served : int;
+  shed : int;
+  degraded : int;
+  hits : int;
+  elapsed : float;
+  throughput : float;
+  mean_latency : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  shed_rate : float;
+}
+
+let run_open ?(clock = Mde_obs.Clock.wall) target ~catalog (config : open_config) =
+  if Array.length catalog = 0 then invalid_arg "Workload.run_open: empty catalog";
+  if config.arrivals < 1 then invalid_arg "Workload.run_open: arrivals must be >= 1";
+  if not (config.rate > 0.) then invalid_arg "Workload.run_open: rate must be positive";
+  let rng = Rng.create ~seed:config.seed () in
+  let cdf = zipf_cdf ~s:config.zipf_s ~n:(Array.length catalog) in
+  (* The whole arrival process — exponential interarrival gaps at [rate]
+     (a Poisson process) and a Zipf catalog pick per arrival — is fixed
+     by the seed before the first submission, so it can never depend on
+     how the target behaves (the defining property of an open loop). *)
+  let schedule =
+    let time = ref 0. in
+    Array.init config.arrivals (fun _ ->
+        time := !time +. (-.log (Rng.float_pos rng) /. config.rate);
+        (!time, zipf_sample rng cdf))
+  in
+  let responses = Array.make config.arrivals None in
+  let shed = ref 0 in
+  let outstanding = ref 0 in
+  let ids = Hashtbl.create 64 in
+  let next = ref 0 in
+  let t0 = clock () in
+  while !next < config.arrivals || !outstanding > 0 do
+    let now = clock () -. t0 in
+    (* Submit every arrival whose time has come, whether or not earlier
+       requests completed — under overload this bunches arrivals into
+       bursts that fill the bounded queues and trigger shedding. *)
+    while !next < config.arrivals && fst schedule.(!next) <= now do
+      let index = !next in
+      incr next;
+      match target.t_submit catalog.(snd schedule.(index)) with
+      | `Queued id ->
+        Hashtbl.replace ids id index;
+        incr outstanding
+      | `Dropped -> incr shed
+    done;
+    if !outstanding > 0 then
+      List.iter
+        (fun (id, resp) ->
+          responses.(Hashtbl.find ids id) <- Some resp;
+          decr outstanding)
+        (target.t_drain ())
+    (* else: spin on the clock until the next arrival is due. *)
+  done;
+  let elapsed = clock () -. t0 in
+  let latencies =
+    Array.of_seq
+      (Seq.filter_map
+         (Option.map (fun (r : Server.response) -> r.Server.latency))
+         (Array.to_seq responses))
+  in
+  let served = Array.length latencies in
+  let count pred =
+    Array.fold_left
+      (fun acc -> function Some r when pred r -> acc + 1 | _ -> acc)
+      0 responses
+  in
+  let ps = percentiles latencies [| 0.50; 0.95; 0.99 |] in
+  ( {
+      offered = config.arrivals;
+      offered_rate = config.rate;
+      served;
+      shed = !shed;
+      degraded = count (fun r -> r.Server.degraded);
+      hits = count (fun r -> r.Server.cache = Server.Hit);
+      elapsed;
+      throughput = (if elapsed > 0. then float_of_int served /. elapsed else infinity);
+      mean_latency =
+        (if served = 0 then nan
+         else Array.fold_left ( +. ) 0. latencies /. float_of_int served);
+      p50 = ps.(0);
+      p95 = ps.(1);
+      p99 = ps.(2);
+      shed_rate =
+        (if config.arrivals = 0 then 0.
+         else float_of_int !shed /. float_of_int config.arrivals);
+    },
+    responses )
+
 let run ?(clock = Mde_obs.Clock.wall) server ~catalog config =
   if Array.length catalog = 0 then invalid_arg "Workload.run: empty catalog";
   if config.requests < 1 then invalid_arg "Workload.run: requests must be >= 1";

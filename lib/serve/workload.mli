@@ -48,6 +48,72 @@ val percentiles : float array -> float array -> float array
     equals [percentile xs qs.(i)] exactly (the report's p50/p95/p99 are
     computed this way rather than with three sorts). *)
 
+(** {2 Open loop}
+
+    The closed loop above caps outstanding requests at [concurrency],
+    so it can never overload the server — it measures best-case
+    latency, not behaviour under pressure. The open loop instead fixes
+    an {e offered load}: arrivals follow a Poisson process at [rate]
+    requests per clock second, submitted when their arrival time comes
+    {e whether or not} earlier requests completed. When offered load
+    exceeds capacity, due arrivals bunch into bursts that fill the
+    bounded queues and the target sheds — which is the regime the
+    latency-under-load curves in [bench/BENCH_serve.json] record. *)
+
+type target = {
+  t_submit : Server.request -> [ `Queued of int | `Dropped ];
+  t_drain : unit -> (int * Server.response) list;
+}
+(** What the open loop drives: anything that can accept-or-drop a
+    request and later deliver responses. [`Dropped] unifies
+    {!Server}'s backpressure [`Rejected] and {!Shard}'s typed
+    [`Shed] — the driver counts them as shed either way. *)
+
+val server_target : Server.t -> target
+val shard_target : Shard.t -> target
+
+type open_config = {
+  arrivals : int;  (** total arrivals to generate *)
+  rate : float;  (** offered load: mean arrivals per clock second (> 0) *)
+  zipf_s : float;  (** Zipf skew of catalog popularity *)
+  seed : int;  (** fixes the whole arrival process *)
+}
+
+type open_report = {
+  offered : int;  (** arrivals issued *)
+  offered_rate : float;  (** [config.rate], echoed *)
+  served : int;
+  shed : int;  (** dropped at admission (backpressure or typed shed) *)
+  degraded : int;
+  hits : int;
+  elapsed : float;
+  throughput : float;  (** served / elapsed — saturates at capacity *)
+  mean_latency : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** latency percentiles over served requests; [nan] if none *)
+  shed_rate : float;  (** shed / offered *)
+}
+
+val run_open :
+  ?clock:(unit -> float) ->
+  target ->
+  catalog:Server.request array ->
+  open_config ->
+  open_report * Server.response option array
+(** Drive the target with a Poisson/Zipf open-loop arrival stream.
+    The arrival schedule (interarrival gaps and catalog picks) is drawn
+    entirely from [seed] before the first submission, so two runs at
+    the same seed offer the identical request sequence regardless of
+    target behaviour; only {e which} arrivals get shed depends on
+    timing. Element [i] of the response array answers the i-th arrival
+    ([None] if it was shed). The driver spins on [clock] while waiting
+    for the next arrival (it has nothing else to do — drains happen
+    whenever work is outstanding), so a low-rate run burns a core for
+    its duration; benchmark configs keep durations in seconds. Raises
+    [Invalid_argument] on an empty catalog, [arrivals < 1] or a
+    non-positive [rate]. *)
+
 val run :
   ?clock:(unit -> float) ->
   Server.t ->

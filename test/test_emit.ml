@@ -1,0 +1,64 @@
+(* The benchmark emitter: JSON has no nan/inf literals, so non-finite
+   floats — unserved percentiles, empty-window throughputs — must land
+   in BENCH_*.json as null, in both the typed [Float] field case and
+   raw [Json] curves assembled with [json_float]. One bare [nan] token
+   would invalidate the whole accumulated array. *)
+
+module Emit = Mde_bench_emit
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub haystack i m = needle || scan (i + 1)) in
+  scan 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_json_float () =
+  Alcotest.(check string) "nan is null" "null" (Emit.json_float Float.nan);
+  Alcotest.(check string) "inf is null" "null" (Emit.json_float Float.infinity);
+  Alcotest.(check string) "-inf is null" "null" (Emit.json_float Float.neg_infinity);
+  Alcotest.(check string) "finite renders as a number" "1.5" (Emit.json_float 1.5);
+  Alcotest.(check string) "zero" "0" (Emit.json_float 0.)
+
+let test_append_guards_non_finite () =
+  let file = Filename.temp_file "mde_emit_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let path =
+    Emit.append ~file ~name:"guard"
+      [
+        ("p99_s", Emit.Float Float.nan);
+        ("throughput_rps", Float Float.infinity);
+        ("ok", Float 2.25);
+        ("curve", Json ("[" ^ Emit.json_float Float.nan ^ ", " ^ Emit.json_float 1. ^ "]"));
+      ]
+  in
+  let s = read_file path in
+  Alcotest.(check bool) "nan field nulled" true (contains s "\"p99_s\": null");
+  Alcotest.(check bool) "inf field nulled" true (contains s "\"throughput_rps\": null");
+  Alcotest.(check bool) "finite field kept" true (contains s "\"ok\": 2.25");
+  Alcotest.(check bool) "curve nan nulled" true (contains s "\"curve\": [null, 1]");
+  Alcotest.(check bool) "no bare nan token" false (contains s "nan");
+  Alcotest.(check bool) "no bare inf token" false (contains s "inf");
+  (* A second append must keep the file one well-formed array holding
+     both entries. *)
+  ignore (Emit.append ~file ~name:"guard2" [ ("ok", Emit.Float 1.) ]);
+  let s2 = String.trim (read_file path) in
+  Alcotest.(check bool) "still an array" true
+    (String.length s2 > 1 && s2.[0] = '[' && s2.[String.length s2 - 1] = ']');
+  Alcotest.(check bool) "first entry survived" true (contains s2 "\"guard\"");
+  Alcotest.(check bool) "second entry appended" true (contains s2 "\"guard2\"")
+
+let () =
+  Alcotest.run "emit"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "json_float non-finite guard" `Quick test_json_float;
+          Alcotest.test_case "append nulls non-finite floats" `Quick
+            test_append_guards_non_finite;
+        ] );
+    ]
