@@ -22,6 +22,8 @@ let list_experiments () =
     "Zipf workload against the serving layer (optional domain count)";
   Format.printf "  %-8s %s@." "--bundle [rows reps]"
     "naive vs interpreted vs columnar tuple-bundle execution";
+  Format.printf "  %-8s %s@." "--relational [rows]"
+    "row algebra vs interpreted vs compiled columnar relational pipeline";
   Format.printf "  %-8s %s@." "--shard [N]"
     "sharded serving front: bit-identity vs single shard + open-loop overload sweep"
 
@@ -59,6 +61,13 @@ let () =
       Bundle_run.run ~rows ~reps ()
     | _ ->
       Format.eprintf "--bundle expects positive integers ROWS REPS (reps >= 2)@.";
+      exit 1)
+  | [ "--relational" ] -> Relational_run.run ()
+  | [ "--relational"; rows ] -> (
+    match int_of_string_opt rows with
+    | Some rows when rows >= 1 -> Relational_run.run ~rows ()
+    | _ ->
+      Format.eprintf "--relational expects a positive integer row count, got %S@." rows;
       exit 1)
   | [ "--shard" ] -> Shard_run.run ()
   | [ "--shard"; n ] -> (

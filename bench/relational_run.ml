@@ -1,0 +1,23 @@
+(* The --relational experiment: row algebra vs interpreted vs compiled
+   columnar execution of one select/extend/group pipeline, recorded in
+   bench/BENCH_relational.json via the shared Mde_relational_bench
+   harness (also behind [mde_cli relational-bench]). *)
+
+module B = Mde_relational_bench
+
+let run ?(domains = 1) ?(rows = 200_000) ?(seed = 42) () =
+  Util.section "RELATIONAL"
+    (Printf.sprintf "unified columnar substrate, %d rows (%d domains)" rows domains);
+  let result = B.run ~domains ~rows ~seed () in
+  B.print result;
+  let path = B.emit ~domains ~seed result in
+  Util.note "recorded in %s" path;
+  if not result.B.identical then begin
+    Util.note "FAIL: the three engines disagree";
+    exit 1
+  end;
+  let speedup = B.speedup_vs_interp result in
+  if speedup < 3. then begin
+    Util.note "WARNING: kernel speedup %.1fx below the 3x acceptance floor" speedup;
+    exit 1
+  end

@@ -1,0 +1,157 @@
+open Mde.Relational
+module Rng = Mde.Prob.Rng
+
+type timing = { seconds : float; alloc_bytes : float }
+
+type path = {
+  select_t : timing;
+  extend_t : timing;
+  group_t : timing;
+}
+
+type result = {
+  rows : int;
+  row_path : path;
+  interp_path : path;
+  kernel_path : path;
+  identical : bool;
+}
+
+let timed f =
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Mde.Obs.Clock.wall () in
+  let x = f () in
+  let seconds = Mde.Obs.Clock.wall () -. t0 in
+  (x, { seconds; alloc_bytes = Gc.allocated_bytes () -. a0 })
+
+(* Monte Carlo-shaped input: a float auxiliary key, a small int grouping
+   column, a float measurement. *)
+let make_table ~rows ~seed =
+  let rng = Rng.create ~seed () in
+  let schema =
+    Schema.of_list [ ("k", Value.Tfloat); ("g", Value.Tint); ("v", Value.Tfloat) ]
+  in
+  Table.create schema
+    (List.init rows (fun _ ->
+         [|
+           Value.Float (Rng.float_range rng 0. 8.);
+           Value.Int (Rng.int rng 16);
+           Value.Float (Rng.float_range rng (-1.) 1.);
+         |]))
+
+(* Predicate + derived column + four aggregates: every kernel class
+   (comparison, conjunction, arithmetic, Count/Sum/Avg/Max) is on the
+   timed path. *)
+let pred = Expr.(col "v" > float (-0.5) && col "k" < float 6.)
+
+let defs =
+  [ ("risk", Value.Tfloat, Expr.(((col "v" - float 0.1) * float 2.) + col "k")) ]
+
+let keys = [ "g" ]
+
+let aggs =
+  [
+    ("n", Algebra.Count);
+    ("total", Algebra.Sum (Expr.col "v"));
+    ("mean_risk", Algebra.Avg (Expr.col "risk"));
+    ("max_risk", Algebra.Max (Expr.col "risk"));
+  ]
+
+let value_identical a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | _ -> a = b
+
+let tables_identical a b =
+  Table.cardinality a = Table.cardinality b
+  && Array.for_all2
+       (fun ra rb -> Array.for_all2 value_identical ra rb)
+       (Table.rows a) (Table.rows b)
+
+let run_rows table =
+  let selected, select_t = timed (fun () -> Algebra.select pred table) in
+  let extended, extend_t = timed (fun () -> Algebra.extend defs selected) in
+  let grouped, group_t = timed (fun () -> Algebra.group_by ~keys ~aggs extended) in
+  (grouped, { select_t; extend_t; group_t })
+
+let run_columnar ?pool ~impl c =
+  let selected, select_t = timed (fun () -> Columnar.select ?pool ~impl pred c) in
+  let extended, extend_t = timed (fun () -> Columnar.extend ?pool ~impl defs selected) in
+  let grouped, group_t = timed (fun () -> Columnar.group_by ~impl ~keys ~aggs extended) in
+  (Columnar.to_table grouped, { select_t; extend_t; group_t })
+
+let run ?(domains = 1) ~rows ~seed () =
+  let table = make_table ~rows ~seed in
+  let c = Columnar.of_table table in
+  let with_pool f =
+    (* Shared pool: domains live across runs, so spawn cost never lands
+       inside a timed section. *)
+    if domains > 1 then f (Some (Mde.Par.Pool.shared ~domains ())) else f None
+  in
+  with_pool (fun pool ->
+      let row_out, row_path = run_rows table in
+      let interp_out, interp_path = run_columnar ~impl:`Interpreter c in
+      let kernel_out, kernel_path = run_columnar ?pool ~impl:`Kernel c in
+      {
+        rows;
+        row_path;
+        interp_path;
+        kernel_path;
+        identical =
+          tables_identical row_out interp_out && tables_identical row_out kernel_out;
+      })
+
+let total p = p.select_t.seconds +. p.extend_t.seconds +. p.group_t.seconds
+let total_alloc p =
+  p.select_t.alloc_bytes +. p.extend_t.alloc_bytes +. p.group_t.alloc_bytes
+
+let rows_per_second r p =
+  let t = total p in
+  if t > 0. then float_of_int r.rows /. t else infinity
+
+let speedup_vs_interp r = rows_per_second r r.kernel_path /. rows_per_second r r.interp_path
+let speedup_vs_rows r = rows_per_second r r.kernel_path /. rows_per_second r r.row_path
+
+let alloc_reduction_vs_interp r =
+  let k = total_alloc r.kernel_path in
+  if k > 0. then total_alloc r.interp_path /. k else infinity
+
+let print r =
+  let line label p =
+    Printf.printf "  %-18s %10.4f s  %12.3g rows/s  %14.3g bytes\n" label (total p)
+      (rows_per_second r p) (total_alloc p)
+  in
+  Printf.printf "relational-bench: select -> extend -> group_by over %d rows\n\n" r.rows;
+  Printf.printf "  %-18s %12s  %14s  %14s\n" "engine" "wall" "throughput" "allocated";
+  line "row algebra" r.row_path;
+  line "interpreter" r.interp_path;
+  line "kernel" r.kernel_path;
+  Printf.printf "\n  kernel vs interpreter: %.1fx throughput, %.1fx less allocation\n"
+    (speedup_vs_interp r)
+    (alloc_reduction_vs_interp r);
+  Printf.printf "  kernel vs row algebra: %.1fx throughput\n" (speedup_vs_rows r);
+  Printf.printf "  outputs bit-identical across all three engines: %b\n" r.identical
+
+let emit ?(file = "BENCH_relational.json") ?(domains = 1) ~seed r =
+  let open Mde_bench_emit in
+  let path_fields prefix p =
+    [
+      (prefix ^ "_select_s", Float p.select_t.seconds);
+      (prefix ^ "_extend_s", Float p.extend_t.seconds);
+      (prefix ^ "_group_s", Float p.group_t.seconds);
+      (prefix ^ "_total_s", Float (total p));
+      (prefix ^ "_alloc_bytes", Float (total_alloc p));
+      (prefix ^ "_rows_per_s", Float (rows_per_second r p));
+    ]
+  in
+  append ~file ~name:"relational-columnar"
+    ([ ("rows", Int r.rows); ("seed", Int seed); ("domains", Int domains) ]
+    @ path_fields "row" r.row_path
+    @ path_fields "interp" r.interp_path
+    @ path_fields "kernel" r.kernel_path
+    @ [
+        ("kernel_speedup_vs_interp", Float (speedup_vs_interp r));
+        ("kernel_speedup_vs_rows", Float (speedup_vs_rows r));
+        ("kernel_alloc_reduction_vs_interp", Float (alloc_reduction_vs_interp r));
+        ("identical_output", Bool r.identical);
+      ])

@@ -1,0 +1,59 @@
+(** The unified-substrate relational benchmark, shared by
+    [bench/main -- --relational] and [mde_cli relational-bench] so both
+    record the same experiment.
+
+    One randomized measurement table ([rows] rows: float key, small int
+    group, float value), one fixed pipeline (conjunctive predicate,
+    derived risk column, Count/Sum/Avg/Max group aggregates), three
+    executions of the identical query:
+
+    - {e row algebra}: the legacy row-at-a-time
+      {!Mde.Relational.Algebra} operators — the bit-identity oracle;
+    - {e interpreter}: the columnar engine forced through its boxed
+      row-fallback everywhere ([~impl:`Interpreter]);
+    - {e kernel}: the same columnar pipeline through compiled typed
+      kernels ([~impl:`Kernel]).
+
+    Each stage is timed separately with its [Gc.allocated_bytes] delta.
+    All three engines must produce bit-identical group tables
+    ({!result.identical} — callers should fail the run when false). *)
+
+type timing = { seconds : float; alloc_bytes : float }
+
+type path = {
+  select_t : timing;
+  extend_t : timing;
+  group_t : timing;
+}
+
+type result = {
+  rows : int;
+  row_path : path;  (** legacy row {!Mde.Relational.Algebra} *)
+  interp_path : path;  (** columnar, [~impl:`Interpreter] *)
+  kernel_path : path;  (** columnar, [~impl:`Kernel] *)
+  identical : bool;  (** all three final tables bit-identical *)
+}
+
+val run : ?domains:int -> rows:int -> seed:int -> unit -> result
+(** Execute the benchmark. [domains] > 1 runs the kernel select/extend
+    stages over a shared domain pool; results stay bit-identical. *)
+
+val total : path -> float
+(** Summed wall seconds of the three stages. *)
+
+val rows_per_second : result -> path -> float
+
+val speedup_vs_interp : result -> float
+(** Kernel pipeline throughput over interpreter pipeline throughput —
+    the quantity gated at 3x by the harness. *)
+
+val speedup_vs_rows : result -> float
+
+val alloc_reduction_vs_interp : result -> float
+
+val print : result -> unit
+(** Human-readable table on stdout. *)
+
+val emit : ?file:string -> ?domains:int -> seed:int -> result -> string
+(** Append one entry to [BENCH_relational.json] (via {!Mde_bench_emit});
+    returns the path written. *)

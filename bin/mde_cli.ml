@@ -507,6 +507,41 @@ let bundle_bench_cmd =
           (records BENCH_bundle.json)")
     Term.(const run $ rows $ reps $ domains $ seed_arg)
 
+(* --- relational-bench --- *)
+
+let relational_bench_cmd =
+  let run rows domains seed =
+    if rows < 1 || domains < 1 then begin
+      prerr_endline "mde relational-bench: --rows and --domains must be positive";
+      exit 2
+    end;
+    let result = Mde_relational_bench.run ~domains ~rows ~seed () in
+    Mde_relational_bench.print result;
+    let path = Mde_relational_bench.emit ~domains ~seed result in
+    Printf.printf "recorded in %s\n" path;
+    if not result.Mde_relational_bench.identical then begin
+      prerr_endline "mde relational-bench: engines disagree";
+      exit 1
+    end
+  in
+  let rows =
+    Arg.(
+      value & opt int 200_000
+      & info [ "rows" ] ~docv:"N" ~doc:"Rows in the randomized measurement table.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domain-pool size for the kernel select/extend stages.")
+  in
+  Cmd.v
+    (Cmd.info "relational-bench"
+       ~doc:
+         "row algebra vs interpreted vs compiled columnar execution of one relational \
+          pipeline (records BENCH_relational.json)")
+    Term.(const run $ rows $ domains $ seed_arg)
+
 (* --- serve-bench --- *)
 
 let serve_bench_cmd =
@@ -738,7 +773,8 @@ let () =
   let group =
     Cmd.group info
       [ traffic_cmd; epidemic_cmd; fire_cmd; schelling_cmd; market_cmd; mcdb_cmd;
-        housing_cmd; serve_bench_cmd; shard_bench_cmd; bundle_bench_cmd; metrics_cmd ]
+        housing_cmd; serve_bench_cmd; shard_bench_cmd; bundle_bench_cmd;
+        relational_bench_cmd; metrics_cmd ]
   in
   (* cmdliner's usage errors span several lines (message + usage + help
      pointer); compress to the first line so scripts see one diagnostic

@@ -1,7 +1,8 @@
 type 'a t = 'a array array
 
 let of_array ?(partitions = 4) data =
-  assert (partitions > 0);
+  (* Not an assert: validation must survive [-noassert] builds. *)
+  if partitions <= 0 then invalid_arg "Dataset.of_array: partitions must be positive";
   let n = Array.length data in
   if n = 0 then [| [||] |]
   else begin
@@ -18,7 +19,8 @@ let of_array ?(partitions = 4) data =
   end
 
 let of_partitions parts =
-  assert (Array.length parts > 0);
+  if Array.length parts = 0 then
+    invalid_arg "Dataset.of_partitions: at least one partition required";
   Array.map Array.copy parts
 
 let to_array t = Array.concat (Array.to_list t)

@@ -14,26 +14,41 @@ let reset_global_counter () = global_shuffled := 0
 let global_records_shuffled () = !global_shuffled
 
 (* Group (key, value) pairs by key, preserving first-seen key order and
-   per-key emission order — shared by the combiner and the reduce phase. *)
-let group_pairs pairs =
-  let groups = Hashtbl.create 64 in
+   per-key emission order — shared by the combiner and the reduce phase.
+   The defaults reproduce a polymorphic hash table; relational callers
+   pass [Value.Key.hash]/[Value.Key.equal] so NaN and cross-type numeric
+   keys group as one (structural equality matches neither). *)
+let group_pairs ?(hash = Hashtbl.hash) ?(equal = ( = )) pairs =
+  let buckets = Hashtbl.create 64 in
   let order = ref [] in
   List.iter
     (fun (k, v) ->
-      match Hashtbl.find_opt groups k with
-      | Some vs -> vs := v :: !vs
+      let h = hash k in
+      let bucket =
+        match Hashtbl.find_opt buckets h with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.add buckets h b;
+          b
+      in
+      match List.find_opt (fun (k', _) -> equal k' k) !bucket with
+      | Some (_, vs) -> vs := v :: !vs
       | None ->
-        Hashtbl.add groups k (ref [ v ]);
-        order := k :: !order)
+        let vs = ref [ v ] in
+        bucket := (k, vs) :: !bucket;
+        order := (k, vs) :: !order)
     pairs;
-  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find groups k))) !order
+  List.rev_map (fun (k, vs) -> (k, List.rev !vs)) !order
 
-let map_reduce ?pool ?reduce_partitions ?combine ~map ~reduce input =
+let map_reduce ?pool ?reduce_partitions ?(hash = Hashtbl.hash) ?(equal = ( = ))
+    ?combine ~map ~reduce input =
   let in_parts = Dataset.partitions input in
   let n_reduce =
     match reduce_partitions with
     | Some n ->
-      assert (n > 0);
+      (* Not an assert: validation must survive [-noassert] builds. *)
+      if n <= 0 then invalid_arg "Job.map_reduce: reduce_partitions must be positive";
       n
     | None -> Array.length in_parts
   in
@@ -55,7 +70,7 @@ let map_reduce ?pool ?reduce_partitions ?combine ~map ~reduce input =
       | Some combiner ->
         List.concat_map
           (fun (k, vs) -> List.map (fun v -> (k, v)) (combiner k vs))
-          (group_pairs emitted)
+          (group_pairs ~hash ~equal emitted)
     in
     (!mapped, to_shuffle)
   in
@@ -71,7 +86,7 @@ let map_reduce ?pool ?reduce_partitions ?combine ~map ~reduce input =
     (fun src_part (_, to_shuffle) ->
       List.iter
         (fun (k, v) ->
-          let dest = Hashtbl.hash k mod n_reduce in
+          let dest = hash k mod n_reduce in
           if dest <> src_part then begin
             incr records_shuffled;
             incr global_shuffled
@@ -84,7 +99,7 @@ let map_reduce ?pool ?reduce_partitions ?combine ~map ~reduce input =
   let reduced_parts =
     Mde_par.Pool.map ?pool ~site:"mapred.reduce"
       (fun bucket ->
-        let grouped = group_pairs (List.rev !bucket) in
+        let grouped = group_pairs ~hash ~equal (List.rev !bucket) in
         let outputs =
           List.concat_map (fun (k, vs) -> reduce k vs) grouped
         in
@@ -101,7 +116,7 @@ let map_reduce ?pool ?reduce_partitions ?combine ~map ~reduce input =
       partitions = n_reduce;
     } )
 
-let equi_join ?pool ?partitions ~left_key ~right_key left right =
+let equi_join ?pool ?partitions ?hash ?equal ~left_key ~right_key left right =
   (* Tag records by side, union the datasets, shuffle on the key, and
      cross the sides within each reduce group. *)
   let tagged =
@@ -115,7 +130,7 @@ let equi_join ?pool ?partitions ~left_key ~right_key left right =
     | Some p -> p
     | None -> Dataset.partition_count left + Dataset.partition_count right
   in
-  map_reduce ?pool ~reduce_partitions
+  map_reduce ?pool ~reduce_partitions ?hash ?equal
     ~map:(fun tagged_record ->
       match tagged_record with
       | `Left a -> [ (left_key a, `Left a) ]
@@ -165,13 +180,22 @@ let sort_by ?pool ~cmp input =
             buckets.(dest) <- x :: buckets.(dest))
           part)
       parts;
-    (* Local sorts are independent per range partition. *)
+    (* Local sorts are independent per range partition. Array.sort is
+       not stable; sort (record, arrival index) pairs so equal-key
+       records keep their arrival (= input) order, the same idiom as
+       Algebra.order_by — otherwise the sample sort and the sequential
+       oracle disagree on duplicate keys. *)
     let out =
       Mde_par.Pool.map ?pool ~site:"mapred.sort"
         (fun bucket ->
-          let a = Array.of_list (List.rev bucket) in
-          Array.sort cmp a;
-          a)
+          let indexed = Array.of_list (List.rev bucket) in
+          let indexed = Array.mapi (fun i x -> (x, i)) indexed in
+          Array.sort
+            (fun (x, i) (y, j) ->
+              let c = cmp x y in
+              if c <> 0 then c else Int.compare i j)
+            indexed;
+          Array.map fst indexed)
         buckets
     in
     ( Dataset.of_partitions out,

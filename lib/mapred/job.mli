@@ -17,9 +17,23 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+val group_pairs :
+  ?hash:('k -> int) ->
+  ?equal:('k -> 'k -> bool) ->
+  ('k * 'v) list ->
+  ('k * 'v list) list
+(** Group pairs by key, preserving first-seen key order and per-key
+    emission order — the grouping used by the combiner and reduce
+    phases. Defaults ([Hashtbl.hash]/structural [=]) reproduce a
+    polymorphic hash table; relational callers pass
+    [Value.Key.hash]/[Value.Key.equal] so NaN and cross-type numeric
+    keys form one group (see {!Reljob}). *)
+
 val map_reduce :
   ?pool:Mde_par.Pool.t ->
   ?reduce_partitions:int ->
+  ?hash:('k -> int) ->
+  ?equal:('k -> 'k -> bool) ->
   ?combine:('k -> 'v list -> 'v list) ->
   map:('a -> ('k * 'v) list) ->
   reduce:('k -> 'v list -> 'c list) ->
@@ -28,9 +42,11 @@ val map_reduce :
 (** Classic job: map every record to key/value pairs, optionally combine
     per input partition (reducing shuffle volume, as a Hadoop combiner
     does), hash-partition by key into [reduce_partitions] (default: same
-    as input), group values per key preserving emission order, reduce.
-    Within each reduce partition, key groups are processed in a
-    deterministic (hash-bucket, then first-seen) order.
+    as input; must be positive or [Invalid_argument] is raised), group
+    values per key preserving emission order, reduce. Within each reduce
+    partition, key groups are processed in a deterministic (hash-bucket,
+    then first-seen) order. [?hash]/[?equal] override the key equivalence
+    used by the shuffle and the grouping, as in {!group_pairs}.
 
     A record is charged to the shuffle only when it lands in a reduce
     partition different from the input partition that emitted it —
@@ -45,6 +61,8 @@ val map_reduce :
 val equi_join :
   ?pool:Mde_par.Pool.t ->
   ?partitions:int ->
+  ?hash:('k -> int) ->
+  ?equal:('k -> 'k -> bool) ->
   left_key:('a -> 'k) ->
   right_key:('b -> 'k) ->
   'a Dataset.t ->
@@ -62,7 +80,9 @@ val sort_by :
 (** Parallel sample sort: sample partition boundaries, route each record
     to its range partition (counted as shuffle), sort partitions locally
     (one range per domain under [?pool]). The concatenated output is
-    globally sorted. *)
+    globally sorted, and the sort is {e stable}: records comparing equal
+    keep their input order, matching [Algebra.order_by]'s row oracle
+    with or without a pool. *)
 
 val reset_global_counter : unit -> unit
 val global_records_shuffled : unit -> int

@@ -1,0 +1,58 @@
+(* Relational tables on the MapReduce engine: the same group/shuffle and
+   sample-sort machinery every other job uses, keyed by Value.Key so NaN
+   and cross-type numeric keys behave exactly as they do in the columnar
+   and row engines, and folding group members through Algebra's shared
+   accumulators so per-group values come out bit-identical to the row
+   oracle. *)
+open Mde_relational
+
+let dataset ?(partitions = 4) table =
+  Dataset.of_array ~partitions (Table.rows table)
+
+let group_by ?pool ?partitions ~keys ~aggs table =
+  let schema = Table.schema table in
+  let key_idx = List.map (Schema.column_index schema) keys in
+  let out_schema =
+    Schema.of_list
+      (List.map (fun k -> (k, Schema.column_type schema k)) keys
+      @ List.map (fun (n, a) -> (n, Algebra.agg_type a)) aggs)
+  in
+  let out, stats =
+    Job.map_reduce ?pool ~hash:Value.Key.hash ~equal:Value.Key.equal
+      ~map:(fun row -> [ (List.map (fun i -> row.(i)) key_idx, (row : Table.row)) ])
+      ~reduce:(fun key rows ->
+        (* The shuffle routes partitions in index order and each bucket
+           preserves arrival order, so [rows] is in original row order —
+           float accumulation order matches the sequential oracle. *)
+        let accs = List.map (fun (_, a) -> (a, Algebra.fresh_acc ())) aggs in
+        List.iter
+          (fun row -> List.iter (fun (a, acc) -> Algebra.feed_acc a schema row acc) accs)
+          rows;
+        [ Array.of_list (key @ List.map (fun (a, acc) -> Algebra.finish_acc a acc) accs) ])
+      (dataset ?partitions table)
+  in
+  let rows = Dataset.to_array out in
+  let rows =
+    (* A global aggregate over empty input still emits one row, per the
+       Algebra.group_by contract. *)
+    if Array.length rows = 0 && keys = [] then
+      [| Array.of_list (List.map (fun (_, a) -> Algebra.finish_acc a (Algebra.fresh_acc ())) aggs) |]
+    else rows
+  in
+  (Table.of_rows out_schema rows, stats)
+
+let sort_by ?pool ?partitions ?(descending = false) names table =
+  let schema = Table.schema table in
+  let idxs = List.map (Schema.column_index schema) names in
+  let cmp (a : Table.row) (b : Table.row) =
+    let rec go = function
+      | [] -> 0
+      | i :: rest ->
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go rest
+    in
+    let c = go idxs in
+    if descending then -c else c
+  in
+  let out, stats = Job.sort_by ?pool ~cmp (dataset ?partitions table) in
+  (Table.of_rows schema (Dataset.to_array out), stats)

@@ -38,7 +38,8 @@ let instantiate t rng =
   Table.create t.schema (List.rev !out)
 
 let instantiate_many ?pool t rng n =
-  assert (n > 0);
+  (* Not an assert: validation must survive [-noassert] builds. *)
+  if n <= 0 then invalid_arg "Stochastic_table.instantiate_many: n must be positive";
   (* One split stream per realization, so the naive path parallelizes
      with bit-identical output to its sequential run. *)
   let streams = Mde_prob.Rng.split_n rng n in

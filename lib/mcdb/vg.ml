@@ -53,7 +53,8 @@ let discrete_choice =
       | _ -> invalid_arg "Vg.discrete_choice: empty parameter table")
 
 let backward_walk ~steps =
-  assert (steps > 0);
+  (* Not an assert: validation must survive [-noassert] builds. *)
+  if steps <= 0 then invalid_arg "Vg.backward_walk: steps must be positive";
   create ~name:"BackwardWalk"
     ~output:(Schema.of_list [ ("step", Value.Tint); ("price", Value.Tfloat) ])
     (fun rng params ->
@@ -71,7 +72,7 @@ let backward_walk ~steps =
       !out)
 
 let option_value ~horizon ~strike =
-  assert (horizon > 0);
+  if horizon <= 0 then invalid_arg "Vg.option_value: horizon must be positive";
   create ~name:"OptionValue" ~output:float_schema ~row_stable:true
     (fun rng params ->
       let row = single_param_row params in

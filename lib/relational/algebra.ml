@@ -261,6 +261,7 @@ let distinct table =
 let union = Table.append
 
 let limit n table =
-  assert (n >= 0);
+  (* Not an assert: validation must survive [-noassert] builds. *)
+  if n < 0 then invalid_arg "Algebra.limit: negative row count";
   let rows = Table.rows table in
   Table.of_rows (Table.schema table) (Array.sub rows 0 (min n (Array.length rows)))

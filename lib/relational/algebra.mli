@@ -63,3 +63,29 @@ val union : Table.t -> Table.t -> Table.t
 (** Bag union (no duplicate elimination); schemas must be equal. *)
 
 val limit : int -> Table.t -> Table.t
+(** Raises [Invalid_argument] on a negative count. *)
+
+(** {2 Shared aggregate accumulators}
+
+    The accumulator implementation behind {!group_by}, exported so the
+    other backends ({!Columnar}'s interpreter path, the mapred bridge)
+    fold group members through the exact same state machine and stay
+    bit-identical to this row oracle: same float accumulation order,
+    same [Value.compare] min/max, same finish rules. *)
+
+type acc
+
+val fresh_acc : unit -> acc
+
+val feed_acc : aggregate -> Schema.t -> Table.row -> acc -> unit
+(** Fold one row in: the aggregate's source expression is evaluated
+    against the row; Null results are skipped. Raises like {!group_by}
+    on non-numeric inputs to numeric aggregates. *)
+
+val finish_acc : aggregate -> acc -> Value.t
+(** Count/Count_if are Int; Avg of no inputs and Std of fewer than two
+    are Null; Min/Max return the stored input value (keeping its input
+    type). *)
+
+val agg_type : aggregate -> Value.ty
+(** Declared output type: Count/Count_if are Int, the rest Float. *)

@@ -1,4 +1,3 @@
-open Mde_relational
 module Array1 = Bigarray.Array1
 
 module Bitset = struct
@@ -277,17 +276,27 @@ let gather t idx =
   let block = if t.cdet then 1 else t.creps in
   let gather_int src =
     let dst = Array.make (out_rows * block) 0 in
-    Array.iteri (fun k i -> Array.blit src (i * block) dst (k * block) block) idx;
+    if block = 1 then
+      Array.iteri (fun k i -> Array.unsafe_set dst k (Array.unsafe_get src i)) idx
+    else Array.iteri (fun k i -> Array.blit src (i * block) dst (k * block) block) idx;
     dst
   in
   let data =
     match t.data with
     | Floats a ->
       let dst = Array1.create Bigarray.float64 Bigarray.c_layout (out_rows * block) in
-      Array.iteri
-        (fun k i ->
-          Array1.blit (Array1.sub a (i * block) block) (Array1.sub dst (k * block) block))
-        idx;
+      (* Element loops, not Array1.sub + blit: sub allocates a bigarray
+         proxy per call, which dominates a row-at-a-time gather. *)
+      if block = 1 then
+        Array.iteri (fun k i -> Array1.unsafe_set dst k (Array1.unsafe_get a i)) idx
+      else
+        Array.iteri
+          (fun k i ->
+            for r = 0 to block - 1 do
+              Array1.unsafe_set dst ((k * block) + r)
+                (Array1.unsafe_get a ((i * block) + r))
+            done)
+          idx;
       Floats dst
     | Ints a -> Ints (gather_int a)
     | Bools a -> Bools (gather_int a)

@@ -18,7 +18,6 @@
     boundary, so parallel workers that own disjoint contiguous row ranges
     touch disjoint bytes — row-chunked writes need no synchronization. *)
 
-open Mde_relational
 
 module Bitset : sig
   type t

@@ -1,0 +1,412 @@
+(* The columnar relational table: the deterministic reps=1 specialization
+   of the tuple-bundle storage ([Column]/[Bitset]) carrying the [Algebra]
+   operators. Predicates and computed columns compile to typed closures
+   via [Kernel]; anything the compiler does not cover — and everything
+   under [`Interpreter] — evaluates with [Expr.eval]/[Expr.eval_bool] on
+   a realized row, which doubles as the bit-identity oracle. Every
+   operator reproduces its [Algebra] twin bit for bit: same row order,
+   same float accumulation order, same error behavior on well-formed
+   inputs. *)
+
+module Array1 = Bigarray.Array1
+
+type t = { tschema : Schema.t; n_rows : int; cols : Column.t array }
+
+type impl = [ `Kernel | `Interpreter ]
+
+let schema t = t.tschema
+let row_count t = t.n_rows
+
+(* Invariant: every column is deterministic (one slot per row, reps=1),
+   so slot s = row i everywhere below. *)
+
+let of_table table =
+  let tschema = Table.schema table in
+  let rows = Table.rows table in
+  let n_rows = Array.length rows in
+  let cols =
+    Array.of_list
+      (List.mapi
+         (fun j (c : Schema.column) ->
+           Column.of_det_cells ~ty:c.ty ~rows:n_rows ~reps:1 (fun i -> rows.(i).(j)))
+         (Schema.columns tschema))
+  in
+  { tschema; n_rows; cols }
+
+let row t i = Array.map (fun c -> Column.value c i 0) t.cols
+let to_table t = Table.of_rows t.tschema (Array.init t.n_rows (fun i -> row t i))
+let env t = Kernel.env_of_columns t.tschema ~reps:1 t.cols
+
+(* Row-chunked parallel fill over disjoint per-row slots: bit-identical
+   to the sequential loop (same argument as [Kernel.materialize]). *)
+let fill_rows ?pool ~site n f =
+  match pool with
+  | None ->
+    for i = 0 to n - 1 do
+      f i
+    done
+  | Some _ -> ignore (Mde_par.Pool.init ?pool ~site n f : unit array)
+
+let gather t idx =
+  {
+    tschema = t.tschema;
+    n_rows = Array.length idx;
+    cols = Array.map (fun c -> Column.gather c idx) t.cols;
+  }
+
+let select ?pool ?(impl = (`Kernel : impl)) pred t =
+  let test =
+    let compiled =
+      match impl with
+      | `Interpreter -> None
+      | `Kernel -> Option.bind (Kernel.compile (env t) pred) Kernel.as_pred
+    in
+    match compiled with
+    | Some p -> fun i -> p i 0
+    | None -> fun i -> Expr.eval_bool t.tschema (row t i) pred
+  in
+  let flags = Array.make t.n_rows false in
+  fill_rows ?pool ~site:"columnar.select" t.n_rows (fun i -> flags.(i) <- test i);
+  let n_keep = Array.fold_left (fun n b -> if b then n + 1 else n) 0 flags in
+  let idx = Array.make n_keep 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b then begin
+        idx.(!k) <- i;
+        incr k
+      end)
+    flags;
+  gather t idx
+
+let project names t =
+  let idxs = List.map (Schema.column_index t.tschema) names in
+  {
+    tschema = Schema.project t.tschema names;
+    n_rows = t.n_rows;
+    cols = Array.of_list (List.map (fun j -> t.cols.(j)) idxs);
+  }
+
+let extend ?pool ?(impl = (`Kernel : impl)) defs t =
+  let added = Schema.of_list (List.map (fun (n, ty, _) -> (n, ty)) defs) in
+  let out_schema = Schema.concat t.tschema added in
+  let kenv = env t in
+  (* Every defining expression reads the input schema, as Algebra.extend. *)
+  let interpret ty e =
+    match pool with
+    | None ->
+      Column.of_det_cells ~ty ~rows:t.n_rows ~reps:1 (fun i ->
+          Expr.eval t.tschema (row t i) e)
+    | Some _ ->
+      let cells =
+        Mde_par.Pool.init ?pool ~site:"columnar.extend" t.n_rows (fun i ->
+            Expr.eval t.tschema (row t i) e)
+      in
+      Column.of_det_cells ~ty ~rows:t.n_rows ~reps:1 (fun i -> cells.(i))
+  in
+  let build (_, ty, e) =
+    let compiled =
+      match impl with `Interpreter -> None | `Kernel -> Kernel.compile kenv e
+    in
+    match compiled with
+    | Some node -> Kernel.materialize ?pool ~rows:t.n_rows ~reps:1 node
+    | None -> interpret ty e
+  in
+  {
+    tschema = out_schema;
+    n_rows = t.n_rows;
+    cols = Array.append t.cols (Array.of_list (List.map build defs));
+  }
+
+let equi_join ~on l r =
+  let out_schema = Schema.concat l.tschema r.tschema in
+  let l_idx = List.map (fun (a, _) -> Schema.column_index l.tschema a) on in
+  let r_idx = List.map (fun (_, b) -> Schema.column_index r.tschema b) on in
+  let key_of t idxs i = List.map (fun j -> Column.value t.cols.(j) i 0) idxs in
+  (* Build right, probe left in row order, emit matches in build order —
+     the exact row order Algebra.equi_join produces. Null keys never
+     match. *)
+  let build = Value.Tbl.create (max 16 r.n_rows) in
+  for j = 0 to r.n_rows - 1 do
+    let key = key_of r r_idx j in
+    if not (List.exists Value.is_null key) then Value.Tbl.add build key j
+  done;
+  let pairs = ref [] in
+  for i = 0 to l.n_rows - 1 do
+    let key = key_of l l_idx i in
+    if not (List.exists Value.is_null key) then
+      (* find_all returns most-recent first; restore build order. *)
+      List.iter
+        (fun j -> pairs := (i, j) :: !pairs)
+        (List.rev (Value.Tbl.find_all build key))
+  done;
+  let pairs = Array.of_list (List.rev !pairs) in
+  let li = Array.map fst pairs and ri = Array.map snd pairs in
+  {
+    tschema = out_schema;
+    n_rows = Array.length pairs;
+    cols =
+      Array.append
+        (Array.map (fun c -> Column.gather c li) l.cols)
+        (Array.map (fun c -> Column.gather c ri) r.cols);
+  }
+
+(* --- grouped aggregation -------------------------------------------- *)
+
+(* Typed per-group accumulator, one per (group, aggregate). The same
+   shape as Algebra's: count/sum/sum_sq fed in row order so float sums
+   come out bit-identical, min/max kept as boxed values under
+   [Value.compare] with first-of-equals retained. Sum/Avg/Std feeders
+   skip the min/max updates (unobservable through their finishers) to
+   stay unboxed on the hot path. *)
+type kacc = {
+  mutable kcount : int;
+  mutable ksum : float;
+  mutable ksum_sq : float;
+  mutable kvmin : Value.t;
+  mutable kvmax : Value.t;
+}
+
+let fresh_kacc () =
+  { kcount = 0; ksum = 0.; ksum_sq = 0.; kvmin = Value.Null; kvmax = Value.Null }
+
+type feeder = { feed : kacc -> int -> unit; finish : kacc -> Value.t }
+
+let finish_count a = Value.Int a.kcount
+let finish_sum a = Value.Float a.ksum
+
+let finish_avg a =
+  if a.kcount = 0 then Value.Null
+  else Value.Float (a.ksum /. float_of_int a.kcount)
+
+let finish_std a =
+  if a.kcount < 2 then Value.Null
+  else begin
+    let n = float_of_int a.kcount in
+    let var = (a.ksum_sq -. (a.ksum *. a.ksum /. n)) /. (n -. 1.) in
+    Value.Float (sqrt (Float.max var 0.))
+  end
+
+let float_feeder kenv e finish =
+  Option.map
+    (fun (cell : Kernel.cell) ->
+      let feed a i =
+        if not (cell.null i 0) then begin
+          let x = cell.value i 0 in
+          a.kcount <- a.kcount + 1;
+          a.ksum <- a.ksum +. x;
+          a.ksum_sq <- a.ksum_sq +. (x *. x)
+        end
+      in
+      { feed; finish })
+    (Option.bind (Kernel.compile kenv e) Kernel.as_float_cell)
+
+(* Min/Max read the boxed cell so string inputs raise in [Value.to_float]
+   exactly as the row oracle's feed does. *)
+let value_feeder kenv e finish =
+  Option.map
+    (fun node ->
+      let feed a i =
+        match Kernel.node_value node i 0 with
+        | Value.Null -> ()
+        | v ->
+          let x = Value.to_float v in
+          a.kcount <- a.kcount + 1;
+          a.ksum <- a.ksum +. x;
+          a.ksum_sq <- a.ksum_sq +. (x *. x);
+          if Value.is_null a.kvmin || Value.compare v a.kvmin < 0 then a.kvmin <- v;
+          if Value.is_null a.kvmax || Value.compare v a.kvmax > 0 then a.kvmax <- v
+      in
+      { feed; finish })
+    (Kernel.compile kenv e)
+
+let compile_feeder kenv = function
+  | Algebra.Count ->
+    Some { feed = (fun a _ -> a.kcount <- a.kcount + 1); finish = finish_count }
+  | Algebra.Count_if e ->
+    Option.map
+      (fun p ->
+        {
+          feed = (fun a i -> if p i 0 then a.kcount <- a.kcount + 1);
+          finish = finish_count;
+        })
+      (Option.bind (Kernel.compile kenv e) Kernel.as_pred)
+  | Algebra.Sum e -> float_feeder kenv e finish_sum
+  | Algebra.Avg e -> float_feeder kenv e finish_avg
+  | Algebra.Std e -> float_feeder kenv e finish_std
+  | Algebra.Min e -> value_feeder kenv e (fun a -> a.kvmin)
+  | Algebra.Max e -> value_feeder kenv e (fun a -> a.kvmax)
+
+let group_by ?(impl = (`Kernel : impl)) ~keys ~aggs t =
+  let feeders =
+    match impl with
+    | `Interpreter -> None
+    | `Kernel ->
+      let kenv = env t in
+      let rec all = function
+        | [] -> Some []
+        | (_, a) :: rest ->
+          Option.bind (compile_feeder kenv a) (fun f ->
+              Option.map (fun fs -> f :: fs) (all rest))
+      in
+      Option.map Array.of_list (all aggs)
+  in
+  match feeders with
+  | None ->
+    (* Any aggregate the compiler does not cover drops the whole group-by
+       to the row oracle itself — identical by construction. *)
+    of_table (Algebra.group_by ~keys ~aggs (to_table t))
+  | Some feeders ->
+    let key_cols =
+      Array.of_list (List.map (fun k -> t.cols.(Schema.column_index t.tschema k)) keys)
+    in
+    let key_schema_cols = List.map (fun k -> (k, Schema.column_type t.tschema k)) keys in
+    let out_schema =
+      Schema.of_list
+        (key_schema_cols @ List.map (fun (n, a) -> (n, Algebra.agg_type a)) aggs)
+    in
+    let n_aggs = Array.length feeders in
+    let int_key_data =
+      match key_cols with
+      | [| kc |] -> (
+        match Column.view kc with
+        | Column.Vint { data; nulls = None; _ } -> Some data
+        | _ -> None)
+      | _ -> None
+    in
+    let grouped : (Value.t list * kacc array) list =
+      match int_key_data with
+      | Some data ->
+        (* Single non-null Int key: hash unboxed ints instead of boxed
+           composite keys. First-seen order and per-group feed order are
+           unchanged (ints are exact under [Value.compare]), so output
+           is bit-identical to the generic path. *)
+        let groups : (int, kacc array) Hashtbl.t = Hashtbl.create 64 in
+        let order = ref [] in
+        for i = 0 to t.n_rows - 1 do
+          let k = Array.unsafe_get data i in
+          let accs =
+            match Hashtbl.find_opt groups k with
+            | Some accs -> accs
+            | None ->
+              let accs = Array.init n_aggs (fun _ -> fresh_kacc ()) in
+              Hashtbl.add groups k accs;
+              order := k :: !order;
+              accs
+          in
+          Array.iteri (fun a f -> f.feed accs.(a) i) feeders
+        done;
+        List.rev_map (fun k -> ([ Value.Int k ], Hashtbl.find groups k)) !order
+      | None ->
+        let groups : kacc array Value.Tbl.t = Value.Tbl.create 64 in
+        let order = ref [] in
+        for i = 0 to t.n_rows - 1 do
+          let key = Array.to_list (Array.map (fun c -> Column.value c i 0) key_cols) in
+          let accs =
+            match Value.Tbl.find_opt groups key with
+            | Some accs -> accs
+            | None ->
+              let accs = Array.init n_aggs (fun _ -> fresh_kacc ()) in
+              Value.Tbl.add groups key accs;
+              order := key :: !order;
+              accs
+          in
+          Array.iteri (fun a f -> f.feed accs.(a) i) feeders
+        done;
+        let keys_in_order =
+          match (!order, keys) with
+          | [], [] ->
+            (* Global aggregate over an empty table still emits one row. *)
+            Value.Tbl.add groups []
+              (Array.init n_aggs (fun _ -> fresh_kacc ()));
+            [ [] ]
+          | found, _ -> List.rev found
+        in
+        List.map (fun key -> (key, Value.Tbl.find groups key)) keys_in_order
+    in
+    let out_rows =
+      List.map
+        (fun (key, accs) ->
+          Array.of_list
+            (key @ Array.to_list (Array.mapi (fun a f -> f.finish accs.(a)) feeders)))
+        grouped
+    in
+    of_table (Table.create out_schema out_rows)
+
+(* --- ordering, distinct, limit -------------------------------------- *)
+
+(* Per-column typed comparator agreeing with [Value.compare] on a typed
+   column's possible values: Null sorts below everything, floats through
+   [Float.compare] (NaN lowest, -0. < 0.), strings through the
+   dictionary. *)
+let cmp_nulls is_null cmp i j =
+  match (is_null i, is_null j) with
+  | true, true -> 0
+  | true, false -> -1
+  | false, true -> 1
+  | false, false -> cmp i j
+
+let slot_compare col =
+  let masked nulls =
+    match nulls with
+    | None -> fun _ -> false
+    | Some m -> fun i -> Column.Bitset.get m i 0
+  in
+  match Column.view col with
+  | Column.Vfloat { data; nulls; _ } ->
+    cmp_nulls (masked nulls) (fun i j -> Float.compare (Array1.get data i) (Array1.get data j))
+  | Column.Vint { data; nulls; _ } ->
+    cmp_nulls (masked nulls) (fun i j -> Int.compare data.(i) data.(j))
+  | Column.Vbool { data; nulls; _ } ->
+    (* 0/1 under Int.compare agrees with Bool.compare. *)
+    cmp_nulls (masked nulls) (fun i j -> Int.compare data.(i) data.(j))
+  | Column.Vstring { codes; dict; _ } ->
+    cmp_nulls
+      (fun i -> codes.(i) < 0)
+      (fun i j -> String.compare dict.(codes.(i)) dict.(codes.(j)))
+  | Column.Vvalues { data; _ } -> fun i j -> Value.compare data.(i) data.(j)
+
+let order_by ?(descending = false) names t =
+  let cmps =
+    List.map (fun k -> slot_compare t.cols.(Schema.column_index t.tschema k)) names
+  in
+  let key_cmp i j =
+    let rec go = function
+      | [] -> 0
+      | c :: rest ->
+        let v = c i j in
+        if v <> 0 then v else go rest
+    in
+    go cmps
+  in
+  let perm = Array.init t.n_rows Fun.id in
+  (* Array.sort is not stable; break ties on the original index, exactly
+     as Algebra.order_by (descending negates keys, never the tiebreak). *)
+  Array.sort
+    (fun a b ->
+      let c =
+        let c = key_cmp a b in
+        if descending then -c else c
+      in
+      if c <> 0 then c else Int.compare a b)
+    perm;
+  gather t perm
+
+let distinct t =
+  let seen = Value.Tbl.create 64 in
+  let idx = ref [] in
+  let n = ref 0 in
+  for i = 0 to t.n_rows - 1 do
+    let key = Array.to_list (row t i) in
+    if not (Value.Tbl.mem seen key) then begin
+      Value.Tbl.add seen key ();
+      idx := i :: !idx;
+      incr n
+    end
+  done;
+  gather t (Array.of_list (List.rev !idx))
+
+let limit n t =
+  (* Not an assert: validation must survive [-noassert] builds. *)
+  if n < 0 then invalid_arg "Columnar.limit: negative row count";
+  gather t (Array.init (min n t.n_rows) Fun.id)

@@ -1,0 +1,63 @@
+(** The columnar relational engine: {!Algebra}'s operators over typed
+    column storage ({!Column}) with {!Kernel}-compiled expressions.
+
+    A value of type {!t} is the deterministic reps=1 specialization of
+    the tuple-bundle layout: one typed column per schema column (floats
+    in a float64 bigarray, ints/bools unboxed, strings
+    dictionary-coded), nulls in a packed {!Column.Bitset}. Operators
+    come in two implementations, selected per call like the tuple-bundle
+    engine's: [`Kernel] (default) compiles predicates, computed columns
+    and aggregate sources to typed closures and falls back per
+    expression when the compiler does not cover one; [`Interpreter]
+    forces the row-at-a-time fallback everywhere and is the bit-identity
+    oracle.
+
+    The contract, property-tested in [test/test_relational.ml]: every
+    operator returns exactly what its {!Algebra} twin returns on the
+    same input — same rows in the same order with bit-identical floats
+    — under either implementation, with or without a pool. Group
+    aggregates feed rows in row order (float sums are order-sensitive),
+    joins emit probe-order × build-order pairs, sorts are stable with
+    the same [Value.compare] key order. *)
+
+type t
+
+type impl = [ `Kernel | `Interpreter ]
+
+val of_table : Table.t -> t
+val to_table : t -> Table.t
+val schema : t -> Schema.t
+val row_count : t -> int
+
+val select : ?pool:Mde_par.Pool.t -> ?impl:impl -> Expr.t -> t -> t
+(** σ, preserving row order. With [?pool] the predicate is evaluated
+    row-chunked in parallel (bit-identical: each row's flag is
+    independent). *)
+
+val project : string list -> t -> t
+(** π onto existing columns — O(1) per column, nothing is copied. *)
+
+val extend : ?pool:Mde_par.Pool.t -> ?impl:impl -> (string * Value.ty * Expr.t) list -> t -> t
+(** Append computed columns; every defining expression reads the input
+    schema (not columns added by earlier defs), as {!Algebra.extend}. *)
+
+val equi_join : on:(string * string) list -> t -> t -> t
+(** Inner hash join, build side right, probe side left — the plan
+    executor's join. Row order and null-key behavior match
+    {!Algebra.equi_join}. *)
+
+val group_by :
+  ?impl:impl -> keys:string list -> aggs:(string * Algebra.aggregate) list -> t -> t
+(** Grouped aggregation with {!Algebra.group_by}'s exact semantics:
+    first-seen group order, NaN keys collapse to one group, [keys = []]
+    yields one global row even on empty input. Under [`Kernel] the
+    Sum/Avg/Std/Count paths accumulate unboxed; if any aggregate's
+    source fails to compile the whole call drops to the row oracle. *)
+
+val order_by : ?descending:bool -> string list -> t -> t
+(** Stable sort via typed per-column comparators agreeing with
+    [Value.compare]. *)
+
+val distinct : t -> t
+val limit : int -> t -> t
+(** Raises [Invalid_argument] on a negative count. *)

@@ -1,4 +1,3 @@
-open Mde_relational
 module Array1 = Bigarray.Array1
 module Bitset = Column.Bitset
 

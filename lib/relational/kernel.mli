@@ -22,7 +22,6 @@
     construction gives the same answer (or raises the same error).
     {!Mde_relational.Expr.typeof} is the static side of this contract. *)
 
-open Mde_relational
 
 type env
 (** Named compiled columns: the base bundle columns plus any computed

@@ -15,12 +15,21 @@ let rec schema_of catalog = function
   | Project (cols, child) -> Schema.project (schema_of catalog child) cols
   | Join (_, l, r) -> Schema.concat (schema_of catalog l) (schema_of catalog r)
 
-let rec execute catalog = function
+let rec execute_rows catalog = function
   | Scan name -> Catalog.find catalog name
-  | Select (pred, child) -> Algebra.select pred (execute catalog child)
-  | Project (cols, child) -> Algebra.project cols (execute catalog child)
+  | Select (pred, child) -> Algebra.select pred (execute_rows catalog child)
+  | Project (cols, child) -> Algebra.project cols (execute_rows catalog child)
   | Join (on, l, r) ->
-    Algebra.equi_join ~on (execute catalog l) (execute catalog r)
+    Algebra.equi_join ~on (execute_rows catalog l) (execute_rows catalog r)
+
+let execute ?pool ?(impl = (`Kernel : Columnar.impl)) catalog plan =
+  let rec go = function
+    | Scan name -> Columnar.of_table (Catalog.find catalog name)
+    | Select (pred, child) -> Columnar.select ?pool ~impl pred (go child)
+    | Project (cols, child) -> Columnar.project cols (go child)
+    | Join (on, l, r) -> Columnar.equi_join ~on (go l) (go r)
+  in
+  Columnar.to_table (go plan)
 
 (* --- estimation --- *)
 
@@ -214,12 +223,17 @@ let rec order_joins catalog plan =
   | Scan _ -> plan
   | Select (e, child) -> Select (e, order_joins catalog child)
   | Project (cols, child) -> Project (cols, order_joins catalog child)
-  | Join _ -> (
+  | Join (on, l, r) -> (
     let leaves, pairs = flatten plan in
     let leaves = List.map (order_joins catalog) leaves in
     match order_join_chain catalog leaves pairs with
     | Some reordered -> reordered
-    | None -> plan)
+    | None ->
+      (* Disconnected chain (needs a cross product): the flattened chain
+         cannot be reordered as a whole, but connected sub-chains under
+         this join still can — keep this node and recurse, instead of
+         returning the untouched original plan. *)
+      Join (on, order_joins catalog l, order_joins catalog r))
 
 let optimize catalog plan = order_joins catalog (push_selections catalog plan)
 

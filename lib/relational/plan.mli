@@ -24,8 +24,17 @@ val schema_of : Catalog.t -> t -> Schema.t
 (** Output schema of the plan. Raises [Not_found] for unknown tables or
     columns. *)
 
-val execute : Catalog.t -> t -> Table.t
-(** Evaluate the plan bottom-up with the {!Algebra} operators. *)
+val execute : ?pool:Mde_par.Pool.t -> ?impl:Columnar.impl -> Catalog.t -> t -> Table.t
+(** Evaluate the plan bottom-up on the columnar substrate ({!Columnar}),
+    bit-identical to {!execute_rows}: same rows, same order, same float
+    bits. [?impl] selects compiled kernels (default) or the interpreter
+    oracle, as the tuple-bundle engine does; [?pool] fans predicate
+    evaluation out row-chunked. *)
+
+val execute_rows : Catalog.t -> t -> Table.t
+(** Evaluate the plan row-at-a-time with the {!Algebra} operators — the
+    legacy path, kept as the oracle the columnar executor is
+    property-tested against. *)
 
 (** {2 Cardinality and cost estimation} *)
 

@@ -27,7 +27,9 @@ let sbp_database rows =
   Mde_mcdb.Database.add_stochastic db st;
   db
 
-let mean_sbp catalog =
+(* The hand-rolled fold kept as the row-level oracle: the columnar
+   [mean_sbp] below must reproduce these bits exactly. *)
+let mean_sbp_rows catalog =
   let t = Catalog.find catalog "SBP_DATA" in
   let total = ref 0. and n = ref 0 in
   Table.iter
@@ -36,6 +38,16 @@ let mean_sbp catalog =
       incr n)
     t;
   !total /. float_of_int !n
+
+(* Served through the unified columnar substrate: a global Avg(sbp)
+   accumulates the sum in row order and divides once, exactly like the
+   naive fold, so registered models keep answering identical bits. *)
+let mean_sbp catalog =
+  let t = Columnar.of_table (Catalog.find catalog "SBP_DATA") in
+  let out =
+    Columnar.group_by ~keys:[] ~aggs:[ ("mean_sbp", Algebra.Avg (Expr.col "sbp")) ] t
+  in
+  Value.to_float (Columnar.to_table out |> Table.rows).(0).(0)
 
 let walk_chain () =
   let schema = Schema.of_list [ ("x", Value.Tfloat) ] in

@@ -23,7 +23,8 @@ type t = {
 }
 
 let simulate t rng ~steps =
-  assert (steps >= 0);
+  (* Not an assert: validation must survive [-noassert] builds. *)
+  if steps < 0 then invalid_arg "Chain.simulate: steps must be non-negative";
   let states = Array.make (steps + 1) String_map.empty in
   states.(0) <- t.initial rng;
   for i = 1 to steps do
@@ -34,10 +35,14 @@ let simulate t rng ~steps =
 let simulate_query t rng ~steps ~query =
   Array.map query (simulate t rng ~steps)
 
-let monte_carlo t rng ~steps ~reps ~query =
-  assert (reps > 0);
+let monte_carlo ?pool t rng ~steps ~reps ~query =
+  if reps <= 0 then invalid_arg "Chain.monte_carlo: reps must be positive";
+  (* One pre-split stream per replication: the pooled fan-out consumes
+     exactly the stream the sequential loop would, so results are
+     bit-identical with or without a pool. *)
   let streams = Rng.split_n rng reps in
-  Array.init reps (fun r -> simulate_query t streams.(r) ~steps ~query)
+  Mde_par.Pool.init ?pool ~site:"simsql.monte_carlo" reps (fun r ->
+      simulate_query t streams.(r) ~steps ~query)
 
 module Rules = struct
   type rule = {
@@ -54,6 +59,17 @@ module Rules = struct
           ~combine
       in
       Mde_mcdb.Stochastic_table.instantiate st rng
+    in
+    { target; derive }
+
+  let plan_rule ?pool ?impl ~target plan =
+    (* A deterministic derivation: run a relational plan over the current
+       state's tables on the columnar substrate. The rng is unused — the
+       stochasticity of a chain step lives in its vg rules. *)
+    let derive _rng state =
+      let catalog = Catalog.create () in
+      String_map.iter (fun name t -> Catalog.register catalog name t) state;
+      Plan.execute ?pool ?impl catalog plan
     in
     { target; derive }
 

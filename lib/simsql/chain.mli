@@ -29,13 +29,15 @@ type t = {
 }
 
 val simulate : t -> Mde_prob.Rng.t -> steps:int -> state array
-(** One realization of D[0..steps] (length steps+1). *)
+(** One realization of D[0..steps] (length steps+1). Raises
+    [Invalid_argument] on negative [steps]. *)
 
 val simulate_query :
   t -> Mde_prob.Rng.t -> steps:int -> query:(state -> float) -> float array
 (** One realization, reduced to a per-version scalar time series. *)
 
 val monte_carlo :
+  ?pool:Mde_par.Pool.t ->
   t ->
   Mde_prob.Rng.t ->
   steps:int ->
@@ -43,7 +45,9 @@ val monte_carlo :
   query:(state -> float) ->
   float array array
 (** [reps] independent realizations; result is reps × (steps+1). Each
-    replication runs on a split RNG stream. *)
+    replication runs on a pre-split RNG stream, so with [?pool] the
+    replications fan out across domains with bit-identical output.
+    Raises [Invalid_argument] unless [reps] is positive. *)
 
 (** Transition kernels assembled from per-table rules, applied in list
     order. Each rule sees the state as already updated by the preceding
@@ -67,6 +71,17 @@ module Rules : sig
   (** A rule that instantiates an MCDB-style stochastic table whose
       driver and VG parameters are queries over the current state —
       stochastic tables parametrized by stochastic tables. *)
+
+  val plan_rule :
+    ?pool:Mde_par.Pool.t ->
+    ?impl:Mde_relational.Columnar.impl ->
+    target:string ->
+    Mde_relational.Plan.t ->
+    rule
+  (** A deterministic rule: derive [target] by executing a relational
+      plan over the current state's tables on the columnar substrate —
+      chain steps and one-shot queries share one execution layer. Scans
+      resolve against a catalog holding every table of the state. *)
 
   val transition : rule list -> Mde_prob.Rng.t -> state -> state
 end

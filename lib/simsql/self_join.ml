@@ -73,7 +73,8 @@ let step ?buckets ~neighbor ~update rng agents =
     } )
 
 let grid_buckets ~x ~y ~cell schema row =
-  assert (cell > 0.);
+  (* Not an assert: validation must survive [-noassert] builds. *)
+  if not (cell > 0.) then invalid_arg "Self_join.grid_buckets: cell must be positive";
   let xi = Schema.column_index schema x and yi = Schema.column_index schema y in
   let px = Value.to_float row.(xi) and py = Value.to_float row.(yi) in
   let ix = Float.to_int (floor (px /. cell)) in

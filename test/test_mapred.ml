@@ -194,6 +194,145 @@ let prop_sort_by_sorts =
       let result = Array.to_list (Dataset.to_array out) in
       result = List.sort Int.compare xs)
 
+(* --- validation must survive -noassert builds --- *)
+
+let test_dataset_validation () =
+  Alcotest.check_raises "of_array"
+    (Invalid_argument "Dataset.of_array: partitions must be positive") (fun () ->
+      ignore (Dataset.of_array ~partitions:0 [| 1 |]));
+  Alcotest.check_raises "of_partitions"
+    (Invalid_argument "Dataset.of_partitions: at least one partition required")
+    (fun () -> ignore (Dataset.of_partitions ([||] : int array array)))
+
+let test_reduce_partitions_validation () =
+  Alcotest.check_raises "non-positive reduce_partitions"
+    (Invalid_argument "Job.map_reduce: reduce_partitions must be positive")
+    (fun () ->
+      ignore
+        (Job.map_reduce ~reduce_partitions:0
+           ~map:(fun x -> [ (x, x) ])
+           ~reduce:(fun _ vs -> vs)
+           (Dataset.of_array ~partitions:2 [| 1; 2; 3 |])))
+
+(* Duplicate keys must come out in input order whatever the partition
+   count or pool — the local sorts are index-stabilized like
+   [Algebra.order_by]'s. *)
+let prop_sort_by_stable =
+  QCheck.Test.make ~name:"sort_by is stable on duplicate keys" ~count:100
+    QCheck.(pair (int_range 1 6) (list (int_range 0 5)))
+    (fun (partitions, keys) ->
+      (* Tag each record with its input index; equal keys must keep
+         ascending tags. *)
+      let data = Array.of_list (List.mapi (fun i k -> (k, i)) keys) in
+      let cmp (a, _) (b, _) = Int.compare a b in
+      let ds = Dataset.of_array ~partitions data in
+      let out, _ = Job.sort_by ~cmp ds in
+      let out = Dataset.to_array out in
+      let expected = Array.copy data in
+      (* Array.sort is not stable; sort on (key, tag) instead, which is a
+         total order, hence equals the unique stable sort by key. *)
+      Array.sort compare expected;
+      out = expected)
+
+(* --- relational tables on the engine (Reljob) --- *)
+
+module Reljob = Mde_mapred.Reljob
+open Mde_relational
+
+let value_identical a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | _ -> a = b
+
+(* Reljob.group_by guarantees per-group values bit-identical to Algebra
+   but its group *row order* is the job's, so compare canonically sorted
+   rows pairwise. *)
+let same_rows_as_multiset a b =
+  let canon t =
+    let rows = Array.to_list (Table.rows t) |> List.map Array.to_list in
+    List.sort (List.compare Value.compare) rows
+  in
+  Table.cardinality a = Table.cardinality b
+  && List.for_all2 (List.for_all2 value_identical) (canon a) (canon b)
+
+let grouped_table rows =
+  Table.create
+    (Schema.of_list [ ("k", Value.Tfloat); ("v", Value.Tfloat) ])
+    (List.map (fun (k, v) -> [| k; Value.Float v |]) rows)
+
+let reljob_rows_gen =
+  QCheck.Gen.(
+    let key =
+      frequency
+        [ (5, map (fun f -> Value.Float (float_of_int f)) (int_range 0 4));
+          (1, return (Value.Float nan));
+          (1, return Value.Null) ]
+    in
+    list_size (int_range 0 40) (map2 (fun k v -> (k, v)) key (float_range (-5.) 5.)))
+
+let reljob_aggs =
+  [ ("n", Algebra.Count); ("s", Algebra.Sum (Expr.col "v"));
+    ("m", Algebra.Avg (Expr.col "v")) ]
+
+let prop_reljob_group_by_matches_algebra =
+  QCheck.Test.make ~name:"Reljob.group_by == Algebra.group_by (as multiset)"
+    ~count:100
+    QCheck.(pair (int_range 1 5) (QCheck.make reljob_rows_gen))
+    (fun (partitions, rows) ->
+      let t = grouped_table rows in
+      let oracle = Algebra.group_by ~keys:[ "k" ] ~aggs:reljob_aggs t in
+      let out, _ = Reljob.group_by ~partitions ~keys:[ "k" ] ~aggs:reljob_aggs t in
+      same_rows_as_multiset oracle out)
+
+let prop_reljob_sort_matches_algebra =
+  QCheck.Test.make ~name:"Reljob.sort_by == Algebra.order_by exactly" ~count:100
+    QCheck.(triple (int_range 1 5) bool (QCheck.make reljob_rows_gen))
+    (fun (partitions, descending, rows) ->
+      let t = grouped_table rows in
+      let oracle = Algebra.order_by ~descending [ "k" ] t in
+      let out, _ = Reljob.sort_by ~partitions ~descending [ "k" ] t in
+      Table.cardinality oracle = Table.cardinality out
+      && Array.for_all2
+           (fun ra rb -> Array.for_all2 value_identical ra rb)
+           (Table.rows oracle) (Table.rows out))
+
+let test_reljob_pooled_identity () =
+  let rng = Mde_prob.Rng.create ~seed:11 () in
+  let rows =
+    List.init 2000 (fun i ->
+        ( (if i mod 53 = 0 then Value.Float nan
+           else Value.Float (float_of_int (Mde_prob.Rng.int rng 40))),
+          Mde_prob.Rng.float_range rng (-5.) 5. ))
+  in
+  let t = grouped_table rows in
+  Mde_par.Pool.with_pool ~domains:3 (fun pool ->
+      let seq_g, _ = Reljob.group_by ~keys:[ "k" ] ~aggs:reljob_aggs t in
+      let par_g, _ = Reljob.group_by ~pool ~keys:[ "k" ] ~aggs:reljob_aggs t in
+      Alcotest.(check bool) "pooled group_by == sequential" true
+        (Array.for_all2
+           (fun ra rb -> Array.for_all2 value_identical ra rb)
+           (Table.rows seq_g) (Table.rows par_g));
+      let seq_s, _ = Reljob.sort_by [ "k" ] t in
+      let par_s, _ = Reljob.sort_by ~pool [ "k" ] t in
+      Alcotest.(check bool) "pooled sort_by == sequential" true
+        (Array.for_all2
+           (fun ra rb -> Array.for_all2 value_identical ra rb)
+           (Table.rows seq_s) (Table.rows par_s)))
+
+let test_reljob_nan_keys_and_empty () =
+  let nan2 = Int64.float_of_bits 0xFFF8000000000001L in
+  let t =
+    grouped_table
+      [ (Value.Float nan, 1.); (Value.Float 2., 10.); (Value.Float nan2, 5.) ]
+  in
+  let out, _ = Reljob.group_by ~keys:[ "k" ] ~aggs:[ ("n", Algebra.Count) ] t in
+  Alcotest.(check int) "NaN payloads collapse to one group" 2 (Table.cardinality out);
+  (* Global aggregate over empty input still emits its one row. *)
+  let empty = Table.empty (Table.schema t) in
+  let g, _ = Reljob.group_by ~keys:[] ~aggs:reljob_aggs empty in
+  Alcotest.(check bool) "empty global row identical" true
+    (same_rows_as_multiset (Algebra.group_by ~keys:[] ~aggs:reljob_aggs empty) g)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "mde_mapred"
@@ -218,6 +357,18 @@ let () =
           Alcotest.test_case "sample sort" `Quick test_sort_by;
           Alcotest.test_case "sort empty" `Quick test_sort_empty;
           Alcotest.test_case "global counter" `Quick test_global_counter;
+          Alcotest.test_case "dataset validation" `Quick test_dataset_validation;
+          Alcotest.test_case "reduce_partitions validation" `Quick
+            test_reduce_partitions_validation;
         ] );
-      ("properties", qc [ prop_mapreduce_identity; prop_sort_by_sorts ]);
+      ( "reljob",
+        [
+          Alcotest.test_case "NaN keys + empty global" `Quick
+            test_reljob_nan_keys_and_empty;
+          Alcotest.test_case "pooled == sequential" `Quick test_reljob_pooled_identity;
+        ] );
+      ( "properties",
+        qc
+          [ prop_mapreduce_identity; prop_sort_by_sorts; prop_sort_by_stable;
+            prop_reljob_group_by_matches_algebra; prop_reljob_sort_matches_algebra ] );
     ]

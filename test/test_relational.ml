@@ -304,6 +304,202 @@ let test_empty_table_operators () =
   Alcotest.(check int) "semi join" 0
     (Table.cardinality (Algebra.semi_join ~on:[ ("id", "customer") ] empty orders))
 
+(* --- columnar substrate: bit-identity against the row oracle --- *)
+
+(* Exact identity, not semantic equality: floats must match bit for bit
+   (NaN payloads included), and Int 2 is not Float 2. *)
+let value_identical a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | _ -> a = b
+
+let tables_identical a b =
+  Schema.column_names (Table.schema a) = Schema.column_names (Table.schema b)
+  && Table.cardinality a = Table.cardinality b
+  && Array.for_all2
+       (fun ra rb -> Array.for_all2 value_identical ra rb)
+       (Table.rows a) (Table.rows b)
+
+(* Check one operator against its row oracle under both implementations. *)
+let both_impls oracle f =
+  tables_identical oracle (Columnar.to_table (f `Kernel))
+  && tables_identical oracle (Columnar.to_table (f `Interpreter))
+
+let test_columnar_roundtrip () =
+  Alcotest.(check bool) "of_table |> to_table is the identity" true
+    (tables_identical people (Columnar.to_table (Columnar.of_table people)))
+
+let test_columnar_matches_algebra_people () =
+  let c = Columnar.of_table people in
+  let num_pred = Expr.(col "age" <= int 4) in
+  let str_pred = Expr.(col "name" = string "ann") in
+  let defs = [ ("age2", Value.Tint, Expr.(col "age" * int 2)) ] in
+  let aggs = [ ("n", Algebra.Count); ("best", Algebra.Max (Expr.col "score")) ] in
+  Alcotest.(check bool) "select (numeric pred)" true
+    (both_impls (Algebra.select num_pred people) (fun impl ->
+         Columnar.select ~impl num_pred c));
+  Alcotest.(check bool) "select (string pred)" true
+    (both_impls (Algebra.select str_pred people) (fun impl ->
+         Columnar.select ~impl str_pred c));
+  Alcotest.(check bool) "extend" true
+    (both_impls (Algebra.extend defs people) (fun impl -> Columnar.extend ~impl defs c));
+  Alcotest.(check bool) "group_by (null score skipped)" true
+    (both_impls
+       (Algebra.group_by ~keys:[ "age" ] ~aggs people)
+       (fun impl -> Columnar.group_by ~impl ~keys:[ "age" ] ~aggs c));
+  Alcotest.(check bool) "project" true
+    (tables_identical
+       (Algebra.project [ "name"; "score" ] people)
+       (Columnar.to_table (Columnar.project [ "name"; "score" ] c)));
+  Alcotest.(check bool) "order_by strings" true
+    (tables_identical
+       (Algebra.order_by [ "name" ] people)
+       (Columnar.to_table (Columnar.order_by [ "name" ] c)));
+  Alcotest.(check bool) "distinct" true
+    (tables_identical (Algebra.distinct people) (Columnar.to_table (Columnar.distinct c)));
+  Alcotest.(check bool) "join" true
+    (tables_identical
+       (Algebra.equi_join ~on:[ ("id", "customer") ] people orders)
+       (Columnar.to_table
+          (Columnar.equi_join ~on:[ ("id", "customer") ] c (Columnar.of_table orders))))
+
+let test_columnar_empty_global () =
+  let empty = Table.empty people_schema in
+  let aggs =
+    [ ("n", Algebra.Count); ("s", Algebra.Sum (Expr.col "score"));
+      ("m", Algebra.Avg (Expr.col "score")) ]
+  in
+  let oracle = Algebra.group_by ~keys:[] ~aggs empty in
+  Alcotest.(check bool) "empty global row identical" true
+    (both_impls oracle (fun impl ->
+         Columnar.group_by ~impl ~keys:[] ~aggs (Columnar.of_table empty)));
+  Alcotest.(check int) "keyed empty: no groups" 0
+    (Columnar.row_count
+       (Columnar.group_by ~keys:[ "age" ] ~aggs:[ ("n", Algebra.Count) ]
+          (Columnar.of_table empty)))
+
+let test_limit_negative () =
+  Alcotest.check_raises "algebra"
+    (Invalid_argument "Algebra.limit: negative row count") (fun () ->
+      ignore (Algebra.limit (-1) people));
+  Alcotest.check_raises "columnar"
+    (Invalid_argument "Columnar.limit: negative row count") (fun () ->
+      ignore (Columnar.limit (-1) (Columnar.of_table people)))
+
+(* Randomized tables with NaN keys and nulls, the hostile inputs the
+   bundle engine's Monte Carlo outputs actually contain. *)
+let mixed_rows_gen =
+  QCheck.Gen.(
+    let vfloat =
+      frequency
+        [ (6, map (fun f -> Value.Float f) (float_range (-5.) 5.));
+          (1, return (Value.Float nan));
+          (1, return Value.Null) ]
+    in
+    let row = map3 (fun k g v -> (k, g, v)) vfloat (int_range 0 3) vfloat in
+    list_size (int_range 0 30) row)
+
+let mixed_table rows =
+  let schema =
+    Schema.of_list [ ("k", Value.Tfloat); ("g", Value.Tint); ("v", Value.Tfloat) ]
+  in
+  Table.create schema (List.map (fun (k, g, v) -> [| k; Value.Int g; v |]) rows)
+
+let prop_columnar_matches_algebra =
+  QCheck.Test.make ~name:"columnar kernel == interpreter == row algebra" ~count:120
+    (QCheck.make mixed_rows_gen)
+    (fun rows ->
+      let t = mixed_table rows in
+      let c = Columnar.of_table t in
+      let pred = Expr.(col "v" > float 0. || col "g" = int 1) in
+      let defs = [ ("w", Value.Tfloat, Expr.((col "v" * float 2.) + col "k")) ] in
+      let aggs =
+        [ ("n", Algebra.Count);
+          ("pos", Algebra.Count_if Expr.(col "v" > float 0.));
+          ("s", Algebra.Sum (Expr.col "v"));
+          ("m", Algebra.Avg (Expr.col "v"));
+          ("sd", Algebra.Std (Expr.col "v"));
+          ("lo", Algebra.Min (Expr.col "k"));
+          ("hi", Algebra.Max (Expr.col "k")) ]
+      in
+      both_impls (Algebra.select pred t) (fun impl -> Columnar.select ~impl pred c)
+      && both_impls (Algebra.extend defs t) (fun impl -> Columnar.extend ~impl defs c)
+      && both_impls
+           (Algebra.group_by ~keys:[ "g" ] ~aggs t)
+           (fun impl -> Columnar.group_by ~impl ~keys:[ "g" ] ~aggs c)
+      && both_impls
+           (* Float keys: NaN collapses to one group, Null forms its own. *)
+           (Algebra.group_by ~keys:[ "k" ] ~aggs:[ ("n", Algebra.Count) ] t)
+           (fun impl ->
+             Columnar.group_by ~impl ~keys:[ "k" ] ~aggs:[ ("n", Algebra.Count) ] c)
+      && tables_identical
+           (Algebra.project [ "v"; "g" ] t)
+           (Columnar.to_table (Columnar.project [ "v"; "g" ] c))
+      && tables_identical
+           (Algebra.order_by [ "k"; "v" ] t)
+           (Columnar.to_table (Columnar.order_by [ "k"; "v" ] c))
+      && tables_identical
+           (Algebra.order_by ~descending:true [ "v" ] t)
+           (Columnar.to_table (Columnar.order_by ~descending:true [ "v" ] c))
+      && tables_identical (Algebra.distinct t) (Columnar.to_table (Columnar.distinct c))
+      && tables_identical (Algebra.limit 7 t)
+           (Columnar.to_table (Columnar.limit 7 c)))
+
+let prop_columnar_join_mixed_keys =
+  QCheck.Test.make ~name:"columnar join == row join on Int/Float mixed keys"
+    ~count:120
+    QCheck.(pair (small_list (int_range 0 4)) (small_list (int_range 0 4)))
+    (fun (ls, rs) ->
+      let left =
+        Table.create
+          (Schema.of_list [ ("k", Value.Tint); ("x", Value.Tint) ])
+          (List.mapi (fun i k -> [| Value.Int k; Value.Int i |]) ls)
+      in
+      let right =
+        Table.create
+          (Schema.of_list [ ("rk", Value.Tfloat); ("y", Value.Tint) ])
+          (List.mapi
+             (fun i k ->
+               [|
+                 (* Int 4 on the left meets Null on the right: null keys
+                    must never match, in either engine. *)
+                 (if k = 4 then Value.Null else Value.Float (float_of_int k));
+                 Value.Int i;
+               |])
+             rs)
+      in
+      tables_identical
+        (Algebra.equi_join ~on:[ ("k", "rk") ] left right)
+        (Columnar.to_table
+           (Columnar.equi_join ~on:[ ("k", "rk") ] (Columnar.of_table left)
+              (Columnar.of_table right))))
+
+let test_columnar_pooled_identity () =
+  let rng = Mde_prob.Rng.create ~seed:42 () in
+  let rows =
+    List.init 5000 (fun i ->
+        ( (if i mod 97 = 0 then Value.Null
+           else if i mod 41 = 0 then Value.Float nan
+           else Value.Float (Mde_prob.Rng.float_range rng (-5.) 5.)),
+          Mde_prob.Rng.int rng 4,
+          Value.Float (Mde_prob.Rng.float_range rng (-5.) 5.) ))
+  in
+  let c = Columnar.of_table (mixed_table rows) in
+  let pred = Expr.(col "v" > col "k") in
+  let defs = [ ("w", Value.Tfloat, Expr.(col "v" + col "k")) ] in
+  Mde_par.Pool.with_pool ~domains:3 (fun pool ->
+      List.iter
+        (fun impl ->
+          Alcotest.(check bool) "pooled select == sequential" true
+            (tables_identical
+               (Columnar.to_table (Columnar.select ~impl pred c))
+               (Columnar.to_table (Columnar.select ~pool ~impl pred c)));
+          Alcotest.(check bool) "pooled extend == sequential" true
+            (tables_identical
+               (Columnar.to_table (Columnar.extend ~impl defs c))
+               (Columnar.to_table (Columnar.extend ~pool ~impl defs c))))
+        [ `Kernel; `Interpreter ])
+
 (* --- query builder --- *)
 
 let test_query_pipeline () =
@@ -438,6 +634,74 @@ let test_optimize_end_to_end () =
   Alcotest.(check bool)
     (Printf.sprintf "optimize cheaper (%.0f -> %.0f)" before after)
     true (after < before /. 2.)
+
+let test_plan_columnar_identity () =
+  let cat = star_catalog 7 in
+  let check_plan label plan =
+    let oracle = Plan.execute_rows cat plan in
+    Alcotest.(check bool) (label ^ ": kernel == rows") true
+      (tables_identical oracle (Plan.execute cat plan));
+    Alcotest.(check bool)
+      (label ^ ": interpreter == rows")
+      true
+      (tables_identical oracle (Plan.execute ~impl:`Interpreter cat plan))
+  in
+  check_plan "raw" star_query;
+  check_plan "optimized" (Plan.optimize cat star_query);
+  check_plan "projected" (Plan.project [ "oid"; "rname" ] star_query)
+
+let prop_plan_execute_bit_identity =
+  QCheck.Test.make ~name:"Plan.execute (columnar) == Plan.execute_rows" ~count:40
+    QCheck.(pair (int_range 0 4) small_int)
+    (fun (region_pick, seed) ->
+      let cat = star_catalog (200 + seed) in
+      let plan =
+        Plan.select
+          Expr.(col "rid" = int region_pick && col "amount" > float 25.)
+          (Plan.join ~on:[ ("rid", "crid") ]
+             (Plan.scan "regions")
+             (Plan.join ~on:[ ("cid", "ocid") ] (Plan.scan "customers")
+                (Plan.scan "orders")))
+      in
+      let oracle = Plan.execute_rows cat plan in
+      tables_identical oracle (Plan.execute cat plan)
+      && tables_identical oracle (Plan.execute ~impl:`Interpreter cat plan)
+      && tables_identical
+           (Plan.execute_rows cat (Plan.optimize cat plan))
+           (Plan.execute cat (Plan.optimize cat plan)))
+
+(* Regression: a top-level chain that cannot be reordered (it needs a
+   cross product) used to come back entirely untouched — including the
+   badly-ordered connected join chain nested inside it. *)
+let test_order_joins_disconnected_chain () =
+  let cat = star_catalog 8 in
+  Catalog.register cat "lonely"
+    (Table.create
+       (Schema.of_list [ ("lid", Value.Tint) ])
+       (List.init 3 (fun i -> [| v_int i |])));
+  let bad_chain =
+    Plan.join ~on:[ ("crid", "rid") ]
+      (Plan.join ~on:[ ("ocid", "cid") ] (Plan.scan "orders") (Plan.scan "customers"))
+      (Plan.scan "regions")
+  in
+  let disconnected = Plan.join ~on:[] bad_chain (Plan.scan "lonely") in
+  let result = Plan.order_joins cat disconnected in
+  (match result with
+  | Plan.Join ([], l, Plan.Scan "lonely") ->
+    Alcotest.(check bool) "nested chain reordered in place" true
+      (l = Plan.order_joins cat bad_chain);
+    Alcotest.(check bool) "reordering actually changed the sub-chain" true
+      (l <> bad_chain);
+    let before = (Plan.estimate_cost cat bad_chain).Plan.intermediate_rows in
+    let after = (Plan.estimate_cost cat l).Plan.intermediate_rows in
+    Alcotest.(check bool)
+      (Printf.sprintf "sub-chain cheaper (%.0f -> %.0f)" before after)
+      true (after <= before)
+  | _ -> Alcotest.fail "optimizer changed the disconnected top-level join shape");
+  Alcotest.(check bool) "same result" true
+    (same_multiset (Plan.execute_rows cat disconnected) (Plan.execute_rows cat result));
+  Alcotest.(check bool) "columnar cross product agrees" true
+    (tables_identical (Plan.execute_rows cat result) (Plan.execute cat result))
 
 let prop_optimize_preserves_semantics =
   QCheck.Test.make ~name:"optimize preserves query results" ~count:60
@@ -603,6 +867,15 @@ let () =
           Alcotest.test_case "distinct/union/limit" `Quick test_distinct_union_limit;
           Alcotest.test_case "empty-table sweep" `Quick test_empty_table_operators;
         ] );
+      ( "columnar",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_columnar_roundtrip;
+          Alcotest.test_case "operators == algebra" `Quick
+            test_columnar_matches_algebra_people;
+          Alcotest.test_case "empty global aggregate" `Quick test_columnar_empty_global;
+          Alcotest.test_case "negative limit raises" `Quick test_limit_negative;
+          Alcotest.test_case "pooled == sequential" `Quick test_columnar_pooled_identity;
+        ] );
       ( "query",
         [
           Alcotest.test_case "pipeline" `Quick test_query_pipeline;
@@ -616,10 +889,15 @@ let () =
           Alcotest.test_case "selection pushdown" `Quick test_push_selections_preserves_and_helps;
           Alcotest.test_case "join ordering" `Quick test_order_joins_small_first;
           Alcotest.test_case "optimize end-to-end" `Quick test_optimize_end_to_end;
+          Alcotest.test_case "columnar executor identity" `Quick test_plan_columnar_identity;
+          Alcotest.test_case "disconnected chain still optimizes subtrees" `Quick
+            test_order_joins_disconnected_chain;
         ] );
       ("catalog", [ Alcotest.test_case "stats" `Quick test_catalog ]);
       ( "properties",
         qc
           [ prop_select_conjunction; prop_join_count; prop_distinct_idempotent;
-            prop_expr_total; prop_optimize_preserves_semantics ] );
+            prop_expr_total; prop_optimize_preserves_semantics;
+            prop_columnar_matches_algebra; prop_columnar_join_mixed_keys;
+            prop_plan_execute_bit_identity ] );
     ]

@@ -475,6 +475,20 @@ let test_bundle_model_matches_naive_model () =
       (Server.Mcdb_tail { reps = 40; p = 0.9 }, 6);
     ]
 
+(* The demo's registered query now runs on the columnar substrate; the
+   hand-rolled row fold is kept as its oracle. Same realized instance →
+   identical bits, so every served "sbp" answer is unchanged by the
+   rewiring. *)
+let test_demo_columnar_query_matches_rows () =
+  let db = sbp_db 60 in
+  let rng = Rng.create ~seed:21 () in
+  for _ = 1 to 10 do
+    let catalog = Database.instantiate db rng in
+    Alcotest.(check bool) "columnar mean == row fold, bit for bit" true
+      (Int64.bits_of_float (Demo.mean_sbp catalog)
+      = Int64.bits_of_float (Demo.mean_sbp_rows catalog))
+  done
+
 let test_demo_cold_warm () =
   let server = Demo.server ~rows:30 () in
   let catalog = Demo.catalog 8 in
@@ -520,6 +534,8 @@ let () =
             test_workload_percentiles;
           Alcotest.test_case "bundle model == naive model" `Quick
             test_bundle_model_matches_naive_model;
+          Alcotest.test_case "demo columnar query == row fold" `Quick
+            test_demo_columnar_query_matches_rows;
           Alcotest.test_case "cold vs warm workload" `Quick test_demo_cold_warm;
         ] );
     ]

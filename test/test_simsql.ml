@@ -141,6 +141,63 @@ let test_vg_rule () =
   let states = Chain.simulate chain rng ~steps:4 in
   Alcotest.(check int) "3 rows" 3 (Table.cardinality (Chain.table states.(4) "noise"))
 
+let test_chain_validation () =
+  let rng = Rng.create ~seed:6 () in
+  Alcotest.check_raises "negative steps"
+    (Invalid_argument "Chain.simulate: steps must be non-negative") (fun () ->
+      ignore (Chain.simulate chain rng ~steps:(-1)));
+  Alcotest.check_raises "non-positive reps"
+    (Invalid_argument "Chain.monte_carlo: reps must be positive") (fun () ->
+      ignore (Chain.monte_carlo chain rng ~steps:3 ~reps:0 ~query:total_wealth))
+
+let test_monte_carlo_pooled_identity () =
+  Mde_par.Pool.with_pool ~domains:3 (fun pool ->
+      let seq =
+        Chain.monte_carlo chain (Rng.create ~seed:7 ()) ~steps:6 ~reps:8
+          ~query:total_wealth
+      in
+      let par =
+        Chain.monte_carlo ~pool chain (Rng.create ~seed:7 ()) ~steps:6 ~reps:8
+          ~query:total_wealth
+      in
+      Alcotest.(check bool) "pooled == sequential, bit for bit" true
+        (Array.for_all2
+           (fun a b ->
+             Array.for_all2
+               (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+               a b)
+           seq par))
+
+(* A chain step that *is* a relational query: the plan-driven rule must
+   produce exactly what the row-oracle executor produces on the same
+   state, every step. *)
+let test_plan_rule_matches_rows () =
+  let totals_plan =
+    Plan.project [ "amount"; "sigma" ]
+      (Plan.join ~on:[] (Plan.scan "wealth") (Plan.scan "vol"))
+  in
+  let rule = Chain.Rules.plan_rule ~target:"exposure" totals_plan in
+  let chain' = { Chain.initial = initial_state; transition = Chain.Rules.transition [ rule ] } in
+  let states = Chain.simulate chain' (Rng.create ~seed:8 ()) ~steps:3 in
+  Array.iter
+    (fun state ->
+      match Chain.table_opt state "exposure" with
+      | None -> () (* D[0] has no derived table yet *)
+      | Some derived ->
+        let catalog = Catalog.create () in
+        List.iter
+          (fun name -> Catalog.register catalog name (Chain.table state name))
+          [ "wealth"; "vol" ];
+        let oracle = Plan.execute_rows catalog totals_plan in
+        Alcotest.(check int) "cardinality" (Table.cardinality oracle)
+          (Table.cardinality derived);
+        Alcotest.(check bool) "plan_rule == execute_rows" true
+          (Array.for_all2
+             (fun ra rb ->
+               Array.for_all2 (fun a b -> Value.compare a b = 0) ra rb)
+             (Table.rows oracle) (Table.rows derived)))
+    states
+
 (* --- ABS step as self-join --- *)
 
 let agent_schema =
@@ -259,6 +316,10 @@ let () =
           Alcotest.test_case "monte carlo reps" `Quick test_monte_carlo_reps;
           Alcotest.test_case "rules sequencing" `Quick test_rules_sequencing;
           Alcotest.test_case "vg rule recursion" `Quick test_vg_rule;
+          Alcotest.test_case "validation" `Quick test_chain_validation;
+          Alcotest.test_case "pooled monte carlo identity" `Quick
+            test_monte_carlo_pooled_identity;
+          Alcotest.test_case "plan rule == row oracle" `Quick test_plan_rule_matches_rows;
         ] );
       ( "self_join",
         [
