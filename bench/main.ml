@@ -25,7 +25,9 @@ let list_experiments () =
   Format.printf "  %-8s %s@." "--relational [rows]"
     "row algebra vs interpreted vs compiled columnar relational pipeline";
   Format.printf "  %-8s %s@." "--shard [N]"
-    "sharded serving front: bit-identity vs single shard + open-loop overload sweep"
+    "sharded serving front: bit-identity vs single shard + open-loop overload sweep";
+  Format.printf "  %-8s %s@." "--session [N]"
+    "progressive-refinement sessions: explorer vs round-robin (optional tick budget)"
 
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -75,6 +77,13 @@ let () =
     | Some shards when shards >= 1 -> Shard_run.run ~shards ()
     | _ ->
       Format.eprintf "--shard expects a positive integer shard count, got %S@." n;
+      exit 1)
+  | [ "--session" ] -> Session_run.run ()
+  | [ "--session"; n ] -> (
+    match int_of_string_opt n with
+    | Some tick_reps when tick_reps >= 1 -> Session_run.run ~tick_reps ()
+    | _ ->
+      Format.eprintf "--session expects a positive integer tick budget, got %S@." n;
       exit 1)
   | [ "--serve" ] -> Serve_bench.run ~domains:1 ()
   | [ "--serve"; n ] -> (

@@ -124,8 +124,8 @@ let print r =
   Printf.printf "relational-bench: select -> extend -> group_by over %d rows\n\n" r.rows;
   Printf.printf "  %-18s %12s  %14s  %14s\n" "engine" "wall" "throughput" "allocated";
   line "row algebra" r.row_path;
-  line "interpreter" r.interp_path;
-  line "kernel" r.kernel_path;
+  line (Impl.to_string `Interpreter) r.interp_path;
+  line (Impl.to_string `Kernel) r.kernel_path;
   Printf.printf "\n  kernel vs interpreter: %.1fx throughput, %.1fx less allocation\n"
     (speedup_vs_interp r)
     (alloc_reduction_vs_interp r);
@@ -148,7 +148,7 @@ let emit ?(file = "BENCH_relational.json") ?(domains = 1) ~seed r =
     ([ ("rows", Int r.rows); ("seed", Int seed); ("domains", Int domains) ]
     @ path_fields "row" r.row_path
     @ path_fields "interp" r.interp_path
-    @ path_fields "kernel" r.kernel_path
+    @ path_fields (Impl.to_string `Kernel) r.kernel_path
     @ [
         ("kernel_speedup_vs_interp", Float (speedup_vs_interp r));
         ("kernel_speedup_vs_rows", Float (speedup_vs_rows r));

@@ -32,7 +32,7 @@ let run ~domains () =
     let config =
       { Serve.Workload.requests = 240; concurrency = 8; zipf_s = 1.1; seed = 7 }
     in
-    (config, Serve.Demo.cold_warm ~clock server ~catalog config)
+    (config, Serve.Demo.cold_warm ~clock (Serve.Target.of_server server) ~catalog config)
   in
   let config, (cold, warm, verdict) =
     (* The shared pool persists across invocations — no domain spawn

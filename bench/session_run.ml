@@ -1,0 +1,22 @@
+(* The --session experiment: the progressive-session planner race
+   (GenIE-style explorer vs round-robin) plus the converged-session
+   bit-identity pass, recorded in bench/BENCH_session.json via the
+   shared Mde_session_bench harness (also behind [mde_cli
+   session-bench]). *)
+
+module S = Mde_session_bench
+
+let run ?(tick_reps = 64) () =
+  Util.section "SESSION"
+    (Printf.sprintf
+       "progressive-refinement sessions: explorer vs round-robin, %d reps per tick"
+       tick_reps);
+  let result = S.run ~tick_reps ~seed:11 () in
+  S.print result;
+  let path = S.emit result in
+  Util.note "recorded in %s" path;
+  match S.gate result with
+  | Ok () -> ()
+  | Error msg ->
+    Util.note "FAIL: %s" msg;
+    exit 1

@@ -1,0 +1,84 @@
+(** The progressive-session experiment, shared by [bench/main -- --session]
+    and [mde_cli session-bench] so both record the same run.
+
+    Three phases over the serving demo models ({!Mde.Serve.Demo}):
+
+    - {e warm-up / calibration}: a throwaway round-robin session brings
+      every gate handle to one [min_batch] of replications — the state
+      both planners pass through identically — and the target CI half
+      width τ is set to the mean half width there divided by 2.5.
+    - {e planner race}: the gate workload (four cheap low-variance
+      random-walk queries next to one hot high-variance one) is run
+      once under the GenIE-style {!Mde.Serve.Session.Explore} planner
+      and once under {!Mde.Serve.Session.Round_robin}, each on a fresh
+      server, ticking until the mean half width over the handles
+      reaches τ. The replications each planner spent to get there — and
+      the full per-tick (spent, half-width) refinement curves — are
+      recorded; the gate requires the explorer to need ≥1.2x fewer.
+    - {e bit-identity}: a session with one handle per query kind (plus
+      a same-key pair exercising cached-pilot reuse) is driven to
+      convergence and every final estimate is compared bit for bit
+      against a one-shot serve of the same request on a fresh server —
+      the session abstraction must cost nothing in answer fidelity.
+
+    Results append to [bench/BENCH_session.json] as the
+    ["session-explore"] entry. *)
+
+type curve_point = {
+  tick : int;
+  spent : int;  (** cumulative replications allocated after this tick *)
+  mean_hw : float;  (** mean CI half width over the gate handles *)
+}
+
+type planner_run = {
+  planner : string;
+  reps_to_target : int option;  (** spend when mean half width first ≤ τ *)
+  total_reps : int;
+  curve : curve_point list;  (** tick order *)
+}
+
+type result = {
+  rows : int;
+  seed : int;
+  tick_reps : int;
+  impl : Mde.Relational.Impl.t;  (** bundle-plan engine used by the servers *)
+  tau : float;  (** target mean CI half width *)
+  explore : planner_run;
+  round_robin : planner_run;
+  compared : int;  (** (session, one-shot) estimate pairs compared *)
+  mismatches : int;
+  reused_reps : int;  (** replications the key-mate handle adopted from cache *)
+}
+
+val run :
+  ?domains:int ->
+  ?rows:int ->
+  ?impl:Mde.Relational.Impl.t ->
+  ?tick_reps:int ->
+  seed:int ->
+  unit ->
+  result
+(** Execute all three phases. Defaults: [domains = 1], [rows = 60],
+    [impl = `Kernel], [tick_reps = 64]. Raises [Invalid_argument] on
+    non-positive sizes. *)
+
+val identical : result -> bool
+(** At least one pair compared and no mismatches. *)
+
+val advantage : result -> float option
+(** Round-robin reps-to-target over explorer reps-to-target; [None] if
+    either planner never reached τ. *)
+
+val gate : result -> (unit, string) Result.t
+(** The acceptance gate shared by the bench harness and CI smoke:
+    {!identical}, cached-pilot reuse engaged ([reused_reps > 0]), and
+    {!advantage} ≥ 1.2. [Error] carries a one-line reason. *)
+
+val print : result -> unit
+(** Human-readable phase summaries, to stdout. *)
+
+val emit : result -> string
+(** Append the ["session-explore"] entry (params, τ, both planners'
+    reps-to-target and refinement curves as nested JSON arrays, the
+    identity verdict) to [bench/BENCH_session.json]; returns the path
+    written. *)

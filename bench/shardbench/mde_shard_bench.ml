@@ -92,7 +92,7 @@ let run ?(domains = 1) ?(shards = 2) ?(rows = 60) ?(catalog = 16) ?(arrivals = 1
       (fun rate ->
         let front = Serve.Demo.front ?pool ~clock ~rows ~scheduler ~shards () in
         let report, _ =
-          W.run_open ~clock (W.shard_target front) ~catalog:sweep_catalog
+          W.run_open ~clock (Serve.Target.of_shard front) ~catalog:sweep_catalog
             { W.arrivals; rate; zipf_s = zipf; seed }
         in
         ignore (Serve.Shard.shutdown front);

@@ -31,6 +31,29 @@ let seed_arg =
           & info [ "seed" ] ~docv:"N"
               ~doc:"Random seed (non-negative; echoed on stderr).")))
 
+(* Engine-selection flag shared by the bench subcommands, parsed and
+   printed through the first-class {!Mde.Relational.Impl} vocabulary so
+   the accepted spellings are exactly the ones the library defines. *)
+let impl_conv =
+  let parse s =
+    match Impl.of_string_opt s with
+    | Some impl -> Ok impl
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "expected %s, got %S"
+             (String.concat " or " (List.map Impl.to_string Impl.all))
+             s))
+  in
+  Arg.conv (parse, fun ppf impl -> Format.pp_print_string ppf (Impl.to_string impl))
+
+let impl_arg =
+  Arg.(
+    value
+    & opt impl_conv `Kernel
+    & info [ "impl" ] ~docv:"ENGINE"
+        ~doc:"Columnar bundle-plan engine: $(b,kernel) or $(b,interpreter).")
+
 (* --- traffic --- *)
 
 let traffic_cmd =
@@ -393,7 +416,9 @@ let metrics_cmd =
     let server = Mde.Serve.Demo.server ~pool () in
     let catalog = Mde.Serve.Demo.catalog catalog_size in
     let config = { Mde.Serve.Workload.requests; concurrency; zipf_s = zipf; seed } in
-    let report, _responses = Mde.Serve.Workload.run server ~catalog config in
+    let report, _responses =
+      Mde.Serve.Workload.run (Mde.Serve.Target.of_server server) ~catalog config
+    in
     Mde.Par.Pool.shutdown pool;
     Mde.Obs.set_default Mde.Obs.noop;
     Printf.eprintf "mde: workload served %d/%d requests in %.3f s\n%!" report.served
@@ -575,7 +600,10 @@ let serve_bench_cmd =
       let config =
         { Mde.Serve.Workload.requests; concurrency; zipf_s = zipf; seed }
       in
-      (config, Mde.Serve.Demo.cold_warm ~clock server ~catalog config)
+      ( config,
+        Mde.Serve.Demo.cold_warm ~clock
+          (Mde.Serve.Target.of_server server)
+          ~catalog config )
     in
     let config, (cold, warm, verdict) =
       if domains > 1 then
@@ -765,6 +793,49 @@ let shard_bench_cmd =
       const run $ shards $ rate $ requests $ catalog_size $ queue $ zipf $ domains
       $ rows $ seed_arg)
 
+(* --- session-bench --- *)
+
+let session_bench_cmd =
+  let run tick_reps domains rows impl seed =
+    if tick_reps < 1 || domains < 1 || rows < 1 then begin
+      prerr_endline
+        "mde session-bench: --tick-reps, --domains and --rows must be positive";
+      exit 2
+    end;
+    let result = Mde_session_bench.run ~domains ~rows ~impl ~tick_reps ~seed () in
+    Mde_session_bench.print result;
+    let path = Mde_session_bench.emit result in
+    Printf.printf "recorded in %s\n" path;
+    match Mde_session_bench.gate result with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline ("mde session-bench: " ^ msg);
+      exit 1
+  in
+  let tick_reps =
+    Arg.(
+      value & opt int 64
+      & info [ "tick-reps" ] ~docv:"N"
+          ~doc:"Replication budget each session tick may spend.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N" ~doc:"Domain-pool size behind the servers.")
+  in
+  let rows =
+    Arg.(
+      value & opt int 60
+      & info [ "rows" ] ~docv:"N" ~doc:"Driver rows in the demo stochastic table.")
+  in
+  Cmd.v
+    (Cmd.info "session-bench"
+       ~doc:
+         "progressive-refinement query sessions: GenIE-style explorer vs round-robin \
+          reps-to-target race, plus converged-session vs one-shot bit-identity \
+          (records BENCH_session.json)")
+    Term.(const run $ tick_reps $ domains $ rows $ impl_arg $ seed_arg)
+
 let () =
   let info =
     Cmd.info "mde" ~version:"1.0.0"
@@ -773,8 +844,8 @@ let () =
   let group =
     Cmd.group info
       [ traffic_cmd; epidemic_cmd; fire_cmd; schelling_cmd; market_cmd; mcdb_cmd;
-        housing_cmd; serve_bench_cmd; shard_bench_cmd; bundle_bench_cmd;
-        relational_bench_cmd; metrics_cmd ]
+        housing_cmd; serve_bench_cmd; shard_bench_cmd; session_bench_cmd;
+        bundle_bench_cmd; relational_bench_cmd; metrics_cmd ]
   in
   (* cmdliner's usage errors span several lines (message + usage + help
      pointer); compress to the first line so scripts see one diagnostic

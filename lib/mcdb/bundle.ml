@@ -9,7 +9,7 @@ type t = {
   presence : Bitset.t;
 }
 
-type impl = [ `Kernel | `Interpreter ]
+type impl = Impl.t
 
 let schema t = t.schema
 let n_reps t = t.n_reps

@@ -34,9 +34,10 @@ open Mde_relational
 
 type t
 
-type impl = [ `Kernel | `Interpreter ]
-(** [`Kernel] (the default) compiles what it can and falls back per
-    expression; [`Interpreter] forces interpreted evaluation. *)
+type impl = Impl.t
+(** The shared selector ({!Mde_relational.Impl.t}): [`Kernel] (the
+    default) compiles what it can and falls back per expression;
+    [`Interpreter] forces interpreted evaluation. *)
 
 val of_stochastic_table :
   ?pool:Mde_par.Pool.t -> Stochastic_table.t -> Mde_prob.Rng.t -> n_reps:int -> t

@@ -12,7 +12,7 @@ module Array1 = Bigarray.Array1
 
 type t = { tschema : Schema.t; n_rows : int; cols : Column.t array }
 
-type impl = [ `Kernel | `Interpreter ]
+type impl = Impl.t
 
 let schema t = t.tschema
 let row_count t = t.n_rows

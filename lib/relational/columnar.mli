@@ -22,7 +22,8 @@
 
 type t
 
-type impl = [ `Kernel | `Interpreter ]
+type impl = Impl.t
+(** = [[ `Kernel | `Interpreter ]]; the shared selector ({!Impl.t}). *)
 
 val of_table : Table.t -> t
 val to_table : t -> Table.t

@@ -1,0 +1,17 @@
+type t = [ `Kernel | `Interpreter ]
+
+let all : t list = [ `Kernel; `Interpreter ]
+let to_string = function `Kernel -> "kernel" | `Interpreter -> "interpreter"
+
+let of_string_opt s =
+  match String.lowercase_ascii s with
+  | "kernel" -> Some `Kernel
+  | "interpreter" -> Some `Interpreter
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some impl -> impl
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Impl.of_string: %S (expected \"kernel\" or \"interpreter\")" s)

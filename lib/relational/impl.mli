@@ -1,0 +1,27 @@
+(** The engine-implementation selector shared by every columnar
+    execution surface.
+
+    [`Kernel] runs compiled column kernels; [`Interpreter] forces the
+    row-at-a-time fallback. The two are bit-identical by contract — the
+    interpreter is the oracle the kernels are property-tested against —
+    so the selector only ever changes cost, never answers. It used to be
+    re-declared structurally at each site ({!Columnar}, {!Plan.execute},
+    [Mde_mcdb.Bundle], [Mde_simsql.Chain.Rules.plan_rule]); those sites
+    now alias this one type, and flag parsing shares {!of_string}
+    instead of per-subcommand string matching. *)
+
+type t = [ `Kernel | `Interpreter ]
+
+val all : t list
+(** [[`Kernel; `Interpreter]], in default-first order — the sweep order
+    benches and CLI doc strings use. *)
+
+val to_string : t -> string
+(** ["kernel"] / ["interpreter"] — stable labels used in bench JSON
+    fields and metric label values. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string} (case-insensitive). Raises
+    [Invalid_argument] naming the accepted spellings otherwise. *)
+
+val of_string_opt : string -> t option

@@ -22,7 +22,7 @@ let rec execute_rows catalog = function
   | Join (on, l, r) ->
     Algebra.equi_join ~on (execute_rows catalog l) (execute_rows catalog r)
 
-let execute ?pool ?(impl = (`Kernel : Columnar.impl)) catalog plan =
+let execute ?pool ?(impl = (`Kernel : Impl.t)) catalog plan =
   let rec go = function
     | Scan name -> Columnar.of_table (Catalog.find catalog name)
     | Select (pred, child) -> Columnar.select ?pool ~impl pred (go child)

@@ -24,12 +24,12 @@ val schema_of : Catalog.t -> t -> Schema.t
 (** Output schema of the plan. Raises [Not_found] for unknown tables or
     columns. *)
 
-val execute : ?pool:Mde_par.Pool.t -> ?impl:Columnar.impl -> Catalog.t -> t -> Table.t
+val execute : ?pool:Mde_par.Pool.t -> ?impl:Impl.t -> Catalog.t -> t -> Table.t
 (** Evaluate the plan bottom-up on the columnar substrate ({!Columnar}),
     bit-identical to {!execute_rows}: same rows, same order, same float
-    bits. [?impl] selects compiled kernels (default) or the interpreter
-    oracle, as the tuple-bundle engine does; [?pool] fans predicate
-    evaluation out row-chunked. *)
+    bits. [?impl] ({!Impl.t}) selects compiled kernels (default) or the
+    interpreter oracle, as the tuple-bundle engine does; [?pool] fans
+    predicate evaluation out row-chunked. *)
 
 val execute_rows : Catalog.t -> t -> Table.t
 (** Evaluate the plan row-at-a-time with the {!Algebra} operators — the

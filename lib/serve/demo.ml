@@ -78,9 +78,11 @@ let queue_composite =
     model2 = (fun rng y1 -> y1 +. Rng.float rng);
   }
 
-let server ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission ?(rows = 120)
-    () =
-  let t = Server.create ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission () in
+let server ?pool ?impl ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission
+    ?(rows = 120) () =
+  let t =
+    Server.create ?pool ?impl ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission ()
+  in
   let db = sbp_database rows in
   Server.register_mcdb t ~name:"sbp" ~query:mean_sbp db;
   Server.register_mcdb_plan t ~name:"sbp_bundle" ~table:"SBP_DATA" ~plan:sbp_plan db;
@@ -92,10 +94,10 @@ let server ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission ?(rows 
 (* The sharded twin of [server]: same models on every shard, plus the
    federated "sbp_any" name answered by whichever of the bundle / naive
    SBP backends is currently cheaper (identical bits either way). *)
-let front ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission ?high_water
-    ?(rows = 120) ~shards () =
+let front ?pool ?impl ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission
+    ?high_water ?(rows = 120) ~shards () =
   let t =
-    Shard.create ?pool ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission
+    Shard.create ?pool ?impl ?clock ?cache_capacity ?cache_ttl ?scheduler ?admission
       ?high_water ~shards ()
   in
   let db = sbp_database rows in
@@ -132,9 +134,9 @@ let responses_identical (a : Server.response) (b : Server.response) =
   a.Server.value = b.Server.value && a.Server.ci95 = b.Server.ci95
   && a.Server.reps_executed = b.Server.reps_executed
 
-let cold_warm ?clock server ~catalog config =
-  let cold, cold_responses = Workload.run ?clock server ~catalog config in
-  let warm, warm_responses = Workload.run ?clock server ~catalog config in
+let cold_warm ?clock target ~catalog config =
+  let cold, cold_responses = Workload.run ?clock target ~catalog config in
+  let warm, warm_responses = Workload.run ?clock target ~catalog config in
   let compared = ref 0 and mismatches = ref 0 in
   Array.iteri
     (fun i (cold_r : Server.response option) ->

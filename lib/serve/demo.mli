@@ -6,6 +6,7 @@
 
 val server :
   ?pool:Mde_par.Pool.t ->
+  ?impl:Mde_relational.Impl.t ->
   ?clock:(unit -> float) ->
   ?cache_capacity:int ->
   ?cache_ttl:float ->
@@ -23,6 +24,7 @@ val server :
 
 val front :
   ?pool:Mde_par.Pool.t ->
+  ?impl:Mde_relational.Impl.t ->
   ?clock:(unit -> float) ->
   ?cache_capacity:int ->
   ?cache_ttl:float ->
@@ -62,11 +64,11 @@ val catalog : ?deadline:float -> int -> Server.request array
 
 val cold_warm :
   ?clock:(unit -> float) ->
-  Server.t ->
+  Target.t ->
   catalog:Server.request array ->
   Workload.config ->
   Workload.report * Workload.report * [ `Identical of int | `Mismatch of int ]
-(** Run the identical workload twice against one server — first cold,
+(** Run the identical workload twice against one target — first cold,
     then with whatever the first pass cached — and compare the two
     passes' responses bit-for-bit over every request index served in
     both passes without deadline degradation. [`Identical n] means all

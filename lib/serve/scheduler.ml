@@ -83,6 +83,7 @@ let create ?pool ?(clock = Mde_obs.Clock.wall) ?obs config =
   }
 
 let pending t = t.pending
+let pool t = t.pool
 
 let submit t ~class_key ?deadline run =
   if t.closed then invalid_arg "Scheduler.submit: scheduler is shut down";

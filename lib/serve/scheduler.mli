@@ -70,6 +70,12 @@ val submit :
 
 val pending : 'a t -> int
 
+val pool : 'a t -> Mde_par.Pool.t option
+(** The pool batches fan out over, if any — the hook {!Server} uses to
+    run out-of-band work (progressive-refinement replication batches) on
+    the same domains as queued requests instead of threading a second
+    copy of the pool through the stack. *)
+
 val drain : 'a t -> 'a completion list
 (** Execute every queued item (batching as described above) and return
     completions in ticket order. Empty queue returns [].

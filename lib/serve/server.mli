@@ -65,6 +65,7 @@ type t
 
 val create :
   ?pool:Mde_par.Pool.t ->
+  ?impl:Mde_relational.Impl.t ->
   ?clock:(unit -> float) ->
   ?obs:Mde_obs.t ->
   ?cache_capacity:int ->
@@ -74,7 +75,10 @@ val create :
   unit ->
   t
 (** [admission] defaults to [Cost_aware { min_gain = 1.0 +. 1e-9;
-    warmup = 3 }]. [clock] (default {!Mde_obs.Clock.wall}) is shared by
+    warmup = 3 }]. [impl] selects the execution engine for bundle-plan
+    models ({!Mde_relational.Impl.t}, default [`Kernel]); the kernel and
+    interpreter are bit-identical, so it only changes cost.
+    [clock] (default {!Mde_obs.Clock.wall}) is shared by
     the cache, the scheduler and the latency accounting; the wall-clock
     default means reported latencies include queueing and sleeping, which
     the previous [Sys.time] (CPU seconds) default silently excluded.
@@ -120,6 +124,43 @@ val fingerprint : t -> request -> string
     seed. Distinct parameters give distinct fingerprints. Raises
     [Invalid_argument] on an unregistered model or a kind mismatched to
     the registered model. *)
+
+val units_of : kind -> int
+(** The request's total replication (or composite [n]) budget. *)
+
+val floor_units : kind -> int
+(** Smallest replication count the kind's estimator accepts — the
+    degradation floor, and the first point a progressive session can
+    emit an estimate at (2 for means and composites; ⌈1/min(p,1−p)⌉ for
+    tail quantiles). *)
+
+(** {2 Progressive-refinement hooks}
+
+    What {!Session} builds on: replication streams are positional
+    (stream [r] of a request depends only on the request seed and [r]),
+    so an estimate over replications 0..n−1 can be grown one incremental
+    batch at a time and still land, at convergence, on exactly the bits
+    the one-shot execution produces. *)
+
+val refinement_key : t -> request -> string
+(** Identifies the request's replication {e stream}: model fingerprint +
+    kind + seed + every parameter {e except} replication counts. Two
+    requests with the same key and different rep budgets are prefixes of
+    one another's sample sequences, so a session shares one growing
+    sample store between them. Raises [Invalid_argument] like
+    {!fingerprint}. *)
+
+val sample_batch : t -> request -> lo:int -> hi:int -> float array
+(** The per-replication query samples for stream indices [lo..hi-1] —
+    bit-identical to elements [lo..hi-1] of the sample array any
+    one-shot execution of the same model/kind/seed draws at a total
+    ≥ [hi]. Runs immediately on the caller (through the scheduler's pool
+    when it has one — pooled and sequential batches are bit-identical),
+    bypassing queue, cache and class accounting: sessions do their own
+    budget bookkeeping. Raises [Invalid_argument] on malformed requests,
+    [lo < 0], [hi <= lo], or a [Composite_estimate] request (two-stage
+    estimates consume their RNG sequentially and have no positional
+    streams; sessions refine those by re-serving at increasing [n]). *)
 
 val submit : t -> request -> [ `Queued of int | `Rejected ]
 (** Validate, probe the cache, and either complete immediately (cache

@@ -1,0 +1,141 @@
+(** Progressive-refinement query sessions: the "querying during a
+    simulation" workload (paper §2) as a long-lived engine over any
+    {!Target}.
+
+    A one-shot server answers a request once, at its full replication
+    budget. A session instead keeps queries {e open}: {!open_query}
+    returns a handle whose estimate re-emits with a tighter confidence
+    interval after every incremental replication batch; {!watch}
+    subscribes a callback that fires whenever new replications land for
+    its model; and {!tick} spends a fixed replication budget per round,
+    chosen by a planner — the GenIE-style budgeted {!Explore} planner
+    picks the (handle, reps) batch with the best expected CI shrinkage
+    per fresh replication, {!Round_robin} spreads the budget uniformly
+    (the baseline the [--session] bench compares against).
+
+    {b Sample reuse and the g(α) split.} Handles with the same
+    {!Target.refinement_key} (same model, kind parameters and seed —
+    any rep budget) share one growing sample store: a batch first
+    adopts the cached replications past the handle's cursor for free,
+    then draws the remainder fresh through {!Target.refine}. The
+    explorer prices this split with the two-stage result-cache theory
+    ({!Mde_composite.Result_cache}): each candidate batch's statistics
+    — unit fresh-rep cost, zero reuse cost, the store's observed result
+    variance, the batch's cached share as the repeat fraction — go
+    through {!Cache.class_statistics}, and the resulting
+    {!Mde_composite.Result_cache.efficiency_gain} stretches the
+    effective budget of reuse-rich candidates, steering spend toward
+    them exactly when g(α) says reuse pays.
+
+    {b Bit-identity contract.} Replication streams are positional
+    ({!Server.sample_batch}), so a handle driven to convergence holds
+    {e exactly} the samples a one-shot serve at its total rep count
+    draws — same estimate, same CI bits — pooled or not, whatever order
+    the planner interleaved its batches in, on a single server or a
+    sharded front, even across a {!retarget} to a resized front.
+    Composite ([Composite_estimate]) handles have no positional streams
+    (their RNG is consumed sequentially); the session refines them by
+    re-serving at increasing [n] through the target, so their final
+    level is one-shot-identical by construction. A composite
+    refinement's budget charge is its cursor advance; the re-serve
+    recomputes the whole prefix, so its {e wall time} grows with the
+    number of levels — keep composite refinement coarse. *)
+
+type planner =
+  | Explore  (** budgeted explorer: argmax expected CI shrinkage per
+                 effective fresh replication (default) *)
+  | Round_robin  (** uniform rotation over unconverged handles — the
+                     bench baseline *)
+
+type config = {
+  tick_reps : int;  (** replication budget each {!tick} may spend *)
+  min_batch : int;  (** allocation granularity (reps per batch) *)
+  min_gain : float;  (** g(α) gain below which reuse is priced as fresh *)
+}
+
+val default_config : config
+(** [{ tick_reps = 64; min_batch = 8; min_gain = 1.0 +. 1e-9 }] *)
+
+type update = {
+  id : int;  (** the handle the update belongs to *)
+  value : float;
+  ci95 : (float * float) option;  (** [None] for composite estimates *)
+  half_width : float;  (** of [ci95]; [nan] when [ci95 = None] *)
+  reps_done : int;  (** replications behind this estimate *)
+  reps_total : int;  (** the handle's convergence point *)
+  reps_reused : int;  (** cumulative reps adopted from cached pilots *)
+  converged : bool;  (** [reps_done = reps_total] *)
+}
+
+type t
+type handle
+
+val create :
+  ?planner:planner -> ?config:config -> ?obs:Mde_obs.t -> Target.t -> t
+(** A session over [target]. [obs] (default {!Mde_obs.default})
+    registers [mde_session_open_handles] and [mde_session_watchers]
+    gauges, [mde_session_ticks_total] and
+    [mde_session_reps_total{kind="fresh"|"reused"}] counters, and an
+    [mde_session_halfwidth] histogram observing every emitted CI half
+    width. *)
+
+val open_query : t -> Server.request -> handle
+(** Open a progressive query: the request's rep count becomes the
+    convergence point its estimate refines toward. Nothing executes
+    until {!tick}. Raises [Invalid_argument] on malformed requests,
+    exactly as {!Server.submit}. *)
+
+val watch : t -> Server.request -> (update -> unit) -> handle
+(** Subscribe to the request's replication stream: the callback fires
+    exactly once per {e new} batch of replications landing for its
+    {!Target.refinement_key} (reuse-only progress fires nothing), with
+    the estimate over every landed replication up to the request's rep
+    count. A watcher spends no budget of its own — it rides on batches
+    that progressive handles (or other sessions' writes to the same
+    store) pay for. *)
+
+val id : handle -> int
+(** The identifier {!update}s carry; unique within the session. *)
+
+val estimate : t -> handle -> update option
+(** The handle's current estimate: [None] until enough replications
+    landed ({!Server.floor_units}). Pure — does not execute. *)
+
+val cancel : t -> handle -> unit
+(** Close the handle: no further updates, no further budget. Its
+    samples stay in the session store for key-mates. Idempotent. *)
+
+val tick : t -> update list
+(** Spend up to [config.tick_reps] replications, in [min_batch]-sized
+    allocations chosen by the planner, and return the re-emitted
+    estimates (at most one per progressive handle that advanced, in
+    handle-id order). Watch callbacks fire during the tick. Spends less
+    than the budget only when remaining demand is smaller. *)
+
+val drive : ?max_ticks:int -> t -> update list
+(** Tick until every open progressive handle converges; returns their
+    final updates in handle-id order. These carry exactly the one-shot
+    bits (see the contract above). Raises [Failure] after [max_ticks]
+    (default 10_000) or when a tick makes no progress (e.g. the target
+    drops every composite re-serve, or only watchers are open). *)
+
+val retarget : t -> Target.t -> unit
+(** Re-point the session at another target — e.g. a resized shard
+    front with the same models registered. Open handles, stores and
+    cursors survive as-is; refinement keys must resolve identically on
+    the new target (same registrations ⇒ same fingerprints), which the
+    next {!tick} checks by raising whatever the new target raises on
+    unknown models. *)
+
+type stats = {
+  handles_open : int;  (** progressive handles neither cancelled nor converged *)
+  watchers : int;  (** live watch subscriptions *)
+  ticks : int;
+  fresh_reps : int;  (** replications drawn through {!Target.refine} or re-served *)
+  reused_reps : int;  (** replications adopted from cached pilots *)
+}
+
+val stats : t -> stats
+(** [fresh_reps + reused_reps] equals the summed per-tick allocations —
+    every allocated replication is accounted exactly once as fresh or
+    reused. *)

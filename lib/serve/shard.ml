@@ -45,7 +45,7 @@ type t = {
   metrics : metrics;
 }
 
-let create ?pool ?(clock = Mde_obs.Clock.wall) ?obs ?cache_capacity ?cache_ttl
+let create ?pool ?impl ?(clock = Mde_obs.Clock.wall) ?obs ?cache_capacity ?cache_ttl
     ?(scheduler = Scheduler.default_config) ?admission ?high_water ~shards () =
   let router = Router.create ~shards in
   let high_water =
@@ -55,7 +55,8 @@ let create ?pool ?(clock = Mde_obs.Clock.wall) ?obs ?cache_capacity ?cache_ttl
   let obs = match obs with Some o -> o | None -> Mde_obs.default () in
   let servers =
     Array.init shards (fun _ ->
-        Server.create ?pool ~clock ~obs ?cache_capacity ?cache_ttl ~scheduler ?admission ())
+        Server.create ?pool ?impl ~clock ~obs ?cache_capacity ?cache_ttl ~scheduler
+          ?admission ())
   in
   let shard_label i = [ ("shard", string_of_int i) ] in
   {
@@ -270,6 +271,22 @@ let serve t request =
     match List.assoc_opt id (drain t) with
     | Some resp -> `Served resp
     | None -> assert false)
+
+(* --- progressive-refinement hooks --- *)
+
+(* Like routing, refinement keys come from the statically-preferred
+   primary of a federated name, so a session's sample store never moves
+   when the cost-based catalog changes backends; executions may use any
+   backend because federated backends are bit-identical by contract. *)
+let refinement_key t (request : Server.request) =
+  match Hashtbl.find_opt t.federated request.Server.model with
+  | None -> Server.refinement_key t.servers.(0) request
+  | Some fed ->
+    Server.refinement_key t.servers.(0) { request with Server.model = fed.primary }
+
+let sample_batch t request ~lo ~hi =
+  let resolved, _ = resolve t request in
+  Server.sample_batch t.servers.(shard_of t request) resolved ~lo ~hi
 
 type stats = {
   routed : int array;

@@ -53,6 +53,7 @@ type shed = {
 
 val create :
   ?pool:Mde_par.Pool.t ->
+  ?impl:Mde_relational.Impl.t ->
   ?clock:(unit -> float) ->
   ?obs:Mde_obs.t ->
   ?cache_capacity:int ->
@@ -63,7 +64,8 @@ val create :
   shards:int ->
   unit ->
   t
-(** A front of [shards] independent {!Server}s sharing [pool] (each
+(** A front of [shards] independent {!Server}s sharing [pool] and
+    [impl] (each
     scheduler fans its batches over the same pool — a slice in time
     rather than a partition of domains) and [obs]. [cache_capacity],
     [cache_ttl], [scheduler] and [admission] configure {e each} shard,
@@ -146,6 +148,21 @@ val shutdown : t -> (int * Server.response) list
 (** {!Server.shutdown} on every shard: deliver everything already
     executed (banked completions, pending cache hits) without running
     queued work, which is dropped and counted as abandoned. *)
+
+(** {2 Progressive-refinement hooks} — the front-side twins of
+    {!Server.refinement_key} and {!Server.sample_batch}. *)
+
+val refinement_key : t -> Server.request -> string
+(** Like routing fingerprints, the key of a federated name comes from
+    its statically-preferred primary, so a session's sample store never
+    moves when the cost-based catalog changes backends. *)
+
+val sample_batch : t -> Server.request -> lo:int -> hi:int -> float array
+(** Resolve the backend and run {!Server.sample_batch} on the routed
+    shard. Bit-identical across backends and shard counts: federated
+    backends agree bit-for-bit by contract, and streams depend only on
+    the request seed — which is what lets an open session survive a
+    front resize ({!Session.retarget}). *)
 
 type stats = {
   routed : int array;  (** accepted submissions per shard *)

@@ -1,0 +1,57 @@
+type stats = { served : int; dropped : int; degraded : int }
+
+type t = {
+  submit : Server.request -> [ `Queued of int | `Dropped ];
+  drain : unit -> (int * Server.response) list;
+  stats : unit -> stats;
+  refine : Server.request -> lo:int -> hi:int -> float array;
+  refinement_key : Server.request -> string;
+}
+
+let of_server server =
+  {
+    submit =
+      (fun r ->
+        match Server.submit server r with `Queued id -> `Queued id | `Rejected -> `Dropped);
+    drain = (fun () -> Server.drain server);
+    stats =
+      (fun () ->
+        let s = Server.stats server in
+        { served = s.Server.served; dropped = s.Server.rejected; degraded = s.Server.degraded });
+    refine = (fun r ~lo ~hi -> Server.sample_batch server r ~lo ~hi);
+    refinement_key = (fun r -> Server.refinement_key server r);
+  }
+
+let of_shard front =
+  {
+    submit =
+      (fun r ->
+        match Shard.submit front r with `Queued id -> `Queued id | `Shed _ -> `Dropped);
+    drain = (fun () -> Shard.drain front);
+    stats =
+      (fun () ->
+        let s = Shard.stats front in
+        {
+          served =
+            Array.fold_left (fun acc sv -> acc + sv.Server.served) 0 s.Shard.servers;
+          dropped = Array.fold_left ( + ) 0 s.Shard.shed;
+          degraded =
+            Array.fold_left (fun acc sv -> acc + sv.Server.degraded) 0 s.Shard.servers;
+        });
+    refine = (fun r ~lo ~hi -> Shard.sample_batch front r ~lo ~hi);
+    refinement_key = (fun r -> Shard.refinement_key front r);
+  }
+
+let submit t request = t.submit request
+let drain t = t.drain ()
+let stats t = t.stats ()
+let refine t request ~lo ~hi = t.refine request ~lo ~hi
+let refinement_key t request = t.refinement_key request
+
+let serve t request =
+  match t.submit request with
+  | `Dropped -> `Dropped
+  | `Queued id -> (
+    match List.assoc_opt id (t.drain ()) with
+    | Some resp -> `Served resp
+    | None -> assert false (* both backends deliver every queued id on drain *))

@@ -40,10 +40,11 @@ let zipf_sample rng cdf =
   done;
   !lo
 
-(* Nearest-rank percentile of a pre-sorted sample. *)
+(* Nearest-rank percentile of a pre-sorted sample. The empty check is a
+   real branch, not an assert: it must survive `--profile noassert`. *)
 let percentile_sorted sorted q =
   match Array.length sorted with
-  | 0 -> nan
+  | 0 -> invalid_arg "Workload.percentile: empty sample array"
   | n ->
     let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
     sorted.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
@@ -54,32 +55,23 @@ let percentile xs q =
   percentile_sorted sorted q
 
 let percentiles xs qs =
+  if Array.length xs = 0 then invalid_arg "Workload.percentiles: empty sample array";
   let sorted = Array.copy xs in
   Array.sort Float.compare sorted;
   Array.map (percentile_sorted sorted) qs
 
+(* The reports document nan percentiles when nothing was served; only
+   explicit [percentile]/[percentiles] calls reject empty samples. *)
+let report_percentiles latencies =
+  if Array.length latencies = 0 then [| nan; nan; nan |]
+  else percentiles latencies [| 0.50; 0.95; 0.99 |]
+
 (* --- open loop --- *)
 
-type target = {
-  t_submit : Server.request -> [ `Queued of int | `Dropped ];
-  t_drain : unit -> (int * Server.response) list;
-}
+type target = Target.t
 
-let server_target server =
-  {
-    t_submit =
-      (fun r ->
-        match Server.submit server r with `Queued id -> `Queued id | `Rejected -> `Dropped);
-    t_drain = (fun () -> Server.drain server);
-  }
-
-let shard_target front =
-  {
-    t_submit =
-      (fun r ->
-        match Shard.submit front r with `Queued id -> `Queued id | `Shed _ -> `Dropped);
-    t_drain = (fun () -> Shard.drain front);
-  }
+let server_target = Target.of_server
+let shard_target = Target.of_shard
 
 type open_config = { arrivals : int; rate : float; zipf_s : float; seed : int }
 
@@ -129,7 +121,7 @@ let run_open ?(clock = Mde_obs.Clock.wall) target ~catalog (config : open_config
     while !next < config.arrivals && fst schedule.(!next) <= now do
       let index = !next in
       incr next;
-      match target.t_submit catalog.(snd schedule.(index)) with
+      match Target.submit target catalog.(snd schedule.(index)) with
       | `Queued id ->
         Hashtbl.replace ids id index;
         incr outstanding
@@ -140,7 +132,7 @@ let run_open ?(clock = Mde_obs.Clock.wall) target ~catalog (config : open_config
         (fun (id, resp) ->
           responses.(Hashtbl.find ids id) <- Some resp;
           decr outstanding)
-        (target.t_drain ())
+        (Target.drain target)
     (* else: spin on the clock until the next arrival is due. *)
   done;
   let elapsed = clock () -. t0 in
@@ -156,7 +148,7 @@ let run_open ?(clock = Mde_obs.Clock.wall) target ~catalog (config : open_config
       (fun acc -> function Some r when pred r -> acc + 1 | _ -> acc)
       0 responses
   in
-  let ps = percentiles latencies [| 0.50; 0.95; 0.99 |] in
+  let ps = report_percentiles latencies in
   ( {
       offered = config.arrivals;
       offered_rate = config.rate;
@@ -178,7 +170,7 @@ let run_open ?(clock = Mde_obs.Clock.wall) target ~catalog (config : open_config
     },
     responses )
 
-let run ?(clock = Mde_obs.Clock.wall) server ~catalog config =
+let run ?(clock = Mde_obs.Clock.wall) target ~catalog config =
   if Array.length catalog = 0 then invalid_arg "Workload.run: empty catalog";
   if config.requests < 1 then invalid_arg "Workload.run: requests must be >= 1";
   if config.concurrency < 1 then invalid_arg "Workload.run: concurrency must be >= 1";
@@ -197,13 +189,13 @@ let run ?(clock = Mde_obs.Clock.wall) server ~catalog config =
       let index = !issued in
       incr issued;
       let request = catalog.(zipf_sample rng cdf) in
-      match Server.submit server request with
+      match Target.submit target request with
       | `Queued id -> Hashtbl.replace ids id index
-      | `Rejected -> incr rejected
+      | `Dropped -> incr rejected
     done;
     List.iter
       (fun (id, resp) -> responses.(Hashtbl.find ids id) <- Some resp)
-      (Server.drain server)
+      (Target.drain target)
   done;
   let elapsed = clock () -. t0 in
   let latencies =
@@ -221,7 +213,7 @@ let run ?(clock = Mde_obs.Clock.wall) server ~catalog config =
   let hits = count (fun r -> r.Server.cache = Server.Hit) in
   let degraded = count (fun r -> r.Server.degraded) in
   (* One sort serves all three report percentiles. *)
-  let ps = percentiles latencies [| 0.50; 0.95; 0.99 |] in
+  let ps = report_percentiles latencies in
   {
     issued = !issued;
     served;

@@ -41,12 +41,18 @@ val zipf_sample : Mde_prob.Rng.t -> float array -> int
 (** Inverse-CDF sample of a rank. *)
 
 val percentile : float array -> float -> float
-(** Nearest-rank percentile of an unsorted sample; [nan] when empty. *)
+(** Nearest-rank percentile of an unsorted sample. Raises
+    [Invalid_argument] on an empty sample array — a real branch, not an
+    assert, so it holds under [--profile noassert] too (an empty sample
+    has no ranks; the old behaviour silently returned [nan]). *)
 
 val percentiles : float array -> float array -> float array
 (** Several nearest-rank percentiles off a single sort; element [i]
     equals [percentile xs qs.(i)] exactly (the report's p50/p95/p99 are
-    computed this way rather than with three sorts). *)
+    computed this way rather than with three sorts). Raises
+    [Invalid_argument] on an empty sample array, like {!percentile};
+    the reports below keep their documented [nan] percentiles when
+    nothing was served by not consulting it. *)
 
 (** {2 Open loop}
 
@@ -60,17 +66,18 @@ val percentiles : float array -> float array -> float array
     bounded queues and the target sheds — which is the regime the
     latency-under-load curves in [bench/BENCH_serve.json] record. *)
 
-type target = {
-  t_submit : Server.request -> [ `Queued of int | `Dropped ];
-  t_drain : unit -> (int * Server.response) list;
-}
-(** What the open loop drives: anything that can accept-or-drop a
-    request and later deliver responses. [`Dropped] unifies
-    {!Server}'s backpressure [`Rejected] and {!Shard}'s typed
-    [`Shed] — the driver counts them as shed either way. *)
+type target = Target.t
+(** What both loops drive: anything that can accept-or-drop a request
+    and later deliver responses ({!Target}). [`Dropped] unifies
+    {!Server}'s backpressure [`Rejected] and {!Shard}'s typed [`Shed] —
+    the driver counts them as shed either way. (The ad-hoc closure
+    record this type used to be is now the first-class {!Target.t}.) *)
 
 val server_target : Server.t -> target
+  [@@ocaml.deprecated "use Target.of_server"]
+
 val shard_target : Shard.t -> target
+  [@@ocaml.deprecated "use Target.of_shard"]
 
 type open_config = {
   arrivals : int;  (** total arrivals to generate *)
@@ -97,7 +104,7 @@ type open_report = {
 
 val run_open :
   ?clock:(unit -> float) ->
-  target ->
+  Target.t ->
   catalog:Server.request array ->
   open_config ->
   open_report * Server.response option array
@@ -116,12 +123,13 @@ val run_open :
 
 val run :
   ?clock:(unit -> float) ->
-  Server.t ->
+  Target.t ->
   catalog:Server.request array ->
   config ->
   report * Server.response option array
-(** Drive the server; element [i] of the returned array is the response
-    to the i-th issued request ([None] if it was rejected). [clock]
+(** Drive the target (closed loop); element [i] of the returned array is
+    the response to the i-th issued request ([None] if it was rejected
+    or shed). [clock]
     (default {!Mde_obs.Clock.wall} — elapsed wall time, so throughput is
     real requests-per-second rather than the per-CPU-second figure the
     old [Sys.time] default produced) times throughput only; latencies

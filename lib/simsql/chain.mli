@@ -74,7 +74,7 @@ module Rules : sig
 
   val plan_rule :
     ?pool:Mde_par.Pool.t ->
-    ?impl:Mde_relational.Columnar.impl ->
+    ?impl:Mde_relational.Impl.t ->
     target:string ->
     Mde_relational.Plan.t ->
     rule

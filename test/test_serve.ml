@@ -9,6 +9,7 @@ module Cache = Mde_serve.Cache
 module Scheduler = Mde_serve.Scheduler
 module Server = Mde_serve.Server
 module Workload = Mde_serve.Workload
+module Target = Mde_serve.Target
 module Demo = Mde_serve.Demo
 module Pool = Mde_par.Pool
 module Rng = Mde_prob.Rng
@@ -451,8 +452,14 @@ let test_workload_percentiles () =
         true
         (Int64.equal (Int64.bits_of_float expect) (Int64.bits_of_float ps.(i))))
     qs;
-  Alcotest.(check bool) "empty sample is nan" true
-    (Float.is_nan (Workload.percentile [||] 0.5))
+  (* The empty-sample rejection is a real branch, not an assert, so it
+     must hold under --profile noassert too. *)
+  (match Workload.percentile [||] 0.5 with
+  | _ -> Alcotest.fail "percentile on empty: expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match Workload.percentiles [||] qs with
+  | _ -> Alcotest.fail "percentiles on empty: expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
 
 (* "sbp_bundle" pushes the same query through the columnar bundle
    engine ([Database.plan_samples] with an Avg plan) that "sbp" answers
@@ -493,7 +500,7 @@ let test_demo_cold_warm () =
   let server = Demo.server ~rows:30 () in
   let catalog = Demo.catalog 8 in
   let config = { Workload.requests = 48; concurrency = 4; zipf_s = 1.0; seed = 3 } in
-  let cold, warm, verdict = Demo.cold_warm server ~catalog config in
+  let cold, warm, verdict = Demo.cold_warm (Target.of_server server) ~catalog config in
   (match verdict with
   | `Identical n -> Alcotest.(check bool) "some requests compared" true (n > 0)
   | `Mismatch n -> Alcotest.failf "%d warm responses diverged from cold" n);

@@ -1,0 +1,292 @@
+(* Progressive-refinement sessions: the bit-identity contract (a
+   converged handle holds exactly the one-shot bits, pooled or not,
+   whatever order the planner interleaved batches in), watch callbacks
+   firing exactly once per landed batch, exact budget accounting
+   (fresh + reused = summed per-tick allocations, each tick capped by
+   its configured budget), cached-pilot reuse between key-mates, and
+   handles surviving a retarget to a resized shard front. *)
+
+module Serve = Mde_serve
+module Server = Mde_serve.Server
+module Session = Mde_serve.Session
+module Target = Mde_serve.Target
+module Demo = Mde_serve.Demo
+module Pool = Mde_par.Pool
+
+let bits = Int64.bits_of_float
+
+let same_float a b = Int64.equal (bits a) (bits b)
+
+let same_ci a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (alo, ahi), Some (blo, bhi) -> same_float alo blo && same_float ahi bhi
+  | _ -> false
+
+(* One request per query kind, including the columnar bundle path. *)
+let kind_requests ~seed =
+  [
+    { Server.model = "sbp"; kind = Server.Mcdb_mean { reps = 48 }; seed; deadline = None };
+    {
+      Server.model = "sbp_bundle";
+      kind = Server.Mcdb_tail { reps = 64; p = 0.9 };
+      seed = seed + 1;
+      deadline = None;
+    };
+    {
+      Server.model = "walk";
+      kind = Server.Chain_mean { steps = 8; reps = 24 };
+      seed = seed + 2;
+      deadline = None;
+    };
+    {
+      Server.model = "queue";
+      kind = Server.Composite_estimate { n = 64; alpha = 0.25 };
+      seed = seed + 3;
+      deadline = None;
+    };
+  ]
+
+let check_session_matches_oneshot ?pool ~planner () =
+  let session_server = Demo.server ?pool ~rows:30 () in
+  let session = Session.create ~planner (Target.of_server session_server) in
+  let requests = kind_requests ~seed:7 in
+  let handles = List.map (Session.open_query session) requests in
+  let finals = Session.drive session in
+  Alcotest.(check int) "one final update per handle" (List.length handles)
+    (List.length finals);
+  (* One-shot serves on a fresh server: nothing the session did can
+     have warmed it, so the comparison is against a cold computation. *)
+  let oneshot = Demo.server ?pool ~rows:30 () in
+  List.iter2
+    (fun request h ->
+      let u =
+        match List.find_opt (fun u -> u.Session.id = Session.id h) finals with
+        | Some u -> u
+        | None -> Alcotest.fail "missing final update"
+      in
+      Alcotest.(check bool) "converged" true u.Session.converged;
+      match Server.serve oneshot request with
+      | `Rejected -> Alcotest.fail "one-shot serve rejected"
+      | `Served resp ->
+        Alcotest.(check bool) "value bits" true
+          (same_float u.Session.value resp.Server.value);
+        Alcotest.(check bool) "ci95 bits" true (same_ci u.Session.ci95 resp.Server.ci95);
+        Alcotest.(check int) "reps" resp.Server.reps_executed u.Session.reps_done)
+    requests handles
+
+let test_bit_identity_sequential () =
+  check_session_matches_oneshot ~planner:Session.Explore ();
+  check_session_matches_oneshot ~planner:Session.Round_robin ()
+
+let test_bit_identity_pooled () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      check_session_matches_oneshot ~pool ~planner:Session.Explore ())
+
+(* Key-mates (same model, kind parameters and seed — different rep
+   budgets) share one store: the second handle adopts the first one's
+   replications instead of re-drawing them, and both still hold their
+   one-shot bits. *)
+let test_key_mate_reuse () =
+  let server = Demo.server ~rows:30 () in
+  let session = Session.create (Target.of_server server) in
+  let big =
+    Session.open_query session
+      { Server.model = "sbp"; kind = Server.Mcdb_mean { reps = 48 }; seed = 3; deadline = None }
+  in
+  let small =
+    Session.open_query session
+      { Server.model = "sbp"; kind = Server.Mcdb_mean { reps = 16 }; seed = 3; deadline = None }
+  in
+  ignore (Session.drive session);
+  let stats = Session.stats session in
+  Alcotest.(check int) "no replication drawn twice" 48 stats.Session.fresh_reps;
+  Alcotest.(check int) "small handle adopted its prefix" 16 stats.Session.reused_reps;
+  let value_of h =
+    match Session.estimate session h with
+    | Some u -> u.Session.value
+    | None -> Alcotest.fail "converged handle has no estimate"
+  in
+  let oneshot = Demo.server ~rows:30 () in
+  let serve reps =
+    match
+      Server.serve oneshot
+        { Server.model = "sbp"; kind = Server.Mcdb_mean { reps }; seed = 3; deadline = None }
+    with
+    | `Served resp -> resp.Server.value
+    | `Rejected -> Alcotest.fail "one-shot serve rejected"
+  in
+  Alcotest.(check bool) "big matches one-shot at 48" true
+    (same_float (value_of big) (serve 48));
+  Alcotest.(check bool) "small matches one-shot at 16" true
+    (same_float (value_of small) (serve 16))
+
+(* A watcher fires exactly once per fresh batch landing on its key —
+   counted against the batches the paying handle's refinement actually
+   executed — and never again after the stream stops growing. *)
+let test_watch_fires_once_per_batch () =
+  let server = Demo.server ~rows:30 () in
+  let config = { Session.default_config with Session.tick_reps = 16; min_batch = 8 } in
+  let session = Session.create ~config (Target.of_server server) in
+  let request =
+    { Server.model = "sbp"; kind = Server.Mcdb_mean { reps = 32 }; seed = 9; deadline = None }
+  in
+  let fired = ref [] in
+  let _w = Session.watch session request (fun u -> fired := u :: !fired) in
+  Alcotest.(check int) "nothing fires before batches land" 0 (List.length !fired);
+  let _h = Session.open_query session request in
+  ignore (Session.drive session);
+  (* 32 reps in 8-rep batches: four batches, four firings, each at a
+     strictly larger landed count. *)
+  let firings = List.rev !fired in
+  Alcotest.(check int) "one firing per batch" 4 (List.length firings);
+  Alcotest.(check (list int)) "monotone landed counts" [ 8; 16; 24; 32 ]
+    (List.map (fun u -> u.Session.reps_done) firings);
+  (* Reuse-only progress fires nothing: a key-mate handle converging
+     purely off the store must not re-trigger the watcher. *)
+  let mate =
+    Session.open_query session
+      { request with Server.kind = Server.Mcdb_mean { reps = 16 } }
+  in
+  ignore (Session.drive session);
+  Alcotest.(check int) "reuse-only progress is silent" 4 (List.length !fired);
+  match Session.estimate session mate with
+  | Some u -> Alcotest.(check bool) "mate converged off the store" true u.Session.converged
+  | None -> Alcotest.fail "mate has no estimate"
+
+(* Every tick spends at most its configured budget, exactly the
+   configured budget while demand remains, and the session totals equal
+   the summed per-tick allocations. *)
+let test_budget_accounting () =
+  let server = Demo.server ~rows:30 () in
+  let config = { Session.default_config with Session.tick_reps = 24; min_batch = 8 } in
+  let session = Session.create ~config (Target.of_server server) in
+  List.iter
+    (fun r -> ignore (Session.open_query session r))
+    (kind_requests ~seed:21);
+  let demand =
+    List.fold_left
+      (fun acc r -> acc + Server.units_of r.Server.kind)
+      0 (kind_requests ~seed:21)
+  in
+  let spent tick_stats =
+    tick_stats.Session.fresh_reps + tick_stats.Session.reused_reps
+  in
+  let total = ref 0 and ticks = ref 0 in
+  while (Session.stats session).Session.handles_open > 0 && !ticks < 100 do
+    let before = spent (Session.stats session) in
+    ignore (Session.tick session);
+    let after = spent (Session.stats session) in
+    let allocated = after - before in
+    incr ticks;
+    total := !total + allocated;
+    let remaining = demand - after in
+    if remaining > 0 then
+      Alcotest.(check int) "full budget spent while demand remains" 24 allocated
+    else
+      Alcotest.(check bool) "never over budget" true (allocated <= 24)
+  done;
+  let stats = Session.stats session in
+  Alcotest.(check int) "ticks counted" !ticks stats.Session.ticks;
+  Alcotest.(check int) "fresh + reused = summed allocations" !total
+    (spent stats);
+  Alcotest.(check int) "every unit of demand allocated" demand (spent stats)
+
+(* Open handles survive a retarget to a resized shard front: positional
+   streams make the refinement target-independent, so the converged
+   estimates still carry the one-shot bits. *)
+let test_handles_survive_shard_resize () =
+  let front2 = Demo.front ~rows:30 ~shards:2 () in
+  let config = { Session.default_config with Session.tick_reps = 16 } in
+  let session = Session.create ~config (Target.of_shard front2) in
+  let requests = kind_requests ~seed:31 in
+  let handles = List.map (Session.open_query session) requests in
+  (* Partial progress on the 2-shard front... *)
+  ignore (Session.tick session);
+  ignore (Session.tick session);
+  let mid = Session.stats session in
+  Alcotest.(check bool) "made progress before the resize" true
+    (mid.Session.fresh_reps > 0);
+  (* ...then the front is resized and the session re-pointed. *)
+  let front5 = Demo.front ~rows:30 ~shards:5 () in
+  Session.retarget session (Target.of_shard front5);
+  let finals = Session.drive session in
+  Alcotest.(check int) "every handle converged across the resize"
+    (List.length handles) (List.length finals);
+  let oneshot = Demo.server ~rows:30 () in
+  List.iter2
+    (fun request h ->
+      let u =
+        match List.find_opt (fun u -> u.Session.id = Session.id h) finals with
+        | Some u -> u
+        | None -> Alcotest.fail "missing final update"
+      in
+      match Server.serve oneshot request with
+      | `Rejected -> Alcotest.fail "one-shot serve rejected"
+      | `Served resp ->
+        Alcotest.(check bool) "value bits across resize" true
+          (same_float u.Session.value resp.Server.value);
+        Alcotest.(check bool) "ci95 bits across resize" true
+          (same_ci u.Session.ci95 resp.Server.ci95))
+    requests handles;
+  ignore (Serve.Shard.shutdown front2);
+  ignore (Serve.Shard.shutdown front5)
+
+(* Cancelled handles stop consuming budget; their samples stay for
+   key-mates. *)
+let test_cancel () =
+  let server = Demo.server ~rows:30 () in
+  let config = { Session.default_config with Session.tick_reps = 8 } in
+  let session = Session.create ~config (Target.of_server server) in
+  let request =
+    { Server.model = "sbp"; kind = Server.Mcdb_mean { reps = 64 }; seed = 5; deadline = None }
+  in
+  let h = Session.open_query session request in
+  ignore (Session.tick session);
+  Session.cancel session h;
+  let before = Session.stats session in
+  let updates = Session.tick session in
+  let after = Session.stats session in
+  Alcotest.(check int) "no updates after cancel" 0 (List.length updates);
+  Alcotest.(check int) "no budget spent after cancel"
+    (before.Session.fresh_reps + before.Session.reused_reps)
+    (after.Session.fresh_reps + after.Session.reused_reps);
+  (* The 8 landed replications are still adoptable by a key-mate. *)
+  let mate =
+    Session.open_query session { request with Server.kind = Server.Mcdb_mean { reps = 8 } }
+  in
+  ignore (Session.drive session);
+  Alcotest.(check int) "cancelled handle's samples reused" 8
+    (Session.stats session).Session.reused_reps;
+  match Session.estimate session mate with
+  | Some u -> Alcotest.(check bool) "mate converged" true u.Session.converged
+  | None -> Alcotest.fail "mate has no estimate"
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "bit-identity",
+        [
+          Alcotest.test_case "converged == one-shot (both planners)" `Quick
+            test_bit_identity_sequential;
+          Alcotest.test_case "converged == one-shot (pooled)" `Quick
+            test_bit_identity_pooled;
+          Alcotest.test_case "key-mates share one store" `Quick test_key_mate_reuse;
+        ] );
+      ( "watch",
+        [
+          Alcotest.test_case "fires once per landed batch" `Quick
+            test_watch_fires_once_per_batch;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "allocations sum to configured budget" `Quick
+            test_budget_accounting;
+          Alcotest.test_case "cancel stops spend, keeps samples" `Quick test_cancel;
+        ] );
+      ( "retarget",
+        [
+          Alcotest.test_case "handles survive shard resize" `Quick
+            test_handles_survive_shard_resize;
+        ] );
+    ]

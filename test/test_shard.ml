@@ -12,6 +12,7 @@ module Shard = Mde_serve.Shard
 module Scheduler = Mde_serve.Scheduler
 module Server = Mde_serve.Server
 module Workload = Mde_serve.Workload
+module Target = Mde_serve.Target
 module Demo = Mde_serve.Demo
 module Rng = Mde_prob.Rng
 
@@ -245,7 +246,7 @@ let ticking step =
 let test_open_loop_accounting_and_determinism () =
   let run () =
     let front = Demo.front ~clock:(ticking 1e-4) ~rows:20 ~shards:2 () in
-    Workload.run_open ~clock:(ticking 1e-4) (Workload.shard_target front)
+    Workload.run_open ~clock:(ticking 1e-4) (Target.of_shard front)
       ~catalog:(Demo.catalog 8)
       { Workload.arrivals = 30; rate = 50.; zipf_s = 1.1; seed = 13 }
   in
@@ -277,7 +278,7 @@ let test_open_loop_accounting_and_determinism () =
 
 let test_open_loop_validation () =
   let front = Demo.front ~rows:20 ~shards:1 () in
-  let target = Workload.shard_target front in
+  let target = Target.of_shard front in
   let catalog = Demo.catalog 4 in
   let raises name f =
     match f () with
