@@ -22,8 +22,9 @@ let list_experiments () =
     "Zipf workload against the serving layer (optional domain count)";
   Format.printf "  %-8s %s@." "--bundle [rows reps]"
     "naive vs interpreted vs columnar tuple-bundle execution";
-  Format.printf "  %-8s %s@." "--relational [rows]"
-    "row algebra vs interpreted vs compiled columnar relational pipeline";
+  Format.printf "  %-8s %s@." "--relational [rows [domains]]"
+    "row algebra vs interpreted vs compiled columnar relational pipeline, plus \
+     packed-vs-boxed keyed operators (pooled when domains > 1)";
   Format.printf "  %-8s %s@." "--shard [N]"
     "sharded serving front: bit-identity vs single shard + open-loop overload sweep";
   Format.printf "  %-8s %s@." "--session [N]"
@@ -70,6 +71,13 @@ let () =
     | Some rows when rows >= 1 -> Relational_run.run ~rows ()
     | _ ->
       Format.eprintf "--relational expects a positive integer row count, got %S@." rows;
+      exit 1)
+  | [ "--relational"; rows; domains ] -> (
+    match (int_of_string_opt rows, int_of_string_opt domains) with
+    | Some rows, Some domains when rows >= 1 && domains >= 1 ->
+      Relational_run.run ~domains ~rows ()
+    | _ ->
+      Format.eprintf "--relational expects positive integers ROWS [DOMAINS]@.";
       exit 1)
   | [ "--shard" ] -> Shard_run.run ()
   | [ "--shard"; n ] -> (

@@ -57,3 +57,42 @@ val print : result -> unit
 val emit : ?file:string -> ?domains:int -> seed:int -> result -> string
 (** Append one entry to [BENCH_relational.json] (via {!Mde_bench_emit});
     returns the path written. *)
+
+(** {2 Packed key codes}
+
+    The keyed-operator benchmark: group_by / equi_join / distinct /
+    order_by over a star-shaped table (dictionary-coded string dimension
+    key + small int bucket), each run through the packed {!Keycode} path
+    (the default), the boxed [Value.Tbl] path ([~packed:false]) and —
+    with [domains] > 1, for the operators that take a pool — the pooled
+    packed path. All paths must produce bit-identical tables. *)
+
+type keyed_op = {
+  packed_t : timing;
+  boxed_t : timing;
+  pooled_t : timing option;  (** [None] when [domains] = 1 or unpooled *)
+}
+
+type keyed_result = {
+  krows : int;
+  group_op : keyed_op;
+  join_op : keyed_op;
+  distinct_op : keyed_op;
+  order_op : keyed_op;
+  kidentical : bool;  (** packed == boxed == pooled, bit for bit *)
+}
+
+val run_keyed : ?domains:int -> rows:int -> seed:int -> unit -> keyed_result
+
+val op_speedup : keyed_op -> float
+(** Packed throughput over boxed throughput for one operator — the
+    harness gates group and join at 2x. *)
+
+val op_alloc_reduction : keyed_op -> float
+(** Boxed allocated bytes over packed allocated bytes. *)
+
+val print_keyed : keyed_result -> unit
+
+val emit_keyed : ?file:string -> ?domains:int -> seed:int -> keyed_result -> string
+(** Append one "relational-keycode" entry to [BENCH_relational.json];
+    returns the path written. *)

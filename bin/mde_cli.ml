@@ -547,6 +547,14 @@ let relational_bench_cmd =
     if not result.Mde_relational_bench.identical then begin
       prerr_endline "mde relational-bench: engines disagree";
       exit 1
+    end;
+    let keyed = Mde_relational_bench.run_keyed ~domains ~rows ~seed () in
+    Mde_relational_bench.print_keyed keyed;
+    let path = Mde_relational_bench.emit_keyed ~domains ~seed keyed in
+    Printf.printf "recorded in %s\n" path;
+    if not keyed.Mde_relational_bench.kidentical then begin
+      prerr_endline "mde relational-bench: packed and boxed keyed operators disagree";
+      exit 1
     end
   in
   let rows =

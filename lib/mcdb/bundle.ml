@@ -54,16 +54,10 @@ let count_fallbacks n =
         n
   end
 
-(* Row-chunked side-effecting sweep; [Pool.init] chunks contiguously,
+(* Row-chunked side-effecting sweep; [Pool.iter] chunks contiguously,
    and every per-row write (presence bytes, column slots) is disjoint
    across rows, so the parallel sweep is bit-identical to sequential. *)
-let iter_rows ?pool n f =
-  match pool with
-  | None ->
-    for i = 0 to n - 1 do
-      f i
-    done
-  | Some _ -> ignore (Mde_par.Pool.init ?pool ~site:"bundle.sweep" n f : unit array)
+let iter_rows ?pool n f = Mde_par.Pool.iter ?pool ~site:"bundle.sweep" n f
 
 (* --- construction -------------------------------------------------- *)
 
@@ -366,8 +360,6 @@ let fused ?pool ~impl t ~pred ~defs ~keys ~aggs =
     | P_interp p -> fun i r -> Expr.eval_bool t.schema (realize_row t i r) p
   in
   let n_aggs = Array.length agg_evals in
-  let groups : group_state Value.Tbl.t = Value.Tbl.create 16 in
-  let order = ref [] in
   let fresh () =
     {
       counts = Array.make t.n_reps 0;
@@ -377,15 +369,67 @@ let fused ?pool ~impl t ~pred ~defs ~keys ~aggs =
       agg_counts = Array.init n_aggs (fun _ -> Array.make t.n_reps 0);
     }
   in
-  let state_for i =
-    let key = det_key_exn t key_idx i in
-    match Value.Tbl.find_opt groups key with
-    | Some s -> s
+  (* Keying: packed Keycode words when every key column encodes, the
+     boxed Value.Tbl otherwise. Group order is first-seen either way,
+     and each group's key values are read back from its first row, so
+     the two strategies are bit-identical. An uncertain key column makes
+     [Keycode.of_columns] refuse (it requires det storage), which lands
+     on the boxed path where [det_key_exn] raises exactly as before. *)
+  let enc =
+    match keys with
+    | [] -> None
+    | _ ->
+      Keycode.of_columns [ Array.of_list (List.map (fun j -> t.columns.(j)) key_idx) ]
+  in
+  let state_for, finished =
+    match enc with
+    | Some enc ->
+      let coded = Keycode.encode ?pool enc ~side:0 in
+      let tbl = Keycode.tbl_create ~hint:(max 16 (t.n_rows / 8)) coded.keys in
+      (* The [fresh ()] fill is a dummy shared by unused slots only;
+         every live id gets its own state on first sight. *)
+      let states = ref (Array.make 16 (fresh ())) in
+      let rep_rows = ref (Array.make 16 0) in
+      let n_groups = ref 0 in
+      let state_for i =
+        let id = Keycode.tbl_add tbl i in
+        if id = !n_groups then begin
+          if id = Array.length !states then begin
+            let grow fill a =
+              let bigger = Array.make (2 * Array.length a) fill in
+              Array.blit a 0 bigger 0 (Array.length a);
+              bigger
+            in
+            states := grow (fresh ()) !states;
+            rep_rows := grow 0 !rep_rows
+          end;
+          !states.(id) <- fresh ();
+          !rep_rows.(id) <- i;
+          incr n_groups
+        end;
+        !states.(id)
+      in
+      let finished () =
+        List.init !n_groups (fun g -> (det_key_exn t key_idx !rep_rows.(g), !states.(g)))
+      in
+      (state_for, finished)
     | None ->
-      let s = fresh () in
-      Value.Tbl.add groups key s;
-      order := key :: !order;
-      s
+      let groups : group_state Value.Tbl.t = Value.Tbl.create 16 in
+      let order = ref [] in
+      let state_for i =
+        let key = det_key_exn t key_idx i in
+        match Value.Tbl.find_opt groups key with
+        | Some s -> s
+        | None ->
+          let s = fresh () in
+          Value.Tbl.add groups key s;
+          order := key :: !order;
+          s
+      in
+      let finished () =
+        List.map (fun key -> (key, Value.Tbl.find groups key)) (List.rev !order)
+      in
+      (state_for, finished)
   in
   let accumulate state a r x =
     state.sums.(a).(r) <- state.sums.(a).(r) +. x;
@@ -472,8 +516,7 @@ let fused ?pool ~impl t ~pred ~defs ~keys ~aggs =
         done
       done
   end;
-  let finish key =
-    let state = Value.Tbl.find groups key in
+  let finish (key, state) =
     let per_agg =
       Array.of_list
         (List.mapi
@@ -505,9 +548,9 @@ let fused ?pool ~impl t ~pred ~defs ~keys ~aggs =
     in
     ([||], per_agg)
   in
-  match (!order, keys) with
+  match (finished (), keys) with
   | [], [] -> [ finish_empty_global () ]
-  | found, _ -> List.map finish (List.rev found)
+  | found, _ -> List.map finish found
 
 let aggregate ?pool ?(impl = `Kernel) ?(keys = []) aggs t =
   instrumented ~cells:(t.n_rows * t.n_reps) (fun () ->

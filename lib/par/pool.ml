@@ -492,6 +492,51 @@ let parallel_init pool ?(site = "default") ?chunk n f =
         out
   end
 
+let parallel_iter pool ?(site = "default") ?chunk n f =
+  if n < 0 then invalid_arg "Pool.parallel_iter: negative length";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.parallel_iter: chunk must be >= 1"
+  | _ -> ());
+  if pool.closing then invalid_arg "Pool: submitted to a shut-down pool";
+  if n > 0 then begin
+    let s = find_site pool site in
+    let sequential () =
+      let t0 = Mde_obs.Clock.wall () in
+      for i = 0 to n - 1 do
+        f i
+      done;
+      let dt = Mde_obs.Clock.wall () -. t0 in
+      Mutex.lock pool.mutex;
+      pool.seq_batches <- pool.seq_batches + 1;
+      Mutex.unlock pool.mutex;
+      if pool.metrics.obs_on then begin
+        Mde_obs.Counter.incr pool.metrics.m_seq;
+        Mde_obs.Histogram.observe s.site_hist dt
+      end;
+      update_site pool s ~items:n ~seconds:dt
+    in
+    if pool.n_domains <= 1 || n = 1 then sequential ()
+    else
+      match chunk with
+      | None when s.per_item > 0. && float_of_int n *. s.per_item < crossover_seconds
+        ->
+        sequential ()
+      | _ ->
+        let chunk =
+          match chunk with Some c -> c | None -> adaptive_chunk pool s n
+        in
+        if pool.metrics.obs_on then
+          Mde_obs.Gauge.set s.site_chunk (float_of_int chunk);
+        (* Pure side-effect fan-out: no result array is allocated — the
+           caller's [f] writes wherever it writes. This is the fill shape
+           the columnar engine uses ([flags.(i) <- ...], bigarray slots),
+           which used to pay a throwaway [unit array] per pooled sweep. *)
+        parallel_chunks pool s ~n ~chunk (fun lo hi ->
+            for i = lo to hi - 1 do
+              f i
+            done)
+  end
+
 let parallel_map pool ?site ?chunk f a =
   parallel_init pool ?site ?chunk (Array.length a) (fun i -> f a.(i))
 
@@ -500,6 +545,14 @@ let map ?pool ?site f a =
 
 let init ?pool ?site n f =
   match pool with None -> Array.init n f | Some p -> parallel_init p ?site n f
+
+let iter ?pool ?site n f =
+  match pool with
+  | None ->
+    for i = 0 to n - 1 do
+      f i
+    done
+  | Some p -> parallel_iter p ?site n f
 
 (* --- introspection -------------------------------------------------- *)
 

@@ -88,6 +88,14 @@ val parallel_init :
     is unspecified — each call must depend only on its index. Results
     are written directly into the final array (no boxing pass). *)
 
+val parallel_iter : t -> ?site:string -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_iter pool n f] runs [f i] for every [i] in [[0, n)],
+    distributed as in {!parallel_init} but with no result array — the
+    fan-out for pure side-effect sweeps (chunked fills of preallocated
+    storage). Evaluation order is unspecified; each call must touch only
+    state owned by its index. Exceptions and validation behave exactly
+    as {!parallel_map}. *)
+
 val map : ?pool:t -> ?site:string -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ?pool f a]: {!parallel_map} when [pool] is given, [Array.map]
     otherwise — the form the library layers use for their [?pool]
@@ -95,6 +103,9 @@ val map : ?pool:t -> ?site:string -> ('a -> 'b) -> 'a array -> 'b array
 
 val init : ?pool:t -> ?site:string -> int -> (int -> 'a) -> 'a array
 (** [init ?pool n f]: {!parallel_init} or [Array.init]. *)
+
+val iter : ?pool:t -> ?site:string -> int -> (int -> unit) -> unit
+(** [iter ?pool n f]: {!parallel_iter} or a plain [for] loop. *)
 
 val estimated_item_seconds : t -> site:string -> float option
 (** The pool's current per-item latency estimate for [site] (EWMA of

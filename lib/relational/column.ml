@@ -212,9 +212,61 @@ let of_cells ~ty ~rows ~reps get =
   if is_det then build ~ty ~det:true ~rows ~reps (fun s -> get s 0)
   else build ~ty ~det:false ~rows ~reps (fun s -> get (s / reps) (s mod reps))
 
-let of_det_cells ~ty ~rows ~reps get =
+let of_det_cells ?pool ~ty ~rows ~reps get =
   if reps < 1 then invalid_arg "Column.of_det_cells: reps must be >= 1";
-  build ~ty ~det:true ~rows ~reps get
+  match pool with
+  | None -> build ~ty ~det:true ~rows ~reps get
+  | Some p ->
+    (* Pooled direct fill: rows are chunked over the pool and written
+       straight into the typed storage — no intermediate boxed cell
+       array. Det storage has one slot and one null-mask byte per row,
+       so row-chunked writes touch disjoint memory. A cell contradicting
+       [ty] degrades to boxed storage exactly as the sequential build,
+       re-evaluating [get]: the rare path pays twice, the common path
+       never boxes. *)
+    let seal mask = if Bitset.popcount mask = 0 then None else Some mask in
+    let data, nulls =
+      try
+        match (ty : Value.ty) with
+        | Value.Tfloat ->
+          let data = Array1.create Bigarray.float64 Bigarray.c_layout rows in
+          let mask = Bitset.create ~rows ~reps:1 false in
+          Mde_par.Pool.parallel_iter p ~site:"column.fill" rows (fun i ->
+              match (get i : Value.t) with
+              | Value.Float f -> Array1.set data i f
+              | Value.Null ->
+                Array1.set data i nan;
+                Bitset.set mask i 0
+              | Value.Int _ | Value.String _ | Value.Bool _ -> raise Untyped);
+          (Floats data, seal mask)
+        | Value.Tint ->
+          let data = Array.make rows 0 in
+          let mask = Bitset.create ~rows ~reps:1 false in
+          Mde_par.Pool.parallel_iter p ~site:"column.fill" rows (fun i ->
+              match (get i : Value.t) with
+              | Value.Int v -> data.(i) <- v
+              | Value.Null -> Bitset.set mask i 0
+              | Value.Float _ | Value.String _ | Value.Bool _ -> raise Untyped);
+          (Ints data, seal mask)
+        | Value.Tbool ->
+          let data = Array.make rows 0 in
+          let mask = Bitset.create ~rows ~reps:1 false in
+          Mde_par.Pool.parallel_iter p ~site:"column.fill" rows (fun i ->
+              match (get i : Value.t) with
+              | Value.Bool b -> data.(i) <- Bool.to_int b
+              | Value.Null -> Bitset.set mask i 0
+              | Value.Float _ | Value.String _ | Value.Int _ -> raise Untyped);
+          (Bools data, seal mask)
+        | Value.Tstring ->
+          (* Dictionary codes are assigned in first-seen order, which is
+             inherently sequential: evaluate cells in parallel (that is
+             where the expression cost lives), encode sequentially. *)
+          let cells = Mde_par.Pool.parallel_init p ~site:"column.fill" rows get in
+          fill_strings ~det:true ~rows ~reps (fun s -> cells.(s))
+      with Untyped ->
+        (Values (Mde_par.Pool.parallel_init p ~site:"column.fill" rows get), None)
+    in
+    { cdet = true; crows = rows; creps = reps; data; nulls }
 
 let infer_rows ~det ~reps n = if det then n else n / reps
 

@@ -67,9 +67,13 @@ val of_cells : ty:Value.ty -> rows:int -> reps:int -> (int -> int -> Value.t) ->
     storage from [ty], degrading to boxed storage if any cell's type
     contradicts [ty]. *)
 
-val of_det_cells : ty:Value.ty -> rows:int -> reps:int -> (int -> Value.t) -> t
+val of_det_cells :
+  ?pool:Mde_par.Pool.t -> ty:Value.ty -> rows:int -> reps:int -> (int -> Value.t) -> t
 (** Deterministic column from a per-row reader (wrapping a plain table);
-    [reps] is the owning bundle's repetition count. *)
+    [reps] is the owning bundle's repetition count. With [?pool] the
+    reader is evaluated row-chunked in parallel and written directly
+    into the typed storage (no intermediate boxed array); the result is
+    identical to the sequential build. *)
 
 (** Raw constructors for compiled kernels that have already produced
     typed storage. [rows] is inferred from the data length; [nulls], when

@@ -39,13 +39,7 @@ let env t = Kernel.env_of_columns t.tschema ~reps:1 t.cols
 
 (* Row-chunked parallel fill over disjoint per-row slots: bit-identical
    to the sequential loop (same argument as [Kernel.materialize]). *)
-let fill_rows ?pool ~site n f =
-  match pool with
-  | None ->
-    for i = 0 to n - 1 do
-      f i
-    done
-  | Some _ -> ignore (Mde_par.Pool.init ?pool ~site n f : unit array)
+let fill_rows ?pool ~site n f = Mde_par.Pool.iter ?pool ~site n f
 
 let gather t idx =
   {
@@ -93,16 +87,8 @@ let extend ?pool ?(impl = (`Kernel : impl)) defs t =
   let kenv = env t in
   (* Every defining expression reads the input schema, as Algebra.extend. *)
   let interpret ty e =
-    match pool with
-    | None ->
-      Column.of_det_cells ~ty ~rows:t.n_rows ~reps:1 (fun i ->
-          Expr.eval t.tschema (row t i) e)
-    | Some _ ->
-      let cells =
-        Mde_par.Pool.init ?pool ~site:"columnar.extend" t.n_rows (fun i ->
-            Expr.eval t.tschema (row t i) e)
-      in
-      Column.of_det_cells ~ty ~rows:t.n_rows ~reps:1 (fun i -> cells.(i))
+    Column.of_det_cells ?pool ~ty ~rows:t.n_rows ~reps:1 (fun i ->
+        Expr.eval t.tschema (row t i) e)
   in
   let build (_, ty, e) =
     let compiled =
@@ -118,38 +104,141 @@ let extend ?pool ?(impl = (`Kernel : impl)) defs t =
     cols = Array.append t.cols (Array.of_list (List.map build defs));
   }
 
-let equi_join ~on l r =
+(* A growable unboxed int buffer: the join's per-chunk match lists. *)
+type ibuf = { mutable ib : int array; mutable ilen : int }
+
+let ibuf_create () = { ib = Array.make 64 0; ilen = 0 }
+
+let ibuf_push b v =
+  if b.ilen = Array.length b.ib then begin
+    let bigger = Array.make (2 * b.ilen) 0 in
+    Array.blit b.ib 0 bigger 0 b.ilen;
+    b.ib <- bigger
+  end;
+  b.ib.(b.ilen) <- v;
+  b.ilen <- b.ilen + 1
+
+let no_nulls = function
+  | None -> fun _ -> false
+  | Some (flags : bool array) -> fun i -> flags.(i)
+
+let equi_join ?pool ?(packed = true) ~on l r =
   let out_schema = Schema.concat l.tschema r.tschema in
   let l_idx = List.map (fun (a, _) -> Schema.column_index l.tschema a) on in
   let r_idx = List.map (fun (_, b) -> Schema.column_index r.tschema b) on in
-  let key_of t idxs i = List.map (fun j -> Column.value t.cols.(j) i 0) idxs in
+  let emit li ri =
+    {
+      tschema = out_schema;
+      n_rows = Array.length li;
+      cols =
+        Array.append
+          (Array.map (fun c -> Column.gather c li) l.cols)
+          (Array.map (fun c -> Column.gather c ri) r.cols);
+    }
+  in
   (* Build right, probe left in row order, emit matches in build order —
      the exact row order Algebra.equi_join produces. Null keys never
      match. *)
-  let build = Value.Tbl.create (max 16 r.n_rows) in
-  for j = 0 to r.n_rows - 1 do
-    let key = key_of r r_idx j in
-    if not (List.exists Value.is_null key) then Value.Tbl.add build key j
-  done;
-  let pairs = ref [] in
-  for i = 0 to l.n_rows - 1 do
-    let key = key_of l l_idx i in
-    if not (List.exists Value.is_null key) then
-      (* find_all returns most-recent first; restore build order. *)
-      List.iter
-        (fun j -> pairs := (i, j) :: !pairs)
-        (List.rev (Value.Tbl.find_all build key))
-  done;
-  let pairs = Array.of_list (List.rev !pairs) in
-  let li = Array.map fst pairs and ri = Array.map snd pairs in
-  {
-    tschema = out_schema;
-    n_rows = Array.length pairs;
-    cols =
-      Array.append
-        (Array.map (fun c -> Column.gather c li) l.cols)
-        (Array.map (fun c -> Column.gather c ri) r.cols);
-  }
+  let key_cols t idxs = Array.of_list (List.map (fun j -> t.cols.(j)) idxs) in
+  let enc =
+    if packed && on <> [] then
+      Keycode.of_columns [ key_cols r r_idx; key_cols l l_idx ]
+    else None
+  in
+  match enc with
+  | Some enc ->
+    (* Packed path: one unboxed key per row, an open-addressing build
+       table, and build-order match chains (head/next/tail per key id)
+       replacing the boxed Value.Tbl + find_all + List.rev churn. *)
+    let bcoded = Keycode.encode ?pool enc ~side:0 in
+    let pcoded = Keycode.encode ?pool enc ~side:1 in
+    let bnull = no_nulls bcoded.null_rows and pnull = no_nulls pcoded.null_rows in
+    let tbl = Keycode.tbl_create ~hint:r.n_rows bcoded.keys in
+    let head = ref (Array.make (max 16 (r.n_rows / 4)) (-1)) in
+    let tail = ref (Array.make (Array.length !head) (-1)) in
+    let next = Array.make r.n_rows (-1) in
+    for j = 0 to r.n_rows - 1 do
+      if not (bnull j) then begin
+        let id = Keycode.tbl_add tbl j in
+        if id >= Array.length !head then begin
+          let grow a =
+            let bigger = Array.make (2 * Array.length a) (-1) in
+            Array.blit a 0 bigger 0 (Array.length a);
+            bigger
+          in
+          head := grow !head;
+          tail := grow !tail
+        end;
+        if !head.(id) < 0 then !head.(id) <- j else next.(!tail.(id)) <- j;
+        !tail.(id) <- j
+      end
+    done;
+    let head = !head in
+    let probe_into buf lo hi =
+      for i = lo to hi - 1 do
+        if not (pnull i) then begin
+          let id = Keycode.tbl_find tbl pcoded.keys i in
+          if id >= 0 then begin
+            let j = ref head.(id) in
+            while !j >= 0 do
+              ibuf_push buf i;
+              ibuf_push buf !j;
+              j := next.(!j)
+            done
+          end
+        end
+      done
+    in
+    let bufs =
+      match pool with
+      | None ->
+        let buf = ibuf_create () in
+        probe_into buf 0 l.n_rows;
+        [| buf |]
+      | Some p ->
+        (* Deterministic chunk descriptors, one private buffer each:
+           every row's matches land in its own chunk's buffer, and the
+           in-order concatenation below restores exactly the sequential
+           emission order whatever the chunk count. *)
+        let n_chunks = min (max 1 l.n_rows) (Mde_par.Pool.domains p * 8) in
+        let per = (l.n_rows + n_chunks - 1) / n_chunks in
+        let bufs = Array.init n_chunks (fun _ -> ibuf_create ()) in
+        Mde_par.Pool.parallel_iter p ~site:"columnar.join.probe" ~chunk:1 n_chunks
+          (fun c -> probe_into bufs.(c) (c * per) (min l.n_rows ((c + 1) * per)));
+        bufs
+    in
+    let n_pairs = Array.fold_left (fun n b -> n + (b.ilen / 2)) 0 bufs in
+    let li = Array.make n_pairs 0 and ri = Array.make n_pairs 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun b ->
+        let p = ref 0 in
+        while !p < b.ilen do
+          li.(!k) <- b.ib.(!p);
+          ri.(!k) <- b.ib.(!p + 1);
+          incr k;
+          p := !p + 2
+        done)
+      bufs;
+    emit li ri
+  | None ->
+    let key_of t idxs i = List.map (fun j -> Column.value t.cols.(j) i 0) idxs in
+    let build = Value.Tbl.create (max 16 r.n_rows) in
+    for j = 0 to r.n_rows - 1 do
+      let key = key_of r r_idx j in
+      if not (List.exists Value.is_null key) then Value.Tbl.add build key j
+    done;
+    let pairs = ref [] in
+    for i = 0 to l.n_rows - 1 do
+      let key = key_of l l_idx i in
+      if not (List.exists Value.is_null key) then
+        (* find_all returns most-recent first; restore build order. *)
+        List.iter
+          (fun j -> pairs := (i, j) :: !pairs)
+          (List.rev (Value.Tbl.find_all build key))
+    done;
+    let pairs = Array.of_list (List.rev !pairs) in
+    emit (Array.map fst pairs) (Array.map snd pairs)
 
 (* --- grouped aggregation -------------------------------------------- *)
 
@@ -187,12 +276,29 @@ let finish_std a =
     Value.Float (sqrt (Float.max var 0.))
   end
 
-let float_feeder kenv e finish =
+(* Pooled aggregation is two-phase, like Bundle's pooled sweeps: the
+   per-row source values are evaluated row-chunked into a flat scratch
+   buffer (each row owns its slot), then the order-sensitive
+   accumulation replays from the scratch sequentially in row order — so
+   the pooled result is the sequential result bit for bit. *)
+
+let float_feeder ?pool ~rows kenv e finish =
   Option.map
     (fun (cell : Kernel.cell) ->
+      let null, value =
+        match pool with
+        | None -> ((fun i -> cell.null i 0), fun i -> cell.value i 0)
+        | Some _ ->
+          let data = Array1.create Bigarray.float64 Bigarray.c_layout rows in
+          let nulls = Bytes.make rows '\000' in
+          Mde_par.Pool.iter ?pool ~site:"columnar.group.scratch" rows (fun i ->
+              if cell.null i 0 then Bytes.set nulls i '\001'
+              else Array1.set data i (cell.value i 0));
+          ((fun i -> Bytes.get nulls i <> '\000'), fun i -> Array1.get data i)
+      in
       let feed a i =
-        if not (cell.null i 0) then begin
-          let x = cell.value i 0 in
+        if not (null i) then begin
+          let x = value i in
           a.kcount <- a.kcount + 1;
           a.ksum <- a.ksum +. x;
           a.ksum_sq <- a.ksum_sq +. (x *. x)
@@ -203,11 +309,21 @@ let float_feeder kenv e finish =
 
 (* Min/Max read the boxed cell so string inputs raise in [Value.to_float]
    exactly as the row oracle's feed does. *)
-let value_feeder kenv e finish =
+let value_feeder ?pool ~rows kenv e finish =
   Option.map
     (fun node ->
+      let read =
+        match pool with
+        | None -> fun i -> Kernel.node_value node i 0
+        | Some _ ->
+          let vals =
+            Mde_par.Pool.init ?pool ~site:"columnar.group.scratch" rows (fun i ->
+                Kernel.node_value node i 0)
+          in
+          fun i -> vals.(i)
+      in
       let feed a i =
-        match Kernel.node_value node i 0 with
+        match read i with
         | Value.Null -> ()
         | v ->
           let x = Value.to_float v in
@@ -220,24 +336,33 @@ let value_feeder kenv e finish =
       { feed; finish })
     (Kernel.compile kenv e)
 
-let compile_feeder kenv = function
+let compile_feeder ?pool ~rows kenv = function
   | Algebra.Count ->
     Some { feed = (fun a _ -> a.kcount <- a.kcount + 1); finish = finish_count }
   | Algebra.Count_if e ->
     Option.map
       (fun p ->
+        let test =
+          match pool with
+          | None -> fun i -> p i 0
+          | Some _ ->
+            let flags = Bytes.make rows '\000' in
+            Mde_par.Pool.iter ?pool ~site:"columnar.group.scratch" rows (fun i ->
+                if p i 0 then Bytes.set flags i '\001');
+            fun i -> Bytes.get flags i <> '\000'
+        in
         {
-          feed = (fun a i -> if p i 0 then a.kcount <- a.kcount + 1);
+          feed = (fun a i -> if test i then a.kcount <- a.kcount + 1);
           finish = finish_count;
         })
       (Option.bind (Kernel.compile kenv e) Kernel.as_pred)
-  | Algebra.Sum e -> float_feeder kenv e finish_sum
-  | Algebra.Avg e -> float_feeder kenv e finish_avg
-  | Algebra.Std e -> float_feeder kenv e finish_std
-  | Algebra.Min e -> value_feeder kenv e (fun a -> a.kvmin)
-  | Algebra.Max e -> value_feeder kenv e (fun a -> a.kvmax)
+  | Algebra.Sum e -> float_feeder ?pool ~rows kenv e finish_sum
+  | Algebra.Avg e -> float_feeder ?pool ~rows kenv e finish_avg
+  | Algebra.Std e -> float_feeder ?pool ~rows kenv e finish_std
+  | Algebra.Min e -> value_feeder ?pool ~rows kenv e (fun a -> a.kvmin)
+  | Algebra.Max e -> value_feeder ?pool ~rows kenv e (fun a -> a.kvmax)
 
-let group_by ?(impl = (`Kernel : impl)) ~keys ~aggs t =
+let group_by ?pool ?(packed = true) ?(impl = (`Kernel : impl)) ~keys ~aggs t =
   let feeders =
     match impl with
     | `Interpreter -> None
@@ -246,7 +371,7 @@ let group_by ?(impl = (`Kernel : impl)) ~keys ~aggs t =
       let rec all = function
         | [] -> Some []
         | (_, a) :: rest ->
-          Option.bind (compile_feeder kenv a) (fun f ->
+          Option.bind (compile_feeder ?pool ~rows:t.n_rows kenv a) (fun f ->
               Option.map (fun fs -> f :: fs) (all rest))
       in
       Option.map Array.of_list (all aggs)
@@ -266,72 +391,85 @@ let group_by ?(impl = (`Kernel : impl)) ~keys ~aggs t =
         (key_schema_cols @ List.map (fun (n, a) -> (n, Algebra.agg_type a)) aggs)
     in
     let n_aggs = Array.length feeders in
-    let int_key_data =
-      match key_cols with
-      | [| kc |] -> (
-        match Column.view kc with
-        | Column.Vint { data; nulls = None; _ } -> Some data
-        | _ -> None)
-      | _ -> None
-    in
-    let grouped : (Value.t list * kacc array) list =
-      match int_key_data with
-      | Some data ->
-        (* Single non-null Int key: hash unboxed ints instead of boxed
-           composite keys. First-seen order and per-group feed order are
-           unchanged (ints are exact under [Value.compare]), so output
-           is bit-identical to the generic path. *)
-        let groups : (int, kacc array) Hashtbl.t = Hashtbl.create 64 in
-        let order = ref [] in
-        for i = 0 to t.n_rows - 1 do
-          let k = Array.unsafe_get data i in
-          let accs =
-            match Hashtbl.find_opt groups k with
-            | Some accs -> accs
-            | None ->
-              let accs = Array.init n_aggs (fun _ -> fresh_kacc ()) in
-              Hashtbl.add groups k accs;
-              order := k :: !order;
-              accs
-          in
-          Array.iteri (fun a f -> f.feed accs.(a) i) feeders
-        done;
-        List.rev_map (fun k -> ([ Value.Int k ], Hashtbl.find groups k)) !order
-      | None ->
-        let groups : kacc array Value.Tbl.t = Value.Tbl.create 64 in
-        let order = ref [] in
-        for i = 0 to t.n_rows - 1 do
-          let key = Array.to_list (Array.map (fun c -> Column.value c i 0) key_cols) in
-          let accs =
-            match Value.Tbl.find_opt groups key with
-            | Some accs -> accs
-            | None ->
-              let accs = Array.init n_aggs (fun _ -> fresh_kacc ()) in
-              Value.Tbl.add groups key accs;
-              order := key :: !order;
-              accs
-          in
-          Array.iteri (fun a f -> f.feed accs.(a) i) feeders
-        done;
-        let keys_in_order =
-          match (!order, keys) with
-          | [], [] ->
-            (* Global aggregate over an empty table still emits one row. *)
-            Value.Tbl.add groups []
-              (Array.init n_aggs (fun _ -> fresh_kacc ()));
-            [ [] ]
-          | found, _ -> List.rev found
+    let enc = if packed then Keycode.of_columns [ key_cols ] else None in
+    (match enc with
+    | Some enc ->
+      (* Packed path: one unboxed key per row replaces the per-row boxed
+         [Value.t list]; group ids come out of the open-addressing table
+         in first-seen order, accumulators still feed in row order, so
+         the output is the generic path's bit for bit. Output columns
+         are built directly — keys by gathering each group's first
+         (representative) row, aggregates from the finishers. *)
+      let coded = Keycode.encode ?pool enc ~side:0 in
+      let tbl = Keycode.tbl_create ~hint:(max 16 (t.n_rows / 8)) coded.keys in
+      let accs_store = ref (Array.make 16 [||]) in
+      let rep_store = ref (Array.make 16 0) in
+      let n_groups = ref 0 in
+      for i = 0 to t.n_rows - 1 do
+        let id = Keycode.tbl_add tbl i in
+        if id = !n_groups then begin
+          if id = Array.length !accs_store then begin
+            let grow fill a =
+              let bigger = Array.make (2 * Array.length a) fill in
+              Array.blit a 0 bigger 0 (Array.length a);
+              bigger
+            in
+            accs_store := grow [||] !accs_store;
+            rep_store := grow 0 !rep_store
+          end;
+          !accs_store.(id) <- Array.init n_aggs (fun _ -> fresh_kacc ());
+          !rep_store.(id) <- i;
+          incr n_groups
+        end;
+        let accs = !accs_store.(id) in
+        Array.iteri (fun a f -> f.feed accs.(a) i) feeders
+      done;
+      let n_groups = !n_groups in
+      let accs_store = !accs_store in
+      let rep_idx = Array.sub !rep_store 0 n_groups in
+      let key_out = Array.map (fun c -> Column.gather c rep_idx) key_cols in
+      let agg_out =
+        Array.of_list
+          (List.mapi
+             (fun a (_, agg) ->
+               Column.of_det_cells ~ty:(Algebra.agg_type agg) ~rows:n_groups ~reps:1
+                 (fun g -> feeders.(a).finish accs_store.(g).(a)))
+             aggs)
+      in
+      { tschema = out_schema; n_rows = n_groups; cols = Array.append key_out agg_out }
+    | None ->
+      let groups : kacc array Value.Tbl.t = Value.Tbl.create 64 in
+      let order = ref [] in
+      for i = 0 to t.n_rows - 1 do
+        let key = Array.to_list (Array.map (fun c -> Column.value c i 0) key_cols) in
+        let accs =
+          match Value.Tbl.find_opt groups key with
+          | Some accs -> accs
+          | None ->
+            let accs = Array.init n_aggs (fun _ -> fresh_kacc ()) in
+            Value.Tbl.add groups key accs;
+            order := key :: !order;
+            accs
         in
-        List.map (fun key -> (key, Value.Tbl.find groups key)) keys_in_order
-    in
-    let out_rows =
-      List.map
-        (fun (key, accs) ->
-          Array.of_list
-            (key @ Array.to_list (Array.mapi (fun a f -> f.finish accs.(a)) feeders)))
-        grouped
-    in
-    of_table (Table.create out_schema out_rows)
+        Array.iteri (fun a f -> f.feed accs.(a) i) feeders
+      done;
+      let keys_in_order =
+        match (!order, keys) with
+        | [], [] ->
+          (* Global aggregate over an empty table still emits one row. *)
+          Value.Tbl.add groups [] (Array.init n_aggs (fun _ -> fresh_kacc ()));
+          [ [] ]
+        | found, _ -> List.rev found
+      in
+      let out_rows =
+        List.map
+          (fun key ->
+            let accs = Value.Tbl.find groups key in
+            Array.of_list
+              (key @ Array.to_list (Array.mapi (fun a f -> f.finish accs.(a)) feeders)))
+          keys_in_order
+      in
+      of_table (Table.create out_schema out_rows))
 
 (* --- ordering, distinct, limit -------------------------------------- *)
 
@@ -366,10 +504,20 @@ let slot_compare col =
       (fun i j -> String.compare dict.(codes.(i)) dict.(codes.(j)))
   | Column.Vvalues { data; _ } -> fun i j -> Value.compare data.(i) data.(j)
 
-let order_by ?(descending = false) names t =
-  let cmps =
-    List.map (fun k -> slot_compare t.cols.(Schema.column_index t.tschema k)) names
+let order_by ?(descending = false) ?(packed = true) names t =
+  let cols =
+    Array.of_list (List.map (fun k -> t.cols.(Schema.column_index t.tschema k)) names)
   in
+  match
+    if packed then Keycode.sort_perm ~descending cols ~n_rows:t.n_rows else None
+  with
+  | Some perm ->
+    (* One extracted normalized key per row: the packed image agrees
+       with the comparator chain below on order and ties, so the
+       permutation is identical. *)
+    gather t perm
+  | None ->
+  let cmps = Array.to_list (Array.map slot_compare cols) in
   let key_cmp i j =
     let rec go = function
       | [] -> 0
@@ -392,19 +540,36 @@ let order_by ?(descending = false) names t =
     perm;
   gather t perm
 
-let distinct t =
-  let seen = Value.Tbl.create 64 in
-  let idx = ref [] in
-  let n = ref 0 in
-  for i = 0 to t.n_rows - 1 do
-    let key = Array.to_list (row t i) in
-    if not (Value.Tbl.mem seen key) then begin
-      Value.Tbl.add seen key ();
-      idx := i :: !idx;
-      incr n
-    end
-  done;
-  gather t (Array.of_list (List.rev !idx))
+let distinct ?pool ?(packed = true) t =
+  let enc =
+    if packed && Array.length t.cols > 0 then Keycode.of_columns [ t.cols ] else None
+  in
+  match enc with
+  | Some enc ->
+    (* A row is kept iff its packed key is fresh; dense first-seen ids
+       make "fresh" one integer comparison. Null cells are ordinary key
+       codes here — Null = Null under Value.Key, exactly as the boxed
+       path's [Value.Tbl.mem]. *)
+    let coded = Keycode.encode ?pool enc ~side:0 in
+    let tbl = Keycode.tbl_create ~hint:(max 16 (t.n_rows / 4)) coded.keys in
+    let keep = ibuf_create () in
+    for i = 0 to t.n_rows - 1 do
+      if Keycode.tbl_add tbl i = keep.ilen then ibuf_push keep i
+    done;
+    gather t (Array.sub keep.ib 0 keep.ilen)
+  | None ->
+    let seen = Value.Tbl.create 64 in
+    let idx = ref [] in
+    let n = ref 0 in
+    for i = 0 to t.n_rows - 1 do
+      let key = Array.to_list (row t i) in
+      if not (Value.Tbl.mem seen key) then begin
+        Value.Tbl.add seen key ();
+        idx := i :: !idx;
+        incr n
+      end
+    done;
+    gather t (Array.of_list (List.rev !idx))
 
 let limit n t =
   (* Not an assert: validation must survive [-noassert] builds. *)

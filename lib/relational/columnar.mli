@@ -42,23 +42,50 @@ val extend : ?pool:Mde_par.Pool.t -> ?impl:impl -> (string * Value.ty * Expr.t) 
 (** Append computed columns; every defining expression reads the input
     schema (not columns added by earlier defs), as {!Algebra.extend}. *)
 
-val equi_join : on:(string * string) list -> t -> t -> t
+val equi_join :
+  ?pool:Mde_par.Pool.t -> ?packed:bool -> on:(string * string) list -> t -> t -> t
 (** Inner hash join, build side right, probe side left — the plan
     executor's join. Row order and null-key behavior match
-    {!Algebra.equi_join}. *)
+    {!Algebra.equi_join}. When the key columns encode ([packed],
+    default [true]), both sides hash one unboxed {!Keycode} word (or
+    packed bytes) per row through an open-addressing table with
+    build-order match chains; otherwise the boxed [Value.Tbl] path
+    runs. With [?pool] the key encoding and the probe are row-chunked
+    in parallel — per-chunk match buffers concatenate in row order, so
+    the output is bit-identical whatever the chunking. *)
 
 val group_by :
-  ?impl:impl -> keys:string list -> aggs:(string * Algebra.aggregate) list -> t -> t
+  ?pool:Mde_par.Pool.t ->
+  ?packed:bool ->
+  ?impl:impl ->
+  keys:string list ->
+  aggs:(string * Algebra.aggregate) list ->
+  t ->
+  t
 (** Grouped aggregation with {!Algebra.group_by}'s exact semantics:
     first-seen group order, NaN keys collapse to one group, [keys = []]
     yields one global row even on empty input. Under [`Kernel] the
     Sum/Avg/Std/Count paths accumulate unboxed; if any aggregate's
-    source fails to compile the whole call drops to the row oracle. *)
+    source fails to compile the whole call drops to the row oracle.
+    When the key columns encode ([packed], default [true]) each row's
+    composite key is one {!Keycode} word instead of a boxed list, and
+    the output columns are built directly (keys gathered from each
+    group's first row). With [?pool] the key encoding and the aggregate
+    sources are evaluated row-chunked in parallel into scratch buffers;
+    accumulation always replays sequentially in row order, so pooled
+    results are bit-identical to sequential ones. *)
 
-val order_by : ?descending:bool -> string list -> t -> t
+val order_by : ?descending:bool -> ?packed:bool -> string list -> t -> t
 (** Stable sort via typed per-column comparators agreeing with
-    [Value.compare]. *)
+    [Value.compare] — or, when every key column normalizes ([packed],
+    default [true]), via one packed order-preserving {!Keycode} image
+    per row (ints, bools, dictionary ranks; the row index rides in the
+    low bits as the tiebreak) and a flat monomorphic int sort. Both
+    produce the same permutation. *)
 
-val distinct : t -> t
+val distinct : ?pool:Mde_par.Pool.t -> ?packed:bool -> t -> t
+(** First occurrence of each distinct row, in row order; packed all-column
+    {!Keycode} keys when they encode, boxed [Value.Tbl] otherwise. *)
+
 val limit : int -> t -> t
 (** Raises [Invalid_argument] on a negative count. *)

@@ -364,16 +364,11 @@ let as_float_cell = function
 
 (* --- materialization ----------------------------------------------- *)
 
-(* Row-chunked fill: [Pool.init] chunks contiguously and each row's
-   slots (and null-mask bytes) are disjoint across rows, so the parallel
-   fill writes exactly the bytes the sequential one would. *)
-let fill_rows ?pool rows f =
-  match pool with
-  | None ->
-    for i = 0 to rows - 1 do
-      f i
-    done
-  | Some _ -> ignore (Mde_par.Pool.init ?pool ~site:"bundle.materialize" rows f : unit array)
+(* Row-chunked fill: the pool chunks contiguously and each row's slots
+   (and null-mask bytes) are disjoint across rows, so the parallel fill
+   writes exactly the bytes the sequential one would. [Pool.iter] is the
+   no-result fan-out — nothing is allocated to drive the side effects. *)
+let fill_rows ?pool rows f = Mde_par.Pool.iter ?pool ~site:"bundle.materialize" rows f
 
 let materialize ?pool ~rows ~reps node =
   let det = not (node_unc node) in

@@ -27,7 +27,7 @@ let execute ?pool ?(impl = (`Kernel : Impl.t)) catalog plan =
     | Scan name -> Columnar.of_table (Catalog.find catalog name)
     | Select (pred, child) -> Columnar.select ?pool ~impl pred (go child)
     | Project (cols, child) -> Columnar.project cols (go child)
-    | Join (on, l, r) -> Columnar.equi_join ~on (go l) (go r)
+    | Join (on, l, r) -> Columnar.equi_join ?pool ~on (go l) (go r)
   in
   Columnar.to_table (go plan)
 

@@ -94,6 +94,19 @@ let test_each_index_evaluated_once () =
           Alcotest.(check int) (Printf.sprintf "index %d ran once" i) 1 (Atomic.get c))
         counts)
 
+let test_iter_optional_pool () =
+  (* The ?pool pass-through form: a plain for loop without a pool, the
+     same disjoint-slot fill with one — identical results either way. *)
+  let fill pool =
+    let out = Array.make 257 0 in
+    Pool.iter ?pool 257 (fun i -> out.(i) <- i * i);
+    out
+  in
+  let expected = Array.init 257 (fun i -> i * i) in
+  Alcotest.(check (array int)) "sequential fill" expected (fill None);
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (array int)) "pooled fill identical" expected (fill (Some pool)))
+
 let test_stats_and_steals () =
   Pool.with_pool ~domains:2 (fun pool ->
       ignore (Pool.parallel_init pool ~chunk:1 32 Fun.id);
@@ -150,6 +163,33 @@ let test_exception_propagates () =
       Alcotest.(check (array int)) "pool alive after failure"
         (Array.init 30 Fun.id)
         (Pool.parallel_init pool 30 Fun.id))
+
+let test_parallel_iter_each_index_once () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let counts = Array.init 101 (fun _ -> Atomic.make 0) in
+      Pool.parallel_iter pool ~chunk:4 101 (fun i -> Atomic.incr counts.(i));
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int) (Printf.sprintf "index %d ran once" i) 1 (Atomic.get c))
+        counts;
+      Pool.parallel_iter pool 0 (fun _ -> Alcotest.fail "empty sweep ran its body");
+      Alcotest.(check bool) "chunk=0 rejected" true
+        (try
+           Pool.parallel_iter pool ~chunk:0 8 ignore;
+           false
+         with Invalid_argument _ -> true))
+
+let test_parallel_iter_exception_propagates () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check bool) "exception reaches caller" true
+        (try
+           Pool.parallel_iter pool ~chunk:1 64 (fun i ->
+               if i = 23 then raise (Worker_trouble i));
+           false
+         with Worker_trouble 23 -> true);
+      let out = Array.make 30 0 in
+      Pool.parallel_iter pool 30 (fun i -> out.(i) <- i + 1);
+      Alcotest.(check (array int)) "pool alive after failure" (Array.init 30 succ) out)
 
 let test_shutdown_drains_in_flight_work () =
   (* Close the pool under a batch submitted from another domain: every
@@ -304,7 +344,12 @@ let () =
           Alcotest.test_case "crossover fast path" `Quick
             test_crossover_fast_path_engages;
           Alcotest.test_case "shared pool reused" `Quick test_shared_pool_reused;
+          Alcotest.test_case "iter with optional pool" `Quick test_iter_optional_pool;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "parallel_iter each index once" `Quick
+            test_parallel_iter_each_index_once;
+          Alcotest.test_case "parallel_iter exception propagation" `Quick
+            test_parallel_iter_exception_propagates;
           Alcotest.test_case "shutdown drains in-flight work" `Quick
             test_shutdown_drains_in_flight_work;
         ] );

@@ -500,6 +500,333 @@ let test_columnar_pooled_identity () =
                (Columnar.to_table (Columnar.extend ~pool ~impl defs c))))
         [ `Kernel; `Interpreter ])
 
+(* --- packed key codes --- *)
+
+let det_col ty vs =
+  let a = Array.of_list vs in
+  Column.of_det_cells ~ty ~rows:(Array.length a) ~reps:1 (fun i -> a.(i))
+
+let codes_equal a i b j =
+  match (a, b) with
+  | Keycode.Kint xa, Keycode.Kint xb -> xa.(i) = xb.(j)
+  | Keycode.Kbytes xa, Keycode.Kbytes xb -> Bytes.equal xa.(i) xb.(j)
+  | _ -> false
+
+(* The encoding contract: codes compare equal exactly when the boxed
+   keys are Value.Key-equal. [sides] is a list of (components, boxed
+   key per row) pairs; every cross-side row pair is checked, and the
+   null flags must mark exactly the rows with a Null component. *)
+let check_injective label sides =
+  match Keycode.of_columns (List.map (fun (cs, _) -> Array.of_list cs) sides) with
+  | None -> Alcotest.failf "%s: encoder refused" label
+  | Some enc ->
+    let coded =
+      List.mapi
+        (fun s (_, keys) -> (Keycode.encode enc ~side:s, Array.of_list keys))
+        sides
+    in
+    List.iteri
+      (fun si (ci, keys_i) ->
+        List.iteri
+          (fun sj (cj, keys_j) ->
+            Array.iteri
+              (fun i ki ->
+                Array.iteri
+                  (fun j kj ->
+                    let want = Value.Key.equal ki kj in
+                    let got = codes_equal ci.Keycode.keys i cj.Keycode.keys j in
+                    if want <> got then
+                      Alcotest.failf
+                        "%s: side %d row %d vs side %d row %d: keys %s but codes %s"
+                        label si i sj j
+                        (if want then "equal" else "differ")
+                        (if got then "equal" else "differ"))
+                  keys_j)
+              keys_i)
+          coded)
+      coded;
+    List.iteri
+      (fun s (c, keys) ->
+        let flag =
+          match c.Keycode.null_rows with
+          | None -> fun _ -> false
+          | Some flags -> fun i -> flags.(i)
+        in
+        Array.iteri
+          (fun i key ->
+            if List.exists Value.is_null key <> flag i then
+              Alcotest.failf "%s: side %d row %d null flag wrong" label s i)
+          keys)
+      coded
+
+let neg_nan = Int64.float_of_bits 0xFFF8000000000001L
+
+let test_keycode_bytes_composite () =
+  (* Float component forces bytes mode; the image must collapse every
+     NaN payload to one key and -0.0 onto +0.0, and keep Null apart. *)
+  let fpool =
+    [ Value.Float nan; Value.Float neg_nan; Value.Float (-0.); Value.Float 0.;
+      Value.Null; Value.Float 1.5; Value.Float (-1.5) ]
+  in
+  let gpool = [ Value.Int 0; Value.Int 3; Value.Null ] in
+  let rows = List.concat_map (fun f -> List.map (fun g -> (f, g)) gpool) fpool in
+  let fcol = det_col Value.Tfloat (List.map fst rows) in
+  let gcol = det_col Value.Tint (List.map snd rows) in
+  check_injective "float+int composite"
+    [ ([ fcol; gcol ], List.map (fun (f, g) -> [ f; g ]) rows) ]
+
+let test_keycode_packed_composite () =
+  let ipool = [ Value.Int (-3); Value.Int 7; Value.Null ] in
+  let bpool = [ Value.Bool true; Value.Bool false; Value.Null ] in
+  let spool = [ Value.String "ann"; Value.String "bob"; Value.Null ] in
+  let rows =
+    List.concat_map
+      (fun i -> List.concat_map (fun b -> List.map (fun s -> (i, b, s)) spool) bpool)
+      ipool
+  in
+  let icol = det_col Value.Tint (List.map (fun (i, _, _) -> i) rows) in
+  let bcol = det_col Value.Tbool (List.map (fun (_, b, _) -> b) rows) in
+  let scol = det_col Value.Tstring (List.map (fun (_, _, s) -> s) rows) in
+  (match Keycode.of_columns [ [| icol; bcol; scol |] ] with
+  | Some enc -> (
+    match (Keycode.encode enc ~side:0).Keycode.keys with
+    | Keycode.Kint _ -> ()
+    | Keycode.Kbytes _ -> Alcotest.fail "int/bool/string key should pack into one word")
+  | None -> Alcotest.fail "int/bool/string key should encode");
+  check_injective "packed int+bool+string"
+    [ ([ icol; bcol; scol ], List.map (fun (i, b, s) -> [ i; b; s ]) rows) ]
+
+let test_keycode_cross_side_numeric () =
+  let ls = [ Value.Int 2; Value.Int 3; Value.Int 0; Value.Null; Value.Int (-7) ] in
+  let rs =
+    [ Value.Float 2.; Value.Float nan; Value.Float (-0.); Value.Float 3.5; Value.Null ]
+  in
+  let l = det_col Value.Tint ls
+  and r = det_col Value.Tfloat rs in
+  check_injective "int side vs float side"
+    [ ([ l ], List.map (fun v -> [ v ]) ls); ([ r ], List.map (fun v -> [ v ]) rs) ];
+  (* The join pattern: table built from side 0, probed with side 1. *)
+  let enc = Option.get (Keycode.of_columns [ [| l |]; [| r |] ]) in
+  let build = Keycode.encode enc ~side:0
+  and probe = Keycode.encode enc ~side:1 in
+  let tbl = Keycode.tbl_create ~hint:8 build.Keycode.keys in
+  List.iteri (fun i _ -> ignore (Keycode.tbl_add tbl i)) ls;
+  Alcotest.(check int) "distinct build keys" 5 (Keycode.tbl_count tbl);
+  Alcotest.(check int) "Float 2. finds Int 2" 0 (Keycode.tbl_find tbl probe.Keycode.keys 0);
+  Alcotest.(check int) "Float -0. finds Int 0" 2 (Keycode.tbl_find tbl probe.Keycode.keys 2);
+  Alcotest.(check int) "NaN unmatched" (-1) (Keycode.tbl_find tbl probe.Keycode.keys 1);
+  Alcotest.(check int) "3.5 unmatched" (-1) (Keycode.tbl_find tbl probe.Keycode.keys 3)
+
+let test_keycode_shared_string_dict () =
+  (* Same strings, different per-column dictionary codes (the insertion
+     orders differ): the shared dictionary must reconcile them. *)
+  let ls = [ "b"; "a"; "c"; "a" ]
+  and rs = [ "c"; "c"; "b"; "d" ] in
+  let lv = List.map (fun s -> Value.String s) ls
+  and rv = List.map (fun s -> Value.String s) rs in
+  check_injective "string dictionaries across sides"
+    [ ([ det_col Value.Tstring lv ], List.map (fun v -> [ v ]) lv);
+      ([ det_col Value.Tstring rv ], List.map (fun v -> [ v ]) rv) ];
+  let lt =
+    Table.create
+      (Schema.of_list [ ("s", Value.Tstring); ("x", Value.Tint) ])
+      (List.mapi (fun i s -> [| Value.String s; Value.Int i |]) ls)
+  in
+  let rt =
+    Table.create
+      (Schema.of_list [ ("rs", Value.Tstring); ("y", Value.Tint) ])
+      (List.mapi (fun i s -> [| Value.String s; Value.Int i |]) rs)
+  in
+  Alcotest.(check bool) "string join == row oracle" true
+    (tables_identical
+       (Algebra.equi_join ~on:[ ("s", "rs") ] lt rt)
+       (Columnar.to_table
+          (Columnar.equi_join ~on:[ ("s", "rs") ] (Columnar.of_table lt)
+             (Columnar.of_table rt))))
+
+let test_keycode_wide_ints () =
+  (* A range too wide to offset-pack must fall back to exact int bytes,
+     not wrap: min_int and max_int stay distinct keys. *)
+  let vs = [ Value.Int min_int; Value.Int max_int; Value.Int 0; Value.Int 1; Value.Null ] in
+  let pair = List.map (fun _ -> Value.Int 1) vs in
+  let wide = det_col Value.Tint vs
+  and mate = det_col Value.Tint pair in
+  check_injective "wide int composite"
+    [ ([ wide; mate ], List.map2 (fun a b -> [ a; b ]) vs pair) ];
+  match Keycode.of_columns [ [| wide; mate |] ] with
+  | Some enc -> (
+    match (Keycode.encode enc ~side:0).Keycode.keys with
+    | Keycode.Kbytes _ -> ()
+    | Keycode.Kint _ -> Alcotest.fail "min_int..max_int cannot offset-pack")
+  | None -> Alcotest.fail "wide ints should still encode exactly"
+
+let test_keycode_refusals_and_raw () =
+  Alcotest.(check bool) "no sides refused" true (Keycode.of_columns [] = None);
+  Alcotest.(check bool) "no components refused" true (Keycode.of_columns [ [||] ] = None);
+  (* Beyond 2^53, float_of_int is not injective: an int column next to a
+     float-typed mate must refuse rather than conflate 2^53+1 with 2^53. *)
+  let big = det_col Value.Tint [ Value.Int ((1 lsl 53) + 1) ] in
+  let f = det_col Value.Tfloat [ Value.Float 1. ] in
+  Alcotest.(check bool) "inexact int next to float refused" true
+    (Keycode.of_columns [ [| big |]; [| f |] ] = None);
+  Alcotest.(check bool) "side arity mismatch refused" true
+    (Keycode.of_columns [ [| big |]; [| f; f |] ] = None);
+  (* A sole no-null int component is zero-copy: the raw values. *)
+  let vs = [ 5; min_int + 1; max_int; 5 ] in
+  let raw = det_col Value.Tint (List.map (fun v -> Value.Int v) vs) in
+  match Keycode.of_columns [ [| raw |] ] with
+  | None -> Alcotest.fail "sole int column should encode"
+  | Some enc -> (
+    match (Keycode.encode enc ~side:0).Keycode.keys with
+    | Keycode.Kint a -> Alcotest.(check (array int)) "raw zero-copy" (Array.of_list vs) a
+    | Keycode.Kbytes _ -> Alcotest.fail "sole int column should stay unboxed")
+
+let test_keycode_tbl_first_seen () =
+  (* Dense first-seen ids, across a growth of the open-addressing table
+     (19 distinct quadratic residues > the 16-slot initial load limit). *)
+  let n = 120 in
+  let vs = List.init n (fun i -> Value.Int (i * i mod 37)) in
+  let enc = Option.get (Keycode.of_columns [ [| det_col Value.Tint vs |] ]) in
+  let coded = Keycode.encode enc ~side:0 in
+  let tbl = Keycode.tbl_create ~hint:4 coded.Keycode.keys in
+  let seen = Hashtbl.create 64 in
+  List.iteri
+    (fun i v ->
+      let expect =
+        match Hashtbl.find_opt seen v with
+        | Some id -> id
+        | None ->
+          let id = Hashtbl.length seen in
+          Hashtbl.add seen v id;
+          id
+      in
+      Alcotest.(check int) (Printf.sprintf "row %d id" i) expect (Keycode.tbl_add tbl i))
+    vs;
+  Alcotest.(check int) "distinct count" (Hashtbl.length seen) (Keycode.tbl_count tbl)
+
+let test_order_by_packed_matches_comparator () =
+  (* Duplicate keys and nulls: the packed image's index tiebreak must
+     reproduce the comparator chain's stable order, both directions. *)
+  let schema =
+    Schema.of_list
+      [ ("s", Value.Tstring); ("b", Value.Tbool); ("i", Value.Tint); ("x", Value.Tint) ]
+  in
+  let rng = Mde_prob.Rng.create ~seed:31 () in
+  let names = [| "ann"; "bob"; "cal"; "dee" |] in
+  let rows =
+    List.init 200 (fun r ->
+        [|
+          (if Mde_prob.Rng.int rng 10 = 0 then Value.Null
+           else Value.String names.(Mde_prob.Rng.int rng 4));
+          (if Mde_prob.Rng.int rng 10 = 0 then Value.Null
+           else Value.Bool (Mde_prob.Rng.int rng 2 = 1));
+          (if Mde_prob.Rng.int rng 10 = 0 then Value.Null
+           else Value.Int (Mde_prob.Rng.int rng 5 - 2));
+          Value.Int r;
+        |])
+  in
+  let t = Table.create schema rows in
+  let c = Columnar.of_table t in
+  let keys = [ "s"; "b"; "i" ] in
+  Alcotest.(check bool) "packed == row oracle" true
+    (tables_identical (Algebra.order_by keys t)
+       (Columnar.to_table (Columnar.order_by keys c)));
+  List.iter
+    (fun descending ->
+      Alcotest.(check bool)
+        (if descending then "descending" else "ascending")
+        true
+        (tables_identical
+           (Columnar.to_table (Columnar.order_by ~descending ~packed:false keys c))
+           (Columnar.to_table (Columnar.order_by ~descending keys c))))
+    [ false; true ]
+
+let mixed_table_r rows =
+  let schema =
+    Schema.of_list [ ("rk", Value.Tfloat); ("rg", Value.Tint); ("rv", Value.Tfloat) ]
+  in
+  Table.create schema (List.map (fun (k, g, v) -> [| k; Value.Int g; v |]) rows)
+
+let prop_packed_matches_boxed =
+  QCheck.Test.make ~name:"packed keyed operators == boxed Value.Tbl paths" ~count:80
+    (QCheck.pair (QCheck.make mixed_rows_gen) (QCheck.make mixed_rows_gen))
+    (fun (ls, rs) ->
+      let lc = Columnar.of_table (mixed_table ls) in
+      let rc = Columnar.of_table (mixed_table_r rs) in
+      let aggs =
+        [ ("n", Algebra.Count); ("s", Algebra.Sum (Expr.col "v"));
+          ("m", Algebra.Avg (Expr.col "v")) ]
+      in
+      let same a b = tables_identical (Columnar.to_table a) (Columnar.to_table b) in
+      same
+        (Columnar.group_by ~packed:false ~keys:[ "g" ] ~aggs lc)
+        (Columnar.group_by ~keys:[ "g" ] ~aggs lc)
+      && same
+           (Columnar.group_by ~packed:false ~keys:[ "k"; "g" ] ~aggs lc)
+           (Columnar.group_by ~keys:[ "k"; "g" ] ~aggs lc)
+      && same (Columnar.distinct ~packed:false lc) (Columnar.distinct lc)
+      && same (Columnar.order_by ~packed:false [ "g" ] lc) (Columnar.order_by [ "g" ] lc)
+      && same
+           (Columnar.order_by ~packed:false ~descending:true [ "g" ] lc)
+           (Columnar.order_by ~descending:true [ "g" ] lc)
+      && same
+           (Columnar.equi_join ~packed:false ~on:[ ("g", "rg") ] lc rc)
+           (Columnar.equi_join ~on:[ ("g", "rg") ] lc rc)
+      && same
+           (Columnar.equi_join ~packed:false ~on:[ ("k", "rk") ] lc rc)
+           (Columnar.equi_join ~on:[ ("k", "rk") ] lc rc))
+
+let test_keyed_pooled_identity () =
+  (* Sizes straddling the pooled chunk boundaries; NaN and Null keys. *)
+  let table_pair n =
+    let rng = Mde_prob.Rng.create ~seed:(9000 + n) () in
+    let cell i =
+      if i mod 19 = 0 then Value.Null
+      else if i mod 13 = 0 then Value.Float nan
+      else Value.Float (Mde_prob.Rng.float_range rng (-4.) 4.)
+    in
+    let lt =
+      mixed_table
+        (List.init n (fun i ->
+             ( cell i,
+               Mde_prob.Rng.int rng 5,
+               Value.Float (Mde_prob.Rng.float_range rng (-1.) 1.) )))
+    in
+    let rt =
+      mixed_table_r
+        (List.init (max 1 (n / 3)) (fun i -> (cell i, Mde_prob.Rng.int rng 5, Value.Null)))
+    in
+    (Columnar.of_table lt, Columnar.of_table rt)
+  in
+  let aggs =
+    [ ("n", Algebra.Count); ("s", Algebra.Sum (Expr.col "v"));
+      ("sd", Algebra.Std (Expr.col "v")) ]
+  in
+  Mde_par.Pool.with_pool ~domains:3 (fun pool ->
+      List.iter
+        (fun n ->
+          let lc, rc = table_pair n in
+          let check label a b =
+            Alcotest.(check bool)
+              (Printf.sprintf "%s pooled == sequential (n=%d)" label n)
+              true
+              (tables_identical (Columnar.to_table a) (Columnar.to_table b))
+          in
+          check "group_by"
+            (Columnar.group_by ~keys:[ "k"; "g" ] ~aggs lc)
+            (Columnar.group_by ~pool ~keys:[ "k"; "g" ] ~aggs lc);
+          check "group_by boxed"
+            (Columnar.group_by ~packed:false ~keys:[ "k" ] ~aggs lc)
+            (Columnar.group_by ~packed:false ~pool ~keys:[ "k" ] ~aggs lc);
+          check "join"
+            (Columnar.equi_join ~on:[ ("k", "rk") ] lc rc)
+            (Columnar.equi_join ~pool ~on:[ ("k", "rk") ] lc rc);
+          check "join on ints"
+            (Columnar.equi_join ~on:[ ("g", "rg") ] lc rc)
+            (Columnar.equi_join ~pool ~on:[ ("g", "rg") ] lc rc);
+          check "distinct" (Columnar.distinct lc) (Columnar.distinct ~pool lc))
+        [ 0; 1; 2; 3; 7; 61; 509; 2048 ])
+
 (* --- query builder --- *)
 
 let test_query_pipeline () =
@@ -876,6 +1203,23 @@ let () =
           Alcotest.test_case "negative limit raises" `Quick test_limit_negative;
           Alcotest.test_case "pooled == sequential" `Quick test_columnar_pooled_identity;
         ] );
+      ( "keycode",
+        [
+          Alcotest.test_case "bytes composite injective" `Quick test_keycode_bytes_composite;
+          Alcotest.test_case "packed composite injective" `Quick
+            test_keycode_packed_composite;
+          Alcotest.test_case "cross-side numeric keys" `Quick
+            test_keycode_cross_side_numeric;
+          Alcotest.test_case "shared string dictionary" `Quick
+            test_keycode_shared_string_dict;
+          Alcotest.test_case "wide ints exact" `Quick test_keycode_wide_ints;
+          Alcotest.test_case "refusals and raw mode" `Quick test_keycode_refusals_and_raw;
+          Alcotest.test_case "table first-seen ids" `Quick test_keycode_tbl_first_seen;
+          Alcotest.test_case "order_by packed == comparator" `Quick
+            test_order_by_packed_matches_comparator;
+          Alcotest.test_case "keyed ops pooled == sequential" `Quick
+            test_keyed_pooled_identity;
+        ] );
       ( "query",
         [
           Alcotest.test_case "pipeline" `Quick test_query_pipeline;
@@ -899,5 +1243,5 @@ let () =
           [ prop_select_conjunction; prop_join_count; prop_distinct_idempotent;
             prop_expr_total; prop_optimize_preserves_semantics;
             prop_columnar_matches_algebra; prop_columnar_join_mixed_keys;
-            prop_plan_execute_bit_identity ] );
+            prop_packed_matches_boxed; prop_plan_execute_bit_identity ] );
     ]
